@@ -1,0 +1,295 @@
+// Package repro's root benchmark harness: one benchmark per reproduced
+// figure/example of the paper, as indexed in DESIGN.md and EXPERIMENTS.md.
+// The paper reports no absolute performance numbers (it is a theory
+// paper); these benchmarks document the cost of regenerating each
+// machine-checked experiment and the scaling shape of the core machinery.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/arbiters"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/dtm"
+	"repro/internal/experiments"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/pictures"
+	"repro/internal/props"
+	"repro/internal/reduce"
+	"repro/internal/sat"
+	"repro/internal/simulate"
+	"repro/internal/structure"
+)
+
+// BenchmarkFig1ThreeRoundColoring regenerates Figure 1: the minimax
+// evaluation of the 3-round 3-colorability game on both instances.
+func BenchmarkFig1ThreeRoundColoring(b *testing.B) {
+	no := graph.Figure1NoInstance()
+	yes := graph.Figure1YesInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if props.ThreeRoundThreeColorable(no) || !props.ThreeRoundThreeColorable(yes) {
+			b.Fatal("figure 1 game value changed")
+		}
+	}
+}
+
+// BenchmarkFig2Separations regenerates the ground-level separations of
+// Figure 2/13 (Propositions 24 and 26).
+func BenchmarkFig2Separations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !experiments.Figure2Separations().OK() {
+			b.Fatal("separation experiment failed")
+		}
+	}
+}
+
+// BenchmarkFig3HamiltonianReduction regenerates Figure 3/10: the
+// Proposition 19 reduction plus the ground-truth Hamiltonicity check.
+func BenchmarkFig3HamiltonianReduction(b *testing.B) {
+	g := graph.Cycle(4).MustWithLabels(graph.AllSelectedLabels(4))
+	red := reduce.AllSelectedToHamiltonian()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := red.Apply(g, nil)
+		if err != nil || !props.Hamiltonian(res.Out) {
+			b.Fatal("reduction broke")
+		}
+	}
+}
+
+// BenchmarkFig4ColorabilityReduction regenerates Figure 4/12: the
+// Cook–Levin chain into 3-colorability.
+func BenchmarkFig4ColorabilityReduction(b *testing.B) {
+	bg, err := sat.NewBooleanGraph(graph.Path(2), []sat.Formula{
+		sat.MustParse("P1|~P2|~P3"), sat.MustParse("P3|P4|~P5"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain := reduce.Compose(reduce.SatGraphTo3SatGraph(), reduce.ThreeSatGraphToThreeColorable())
+	id := graph.SmallLocallyUnique(bg.G, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chain.Apply(bg.G, id)
+		if err != nil || !props.ThreeColorable(res.Out) {
+			b.Fatal("chain broke")
+		}
+	}
+}
+
+// BenchmarkFig5Structure regenerates Figure 5: building structural
+// representations.
+func BenchmarkFig5Structure(b *testing.B) {
+	g := graph.Figure5Graph()
+	want := g.N()
+	for u := 0; u < g.N(); u++ {
+		want += len(g.Label(u))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if structure.NewRep(g).Card() != want {
+			b.Fatal("rep changed")
+		}
+	}
+}
+
+// BenchmarkFig6Pictures regenerates Figure 6/14: picture representations
+// and the squares tiling system.
+func BenchmarkFig6Pictures(b *testing.B) {
+	squares := pictures.SquaresSystem()
+	p := pictures.Uniform(0, 4, 4, "")
+	q := pictures.Uniform(0, 4, 3, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		okP, err1 := squares.Accepts(p)
+		okQ, err2 := squares.Accepts(q)
+		if err1 != nil || err2 != nil || !okP || okQ {
+			b.Fatal("tiling system changed")
+		}
+	}
+}
+
+// BenchmarkFig7LocalityLadder regenerates the Figure 7 ladder experiment.
+func BenchmarkFig7LocalityLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !experiments.Figure7Ladder().OK() {
+			b.Fatal("ladder failed")
+		}
+	}
+}
+
+// BenchmarkFig8TuringMachine regenerates Figure 8: the faithful
+// three-tape TM exchanging real messages.
+func BenchmarkFig8TuringMachine(b *testing.B) {
+	m := dtm.AllEqualMachine()
+	g := graph.Cycle(8).MustWithLabels([]string{"10", "10", "10", "10", "10", "10", "10", "10"})
+	id := graph.SmallLocallyUnique(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := m.Run(g, id, nil, dtm.Options{})
+		if err != nil || !e.Accepted() {
+			b.Fatal("TM broke")
+		}
+	}
+}
+
+// BenchmarkFig9EulerianReduction regenerates Figure 9 (Proposition 18).
+func BenchmarkFig9EulerianReduction(b *testing.B) {
+	g := graph.Complete(4).MustWithLabels(graph.BitLabels(4, 0b0111))
+	red := reduce.AllSelectedToEulerian()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := red.Apply(g, nil)
+		if err != nil || props.Eulerian(res.Out) {
+			b.Fatal("reduction broke")
+		}
+	}
+}
+
+// BenchmarkFig11CoReduction regenerates Figure 11 (Proposition 20).
+func BenchmarkFig11CoReduction(b *testing.B) {
+	g := graph.Path(2).MustWithLabels([]string{"1", "0"})
+	red := reduce.NotAllSelectedToHamiltonian()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := red.Apply(g, nil)
+		if err != nil || !props.Hamiltonian(res.Out) {
+			b.Fatal("reduction broke")
+		}
+	}
+}
+
+// BenchmarkExampleFormulas regenerates the Section 5.2 examples: the
+// Σ^lfo_1 3-colorability formula evaluated by second-order enumeration.
+func BenchmarkExampleFormulas(b *testing.B) {
+	g := graph.Cycle(5)
+	rep := structure.NewRep(g)
+	f := logic.ThreeColorable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := logic.Sat(rep.Structure, f, logic.Options{MaxEnumBits: 18})
+		if err != nil || !ok {
+			b.Fatal("formula evaluation broke")
+		}
+	}
+}
+
+// BenchmarkSpanningForestGame measures the Σ^lp_3 spanning-forest game
+// (Example 6 semantics) on a labeled cycle.
+func BenchmarkSpanningForestGame(b *testing.B) {
+	g := graph.Cycle(5).MustWithLabels([]string{"1", "1", "0", "1", "1"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !games.EveWinsPointsTo(g, games.IsUnselected) {
+			b.Fatal("game value changed")
+		}
+	}
+}
+
+// BenchmarkFaginCrossValidation regenerates the Theorem 14 experiment.
+func BenchmarkFaginCrossValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !experiments.FaginCrossValidation().OK() {
+			b.Fatal("Fagin cross-validation failed")
+		}
+	}
+}
+
+// BenchmarkCookLevin regenerates the Theorem 22 τ-translation and joint
+// satisfiability check.
+func BenchmarkCookLevin(b *testing.B) {
+	g := graph.Cycle(5)
+	f := logic.KColorable(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bg, err := reduce.FormulaToBooleanGraph(g, f)
+		if err != nil || !bg.Satisfiable() {
+			b.Fatal("translation broke")
+		}
+	}
+}
+
+// BenchmarkLemma13Envelope regenerates the space-time envelope
+// measurement.
+func BenchmarkLemma13Envelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !experiments.Lemma13Envelope().OK() {
+			b.Fatal("envelope violated")
+		}
+	}
+}
+
+// BenchmarkTilingSystems measures tiling acceptance across an exhaustive
+// 1-bit picture family.
+func BenchmarkTilingSystems(b *testing.B) {
+	ts := pictures.TopRowOnesSystem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		pictures.ForEachPicture(1, 2, 3, func(p *pictures.Picture) bool {
+			ok, err := ts.Accepts(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				count++
+			}
+			return true
+		})
+		if count != 1 {
+			b.Fatalf("language size %d", count)
+		}
+	}
+}
+
+// BenchmarkLocalEngineScaling measures the synchronous LOCAL engine on
+// growing cycles (the substrate every arbiter runs on).
+func BenchmarkLocalEngineScaling(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			g := graph.Cycle(n).MustWithLabels(graph.AllSelectedLabels(n))
+			id := graph.SmallLocallyUnique(g, 1)
+			m := arbiters.AllEqual()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := simulate.Decide(m, g, id, simulate.Options{})
+				if err != nil || !ok {
+					b.Fatal("engine broke")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertificateGame measures exhaustive Σ^lp_1 game evaluation (the
+// quantifier machinery of the hierarchy) for 2-colorability on C4.
+func BenchmarkCertificateGame(b *testing.B) {
+	g := graph.Cycle(4)
+	id := graph.SmallLocallyUnique(g, 1)
+	arb := &core.Arbiter{Machine: arbiters.TwoColorable(), Level: core.Sigma(1),
+		RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 2}}}
+	domains := []cert.Domain{cert.UniformDomain(4, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := arb.GameValue(g, id, domains)
+		if err != nil || !ok {
+			b.Fatal("game broke")
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 10:
+		return "n=00" + string(rune('0'+n))
+	case n < 100:
+		return "n=0" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+	default:
+		return "n=" + string(rune('0'+n/100)) + string(rune('0'+(n/10)%10)) + string(rune('0'+n%10))
+	}
+}

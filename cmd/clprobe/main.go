@@ -1,0 +1,39 @@
+// Command clprobe times the Cook–Levin τ-translation plus joint DPLL
+// satisfiability per topology; a development aid for the Theorem 22
+// experiment.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/props"
+	"repro/internal/reduce"
+)
+
+func main() {
+	bases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"P2", graph.Path(2)}, {"P3", graph.Path(3)}, {"C3", graph.Cycle(3)},
+		{"C4", graph.Cycle(4)}, {"C5", graph.Cycle(5)},
+		{"Star4", graph.Star(4)}, {"K4", graph.Complete(4)},
+	}
+	for k := 2; k <= 3; k++ {
+		for _, b := range bases {
+			start := time.Now()
+			bg, err := reduce.FormulaToBooleanGraph(b.g, logic.KColorable(k))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, b.name, err)
+				continue
+			}
+			sat := bg.Satisfiable()
+			fmt.Fprintf(os.Stderr, "k=%d %-6s sat=%-5v want=%-5v %v\n",
+				k, b.name, sat, props.KColorable(b.g, k), time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

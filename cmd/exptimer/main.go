@@ -1,0 +1,39 @@
+// Command exptimer runs every experiment sequentially and prints wall-clock
+// timings to stderr; a development aid for keeping the experiment suite
+// fast.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fns := []struct {
+		name string
+		fn   func() *experiments.Report
+	}{
+		{"Fig1", experiments.Figure1},
+		{"Fig5", experiments.Figure5Structure},
+		{"Fig9", experiments.Figure9Eulerian},
+		{"Fig3", experiments.Figure3Hamiltonian},
+		{"Fig11", experiments.Figure11CoHamiltonian},
+		{"Fig4", experiments.Figure4Colorability},
+		{"Fig6", experiments.Figure6Pictures},
+		{"Fig8", experiments.Figure8TuringMachine},
+		{"L13", experiments.Lemma13Envelope},
+		{"Fagin", experiments.FaginCrossValidation},
+		{"CL", experiments.CookLevin},
+		{"Fig2", experiments.Figure2Separations},
+		{"Ex", experiments.ExampleFormulas},
+		{"Fig7", experiments.Figure7Ladder},
+	}
+	for _, e := range fns {
+		start := time.Now()
+		rep := e.fn()
+		fmt.Fprintf(os.Stderr, "%-6s %8v ok=%v\n", e.name, time.Since(start).Round(time.Millisecond), rep.OK())
+	}
+}

@@ -1,0 +1,32 @@
+// Command figures regenerates every figure/example experiment of the
+// paper (see DESIGN.md for the index) and prints one report per artifact.
+// It exits nonzero if any experiment fails to reproduce the paper's claim.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	failed := 0
+	for _, rep := range experiments.All() {
+		fmt.Print(rep)
+		if !rep.OK() {
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		return 1
+	}
+	fmt.Println("all experiments reproduce the paper's claims")
+	return 0
+}

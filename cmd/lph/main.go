@@ -1,0 +1,215 @@
+// Command lph is the command-line interface to the locally polynomial
+// hierarchy library: it decides and verifies graph properties on graphs
+// read from JSON, runs the paper's reductions, and plays the Eve/Adam
+// certificate games.
+//
+// Usage:
+//
+//	lph decide <property>  < graph.json
+//	    property: all-selected | eulerian | all-equal
+//	lph verify <property>  < graph.json
+//	    property: 2-colorable | 3-colorable | 4-colorable | sat-graph |
+//	              hamiltonian | not-all-selected | one-selected
+//	    (plays the certificate game with Eve's strategy from the paper)
+//	lph reduce <reduction> < graph.json   (prints the output graph JSON)
+//	    reduction: eulerian | hamiltonian | co-hamiltonian | 3color
+//	lph game figure1       (plays the 3-round 3-colorability game)
+//
+// Exit status: 0 = property holds / reduction succeeded, 1 = property does
+// not hold, 2 = usage or input error.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/arbiters"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/games"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/props"
+	"repro/internal/reduce"
+	"repro/internal/simulate"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "decide":
+		return decide(args[1:])
+	case "verify":
+		return verify(args[1:])
+	case "reduce":
+		return reduction(args[1:])
+	case "game":
+		return game(args[1:])
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lph {decide|verify|reduce|game} <name> < graph.json")
+}
+
+func readGraph() (*graph.Graph, bool) {
+	g, err := graphio.Decode(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lph:", err)
+		return nil, false
+	}
+	return g, true
+}
+
+func decide(args []string) int {
+	if len(args) != 1 {
+		usage()
+		return 2
+	}
+	machines := map[string]*simulate.Machine{
+		"all-selected": arbiters.AllSelected(),
+		"eulerian":     arbiters.Eulerian(),
+		"all-equal":    arbiters.AllEqual(),
+	}
+	m, ok := machines[args[0]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lph: unknown LP property %q\n", args[0])
+		return 2
+	}
+	g, ok := readGraph()
+	if !ok {
+		return 2
+	}
+	accepted, err := simulate.Decide(m, g, graph.SmallLocallyUnique(g, 1), simulate.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lph:", err)
+		return 2
+	}
+	fmt.Printf("%s: %v\n", args[0], accepted)
+	if accepted {
+		return 0
+	}
+	return 1
+}
+
+func verify(args []string) int {
+	if len(args) != 1 {
+		usage()
+		return 2
+	}
+	g, ok := readGraph()
+	if !ok {
+		return 2
+	}
+	id := graph.SmallLocallyUnique(g, 1)
+	var (
+		accepted bool
+		err      error
+	)
+	switch args[0] {
+	case "2-colorable", "3-colorable", "4-colorable":
+		k := int(args[0][0] - '0')
+		arb := &core.Arbiter{Machine: arbiters.KColorable(k), Level: core.Sigma(1),
+			RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 2}}}
+		accepted, err = arb.StrategyGameValue(g, id,
+			[]core.Strategy{arbiters.ColoringStrategy(k)}, []cert.Domain{{}})
+	case "sat-graph":
+		arb := &core.Arbiter{Machine: arbiters.SatGraph(), Level: core.Sigma(1),
+			RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 4}}}
+		accepted, err = arb.StrategyGameValue(g, id,
+			[]core.Strategy{arbiters.SatGraphStrategy()}, []cert.Domain{{}})
+	case "hamiltonian":
+		accepted, err = games.HamiltonianArbiter().StrategyGameValue(g, id,
+			[]core.Strategy{games.HamiltonianStrategy(), nil, games.RootChargeStrategy()},
+			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
+	case "not-all-selected":
+		accepted, err = games.NotAllSelectedArbiter().StrategyGameValue(g, id,
+			[]core.Strategy{games.ForestStrategy(games.IsUnselected), nil, games.ChargeStrategy(nil)},
+			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
+	case "one-selected":
+		accepted, err = games.OneSelectedArbiter().StrategyGameValue(g, id,
+			[]core.Strategy{games.ForestStrategy(games.IsSelected), nil, games.ChargeStrategy(games.IsSelected)},
+			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
+	default:
+		fmt.Fprintf(os.Stderr, "lph: unknown verifiable property %q\n", args[0])
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lph:", err)
+		return 2
+	}
+	fmt.Printf("%s: %v\n", args[0], accepted)
+	if accepted {
+		return 0
+	}
+	return 1
+}
+
+func reduction(args []string) int {
+	if len(args) != 1 {
+		usage()
+		return 2
+	}
+	reductions := map[string]reduce.Reduction{
+		"eulerian":       reduce.AllSelectedToEulerian(),
+		"hamiltonian":    reduce.AllSelectedToHamiltonian(),
+		"co-hamiltonian": reduce.NotAllSelectedToHamiltonian(),
+		"3color": reduce.Compose(
+			reduce.SatGraphTo3SatGraph(), reduce.ThreeSatGraphToThreeColorable()),
+	}
+	r, ok := reductions[args[0]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lph: unknown reduction %q\n", args[0])
+		return 2
+	}
+	g, ok := readGraph()
+	if !ok {
+		return 2
+	}
+	var id graph.IDAssignment
+	if r.RadiusID > 0 {
+		id = graph.SmallLocallyUnique(g, r.RadiusID)
+	}
+	res, err := r.Apply(g, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lph:", err)
+		return 2
+	}
+	if err := res.Validate(g); err != nil {
+		fmt.Fprintln(os.Stderr, "lph: cluster map invalid:", err)
+		return 2
+	}
+	if err := graphio.Encode(os.Stdout, res.Out); err != nil {
+		fmt.Fprintln(os.Stderr, "lph:", err)
+		return 2
+	}
+	return 0
+}
+
+func game(args []string) int {
+	if len(args) != 1 || args[0] != "figure1" {
+		usage()
+		return 2
+	}
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Figure 1a", graph.Figure1NoInstance()},
+		{"Figure 1b", graph.Figure1YesInstance()},
+	} {
+		fmt.Printf("%s: 3-colorable=%v, 3-round 3-colorable=%v\n",
+			tt.name, props.ThreeColorable(tt.g), props.ThreeRoundThreeColorable(tt.g))
+	}
+	return 0
+}

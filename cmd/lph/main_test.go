@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// withStdin redirects os.Stdin to the given content for one run call.
+func withStdin(t *testing.T, content string, f func()) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	if _, err := w.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f()
+}
+
+func TestRunUsage(t *testing.T) {
+	if run(nil) != 2 || run([]string{"bogus"}) != 2 {
+		t.Fatal("usage errors must exit 2")
+	}
+	if run([]string{"decide", "nope"}) != 2 {
+		t.Fatal("unknown property must exit 2")
+	}
+}
+
+func TestDecideCommand(t *testing.T) {
+	withStdin(t, `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]}`, func() {
+		if code := run([]string{"decide", "all-selected"}); code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+	})
+	withStdin(t, `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","0","1"]}`, func() {
+		if code := run([]string{"decide", "all-selected"}); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+}
+
+func TestVerifyCommand(t *testing.T) {
+	// C5 is 3-colorable but not 2-colorable.
+	c5 := `{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4],[4,0]]}`
+	withStdin(t, c5, func() {
+		if code := run([]string{"verify", "3-colorable"}); code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+	})
+	withStdin(t, c5, func() {
+		if code := run([]string{"verify", "2-colorable"}); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+	withStdin(t, c5, func() {
+		if code := run([]string{"verify", "hamiltonian"}); code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+	})
+}
+
+func TestReduceCommand(t *testing.T) {
+	withStdin(t, `{"n":2,"edges":[[0,1]],"labels":["1","0"]}`, func() {
+		if code := run([]string{"reduce", "hamiltonian"}); code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+	})
+}
+
+func TestGameCommand(t *testing.T) {
+	if code := run([]string{"game", "figure1"}); code != 0 {
+		t.Fatal("figure1 game failed")
+	}
+	if code := run([]string{"game", "bogus"}); code != 2 {
+		t.Fatal("unknown game must exit 2")
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	withStdin(t, `not json`, func() {
+		if code := run([]string{"decide", "all-selected"}); code != 2 {
+			t.Fatal("bad input must exit 2")
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// Package cert implements the certificate assignments of Sections 3 and 4:
+// the per-node bit strings chosen by the players Eve and Adam, the
+// (r,p)-boundedness condition on their sizes, certificate lists, and finite
+// enumeration of bounded certificate spaces for exhaustive game search on
+// small graphs.
+package cert
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Assignment is a certificate assignment κ: one bit string per node.
+type Assignment []string
+
+// Polynomial is a univariate polynomial with nonnegative integer
+// coefficients, p(n) = C[0] + C[1]·n + C[2]·n² + …
+type Polynomial []int
+
+// Eval evaluates the polynomial at n.
+func (p Polynomial) Eval(n int) int {
+	out := 0
+	pow := 1
+	for _, c := range p {
+		out += c * pow
+		pow *= n
+	}
+	return out
+}
+
+// String renders the polynomial, e.g. "2 + 3n + n^2".
+func (p Polynomial) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	var parts []string
+	for i, c := range p {
+		if c == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			parts = append(parts, fmt.Sprintf("%d", c))
+		case 1:
+			parts = append(parts, fmt.Sprintf("%dn", c))
+		default:
+			if c == 1 {
+				parts = append(parts, fmt.Sprintf("n^%d", i))
+			} else {
+				parts = append(parts, fmt.Sprintf("%dn^%d", c, i))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Bound is the (r,p) certificate-size bound of Section 3: the length of
+// node u's certificate may not exceed p applied to the total size of u's
+// r-neighborhood, Σ_{v ∈ N^G_r(u)} (1 + len(label(v)) + len(id(v))).
+type Bound struct {
+	R int
+	P Polynomial
+}
+
+// NeighborhoodSize computes the argument of p for node u.
+func (b Bound) NeighborhoodSize(g *graph.Graph, id graph.IDAssignment, u int) int {
+	total := 0
+	for _, v := range g.Ball(u, b.R) {
+		total += 1 + len(g.Label(v)) + len(id[v])
+	}
+	return total
+}
+
+// MaxLen returns the maximum allowed certificate length of node u.
+func (b Bound) MaxLen(g *graph.Graph, id graph.IDAssignment, u int) int {
+	return b.P.Eval(b.NeighborhoodSize(g, id, u))
+}
+
+// Check reports whether κ is (r,p)-bounded on (g, id).
+func (b Bound) Check(g *graph.Graph, id graph.IDAssignment, k Assignment) bool {
+	if len(k) != g.N() {
+		return false
+	}
+	for u := 0; u < g.N(); u++ {
+		if !graph.IsBitString(k[u]) || len(k[u]) > b.MaxLen(g, id, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty returns the trivial assignment giving every node the empty string.
+func Empty(n int) Assignment { return make(Assignment, n) }
+
+// NodeLists converts a sequence of certificate assignments κ1, …, κℓ into
+// per-node certificate lists: out[u] = [κ1(u), …, κℓ(u)], the form consumed
+// by the execution engines (the TM model concatenates them with '#').
+func NodeLists(assigns ...Assignment) [][]string {
+	if len(assigns) == 0 {
+		return nil
+	}
+	n := len(assigns[0])
+	out := make([][]string, n)
+	for u := 0; u < n; u++ {
+		out[u] = make([]string, len(assigns))
+		for i, a := range assigns {
+			out[u][i] = a[u]
+		}
+	}
+	return out
+}
+
+// Domain is a finite set of certificate assignments to quantify over, given
+// as per-node maximal certificate lengths: node u ranges over all bit
+// strings of length 0..MaxLen[u]. Exhaustive game search enumerates the
+// full product space, so keep the lengths tiny.
+type Domain struct {
+	MaxLen []int
+}
+
+// UniformDomain gives every node the same maximal certificate length.
+func UniformDomain(n, maxLen int) Domain {
+	ml := make([]int, n)
+	for i := range ml {
+		ml[i] = maxLen
+	}
+	return Domain{MaxLen: ml}
+}
+
+// BoundedDomain derives a domain from an (r,p) bound on (g, id), capped at
+// cap bits per node to keep enumeration feasible.
+func BoundedDomain(g *graph.Graph, id graph.IDAssignment, b Bound, cap int) Domain {
+	ml := make([]int, g.N())
+	for u := range ml {
+		ml[u] = b.MaxLen(g, id, u)
+		if ml[u] > cap {
+			ml[u] = cap
+		}
+	}
+	return Domain{MaxLen: ml}
+}
+
+// Size returns the number of assignments in the domain (the product over
+// nodes of the number of bit strings of length ≤ MaxLen[u], which is
+// 2^(L+1) − 1).
+func (d Domain) Size() int {
+	total := 1
+	for _, l := range d.MaxLen {
+		total *= (1 << uint(l+1)) - 1
+	}
+	return total
+}
+
+// strings0 lists all bit strings of length 0..maxLen in a fixed order.
+func stringsUpTo(maxLen int) []string {
+	out := []string{""}
+	for l := 1; l <= maxLen; l++ {
+		for x := 0; x < 1<<uint(l); x++ {
+			s := make([]byte, l)
+			for i := 0; i < l; i++ {
+				if x&(1<<uint(l-1-i)) != 0 {
+					s[i] = '1'
+				} else {
+					s[i] = '0'
+				}
+			}
+			out = append(out, string(s))
+		}
+	}
+	return out
+}
+
+// ForEach enumerates every assignment in the domain, invoking yield for
+// each. Enumeration stops early if yield returns false; ForEach reports
+// whether enumeration ran to completion.
+//
+// The assignment passed to yield is reused between calls; copy it if it
+// must be retained.
+func (d Domain) ForEach(yield func(Assignment) bool) bool {
+	n := len(d.MaxLen)
+	options := make([][]string, n)
+	for u := 0; u < n; u++ {
+		options[u] = stringsUpTo(d.MaxLen[u])
+	}
+	cur := make(Assignment, n)
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == n {
+			return yield(cur)
+		}
+		for _, s := range options[u] {
+			cur[u] = s
+			if !rec(u + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}

@@ -1,0 +1,128 @@
+package cert
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPolynomial(t *testing.T) {
+	t.Parallel()
+	p := Polynomial{2, 3, 1} // 2 + 3n + n²
+	if got := p.Eval(0); got != 2 {
+		t.Fatalf("p(0) = %d", got)
+	}
+	if got := p.Eval(4); got != 2+12+16 {
+		t.Fatalf("p(4) = %d", got)
+	}
+	if s := p.String(); s != "2 + 3n + n^2" {
+		t.Fatalf("String = %q", s)
+	}
+	if Polynomial(nil).Eval(10) != 0 {
+		t.Fatal("empty polynomial should be 0")
+	}
+}
+
+func TestBound(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(3).MustWithLabels([]string{"11", "0", ""})
+	id := graph.IDAssignment{"0", "1", "00"}
+	b := Bound{R: 1, P: Polynomial{0, 1}} // p(n) = n
+	// Node 1's 1-neighborhood holds all three nodes:
+	// sizes (1+2+1) + (1+1+1) + (1+0+2) = 4+3+3 = 10.
+	if got := b.NeighborhoodSize(g, id, 1); got != 10 {
+		t.Fatalf("NeighborhoodSize = %d, want 10", got)
+	}
+	if got := b.MaxLen(g, id, 1); got != 10 {
+		t.Fatalf("MaxLen = %d", got)
+	}
+	ok := Assignment{"0000", "1111111111", ""}
+	if !b.Check(g, id, ok) {
+		t.Fatal("valid assignment rejected")
+	}
+	tooLong := Assignment{"0000", "11111111111", ""} // 11 > 10
+	if b.Check(g, id, tooLong) {
+		t.Fatal("overlong certificate accepted")
+	}
+	notBits := Assignment{"0x", "", ""}
+	if b.Check(g, id, notBits) {
+		t.Fatal("non-bit-string certificate accepted")
+	}
+	if b.Check(g, id, Assignment{"0"}) {
+		t.Fatal("wrong-length assignment accepted")
+	}
+}
+
+func TestNodeLists(t *testing.T) {
+	t.Parallel()
+	k1 := Assignment{"0", "1"}
+	k2 := Assignment{"00", "11"}
+	lists := NodeLists(k1, k2)
+	if lists[0][0] != "0" || lists[0][1] != "00" || lists[1][1] != "11" {
+		t.Fatalf("NodeLists = %v", lists)
+	}
+	if NodeLists() != nil {
+		t.Fatal("no assignments should give nil")
+	}
+}
+
+func TestDomainEnumeration(t *testing.T) {
+	t.Parallel()
+	d := UniformDomain(2, 1)
+	// Per node: "", "0", "1" → 3 options; 9 assignments total.
+	if d.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", d.Size())
+	}
+	seen := make(map[string]bool)
+	complete := d.ForEach(func(a Assignment) bool {
+		seen[a[0]+"|"+a[1]] = true
+		return true
+	})
+	if !complete || len(seen) != 9 {
+		t.Fatalf("enumerated %d distinct assignments, complete=%v", len(seen), complete)
+	}
+	// Early stop.
+	count := 0
+	complete = d.ForEach(func(a Assignment) bool {
+		count++
+		return count < 3
+	})
+	if complete || count != 3 {
+		t.Fatalf("early stop failed: count=%d complete=%v", count, complete)
+	}
+}
+
+func TestStringsUpTo(t *testing.T) {
+	t.Parallel()
+	got := stringsUpTo(2)
+	want := []string{"", "0", "1", "00", "01", "10", "11"}
+	if len(got) != len(want) {
+		t.Fatalf("stringsUpTo(2) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stringsUpTo(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBoundedDomain(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(2).MustWithLabels([]string{"1", "1"})
+	id := graph.IDAssignment{"0", "1"}
+	b := Bound{R: 1, P: Polynomial{0, 1}}
+	d := BoundedDomain(g, id, b, 2)
+	for _, l := range d.MaxLen {
+		if l != 2 {
+			t.Fatalf("cap not applied: %v", d.MaxLen)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	t.Parallel()
+	e := Empty(3)
+	if len(e) != 3 || e[0] != "" {
+		t.Fatal("Empty wrong")
+	}
+}

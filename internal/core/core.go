@@ -1,0 +1,339 @@
+// Package core implements the paper's primary contribution: the locally
+// polynomial hierarchy {Σ^lp_ℓ, Π^lp_ℓ} of Section 4. A graph property L
+// belongs to Σ^lp_ℓ when some locally polynomial machine M (the arbiter)
+// satisfies, for every graph G and rid-locally unique identifier
+// assignment id,
+//
+//	G ∈ L  ⇔  ∃κ1 ∀κ2 … Qκℓ : M(G, id, κ1·…·κℓ) ≡ accept,
+//
+// with all quantifiers ranging over (r,p)-bounded certificate assignments.
+// Π^lp_ℓ starts with a universal quantifier instead.
+//
+// The package provides:
+//
+//   - Arbiter: a machine together with its level, identifier radius and
+//     certificate bound;
+//   - exhaustive game evaluation over finite certificate domains (for the
+//     small instances used in tests and experiments);
+//   - strategy-guided evaluation, where Eve's moves are produced by the
+//     constructive strategies from the paper's proofs;
+//   - machine combinators (Product, WithPrecondition) used to realize the
+//     constructions in the proof of Lemma 11 (restrictive arbiters).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/simulate"
+)
+
+// Class names for the lowest hierarchy levels, for display purposes.
+const (
+	ClassLP     = "LP"     // Σ^lp_0 = Π^lp_0
+	ClassNLP    = "NLP"    // Σ^lp_1
+	ClassCoLP   = "coLP"   // complement of LP
+	ClassCoNLP  = "coNLP"  // complement of NLP
+	ClassPi1Lp  = "Π^lp_1" // first universal level
+	ClassSig3Lp = "Σ^lp_3"
+)
+
+// Level identifies a class of the locally polynomial hierarchy.
+type Level struct {
+	// Alternations is ℓ, the number of certificate assignments.
+	Alternations int
+	// FirstExistential selects Σ^lp_ℓ (true, Eve moves first) or Π^lp_ℓ
+	// (false, Adam moves first). Irrelevant when Alternations == 0.
+	FirstExistential bool
+}
+
+// Sigma returns the level Σ^lp_ℓ.
+func Sigma(l int) Level { return Level{Alternations: l, FirstExistential: true} }
+
+// Pi returns the level Π^lp_ℓ.
+func Pi(l int) Level { return Level{Alternations: l, FirstExistential: false} }
+
+// String renders the level, e.g. "Σ^lp_3".
+func (l Level) String() string {
+	if l.Alternations == 0 {
+		return "LP"
+	}
+	if l.FirstExistential {
+		return fmt.Sprintf("Σ^lp_%d", l.Alternations)
+	}
+	return fmt.Sprintf("Π^lp_%d", l.Alternations)
+}
+
+// ExistentialAt reports whether the i-th certificate assignment (1-based)
+// is chosen by Eve (existentially quantified).
+func (l Level) ExistentialAt(i int) bool {
+	if l.FirstExistential {
+		return i%2 == 1
+	}
+	return i%2 == 0
+}
+
+// Arbiter bundles a locally polynomial machine with the parameters under
+// which it arbitrates a property: the level, the identifier radius rid,
+// and the (r,p) certificate bound.
+type Arbiter struct {
+	Machine  *simulate.Machine
+	Level    Level
+	RadiusID int
+	Bound    cert.Bound
+}
+
+// Run executes the arbiter's machine under the given certificate
+// assignments and reports unanimous acceptance.
+func (a *Arbiter) Run(g *graph.Graph, id graph.IDAssignment, assigns ...cert.Assignment) (bool, error) {
+	res, err := simulate.Run(a.Machine, g, id, cert.NodeLists(assigns...), simulate.Options{})
+	if err != nil {
+		return false, err
+	}
+	return res.Accepted(), nil
+}
+
+// GameValue evaluates the alternating certificate game exhaustively over
+// the given per-move domains (len(domains) must equal the level's number of
+// alternations). It reports whether the first player to move — Eve for Σ
+// levels, Adam for Π levels — achieves her/his objective: the game value is
+// true iff
+//
+//	Q1 κ1 Q2 κ2 … : M(G, id, κ1·…·κℓ) ≡ accept
+//
+// with Q1 Q2 … the level's quantifier prefix.
+func (a *Arbiter) GameValue(g *graph.Graph, id graph.IDAssignment, domains []cert.Domain) (bool, error) {
+	if len(domains) != a.Level.Alternations {
+		return false, fmt.Errorf("core: %d domains for level %v", len(domains), a.Level)
+	}
+	chosen := make([]cert.Assignment, 0, len(domains))
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i > len(domains) {
+			return a.Run(g, id, chosen...)
+		}
+		existential := a.Level.ExistentialAt(i)
+		// Existential: succeed if some choice works. Universal: fail if
+		// some choice fails.
+		found := existential // value if enumeration exhausts: ¬∃ => false, ∀ => true
+		var innerErr error
+		complete := domains[i-1].ForEach(func(k cert.Assignment) bool {
+			cp := append(cert.Assignment(nil), k...)
+			chosen = append(chosen, cp)
+			v, err := rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if existential && v {
+				found = true
+				return false // short-circuit ∃
+			}
+			if !existential && !v {
+				found = false
+				return false // short-circuit ∀
+			}
+			return true
+		})
+		if innerErr != nil {
+			return false, innerErr
+		}
+		if complete {
+			// Enumeration exhausted: ∃ failed, or ∀ succeeded.
+			return !existential, nil
+		}
+		return found, nil
+	}
+	return rec(1)
+}
+
+// Strategy produces a certificate assignment for a player given the
+// opponent's previous moves (moves[0] = κ1, …). Eve's constructive
+// strategies from the paper's proofs (spanning trees, charges, colorings)
+// implement this type.
+type Strategy func(g *graph.Graph, id graph.IDAssignment, moves []cert.Assignment) (cert.Assignment, error)
+
+// StrategyGameValue evaluates the game with Eve's moves produced by
+// strategies and Adam's moves enumerated exhaustively over domains.
+// strategies[i] and domains[i] correspond to move i+1 and exactly one of
+// them must be non-nil, matching the level's quantifier at that position
+// (strategies for existential moves, domains for universal moves).
+//
+// The result true means Eve's strategies defeat every Adam play — which
+// witnesses membership, since a winning strategy is in particular a
+// witness for each ∃. The converse (false ⇒ non-membership) holds only
+// when the strategies are optimal, as the paper's constructions are.
+func (a *Arbiter) StrategyGameValue(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, domains []cert.Domain) (bool, error) {
+	l := a.Level.Alternations
+	if len(strategies) != l || len(domains) != l {
+		return false, fmt.Errorf("core: need %d strategy/domain slots", l)
+	}
+	chosen := make([]cert.Assignment, 0, l)
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i > l {
+			return a.Run(g, id, chosen...)
+		}
+		if a.Level.ExistentialAt(i) {
+			if strategies[i-1] == nil {
+				return false, fmt.Errorf("core: move %d is existential but has no strategy", i)
+			}
+			k, err := strategies[i-1](g, id, append([]cert.Assignment(nil), chosen...))
+			if err != nil {
+				return false, err
+			}
+			chosen = append(chosen, k)
+			v, err := rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			return v, err
+		}
+		if domains[i-1].MaxLen == nil {
+			return false, fmt.Errorf("core: move %d is universal but has no domain", i)
+		}
+		ok := true
+		var innerErr error
+		domains[i-1].ForEach(func(k cert.Assignment) bool {
+			cp := append(cert.Assignment(nil), k...)
+			chosen = append(chosen, cp)
+			v, err := rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if !v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if innerErr != nil {
+			return false, innerErr
+		}
+		return ok, nil
+	}
+	return rec(1)
+}
+
+// encodeTuple/decodeTuple pack several machine messages into one (used by
+// the Product combinator). JSON keeps the encoding unambiguous; the formal
+// model would expand the alphabet encoding, which is immaterial here.
+func encodeTuple(parts []string) string {
+	b, err := json.Marshal(parts)
+	if err != nil {
+		// Unreachable: strings always marshal.
+		panic(err)
+	}
+	return string(b)
+}
+
+func decodeTuple(s string, n int) []string {
+	out := make([]string, n)
+	if s == "" {
+		return out
+	}
+	var parts []string
+	if err := json.Unmarshal([]byte(s), &parts); err != nil {
+		return out
+	}
+	copy(out, parts)
+	return out
+}
+
+type productState struct {
+	states []any
+	halted []bool
+	degree int
+}
+
+// Product runs several machines in lockstep on the same graph: each round,
+// every component machine performs its round, and the component messages
+// are packed into tuple messages. The product halts at a node when all
+// components have halted there. combine merges the component outputs into
+// the product's output; the default conjoins verdicts ("1" iff all "1").
+func Product(name string, combine func(outputs []string) string, machines ...*simulate.Machine) *simulate.Machine {
+	if combine == nil {
+		combine = func(outputs []string) string {
+			for _, o := range outputs {
+				if o != "1" {
+					return "0"
+				}
+			}
+			return "1"
+		}
+	}
+	return &simulate.Machine{
+		Name: name,
+		Init: func(in simulate.Input) any {
+			ps := &productState{
+				states: make([]any, len(machines)),
+				halted: make([]bool, len(machines)),
+				degree: in.Degree,
+			}
+			for i, m := range machines {
+				ps.states[i] = m.Init(in)
+			}
+			return ps
+		},
+		Round: func(st any, round int, recv []string) ([]string, bool) {
+			ps := st.(*productState)
+			// Unpack tuple messages per component.
+			perComp := make([][]string, len(machines))
+			for i := range machines {
+				perComp[i] = make([]string, len(recv))
+			}
+			for j, msg := range recv {
+				parts := decodeTuple(msg, len(machines))
+				for i := range machines {
+					perComp[i][j] = parts[i]
+				}
+			}
+			sends := make([][]string, len(machines))
+			allHalt := true
+			for i, m := range machines {
+				if ps.halted[i] {
+					sends[i] = make([]string, ps.degree)
+					continue
+				}
+				out, halt := m.Round(ps.states[i], round, perComp[i])
+				send := make([]string, ps.degree)
+				copy(send, out)
+				sends[i] = send
+				ps.halted[i] = halt
+				if !halt {
+					allHalt = false
+				}
+			}
+			// Pack tuples per neighbor.
+			out := make([]string, ps.degree)
+			for j := 0; j < ps.degree; j++ {
+				parts := make([]string, len(machines))
+				for i := range machines {
+					parts[i] = sends[i][j]
+				}
+				out[j] = encodeTuple(parts)
+			}
+			return out, allHalt
+		},
+		Output: func(st any) string {
+			ps := st.(*productState)
+			outs := make([]string, len(machines))
+			for i, m := range machines {
+				outs[i] = m.Output(ps.states[i])
+			}
+			return combine(outs)
+		},
+	}
+}
+
+// WithPrecondition implements the first step of the Lemma 11 conversion:
+// given a machine main operating on graphs of an LP-property K and an
+// LP-decider kDecider for K, it returns a machine on arbitrary graphs that
+// accepts iff both accept — so the combined machine accepts exactly
+// L ∩ K when main arbitrates L on K.
+func WithPrecondition(main, kDecider *simulate.Machine) *simulate.Machine {
+	return Product(main.Name+"|pre:"+kDecider.Name, nil, main, kDecider)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/simulate"
+)
+
+// This file implements the machine construction in the proof of Lemma 11:
+// converting a *restrictive* arbiter — one that assumes each certificate
+// assignment κ_i passes a certificate-restrictor machine M_i — into a
+// *permissive* arbiter that quantifies over unrestricted certificates.
+//
+// The permissive machine simulates the restrictors and the main arbiter in
+// lockstep, records a flag ok_i per restrictor, propagates flag violations
+// to neighbors every round, and finally walks through the flags in move
+// order: the first violated restriction decides the verdict by the
+// polarity of the corresponding quantifier (reject for Eve's moves, accept
+// for Adam's), and only if all restrictions hold does the main arbiter's
+// verdict count.
+//
+// Soundness of the early-accept on Adam's moves relies on the restrictors
+// being *locally repairable* (Section 6): a violation can always be fixed
+// at the violating node without changing other verdicts, so a node unaware
+// of a violation reaches a verdict it would also reach against some valid
+// certificate. Local repairability is a semantic property of the
+// restrictor; it is the caller's obligation, as in the paper.
+
+// Restrictor pairs a certificate-restrictor machine with the index
+// (1-based) of the certificate move it constrains.
+type Restrictor struct {
+	Machine *simulate.Machine
+	Move    int
+}
+
+type relState struct {
+	comps     []any // restrictor states..., then main state
+	halted    []bool
+	flags     []bool // flags[i]: restrictor i's check still believed OK
+	degree    int
+	level     Level
+	moves     []int
+	haltRound int // round in which all components had halted (0 = not yet)
+}
+
+// Relativize builds the permissive machine M_c of Lemma 11 from the main
+// arbiter machine and its certificate restrictors. extraRounds adds flag
+// propagation rounds after all component machines halt (the paper's
+// construction propagates for the main machine's full round count; most
+// machines in this repository run 1–3 rounds, so small values suffice).
+func Relativize(main *simulate.Machine, level Level, restrictors []Restrictor, extraRounds int) *simulate.Machine {
+	comps := make([]*simulate.Machine, 0, len(restrictors)+1)
+	moves := make([]int, 0, len(restrictors))
+	for _, r := range restrictors {
+		comps = append(comps, r.Machine)
+		moves = append(moves, r.Move)
+	}
+	comps = append(comps, main)
+	name := main.Name + "|relativized"
+	return &simulate.Machine{
+		Name: name,
+		Init: func(in simulate.Input) any {
+			st := &relState{
+				comps:  make([]any, len(comps)),
+				halted: make([]bool, len(comps)),
+				flags:  make([]bool, len(restrictors)),
+				degree: in.Degree,
+				level:  level,
+				moves:  moves,
+			}
+			for i, m := range comps {
+				st.comps[i] = m.Init(in)
+			}
+			for i := range st.flags {
+				st.flags[i] = true
+			}
+			return st
+		},
+		Round: func(sv any, round int, recv []string) ([]string, bool) {
+			st := sv.(*relState)
+			// Unpack: component messages + flag vector.
+			perComp := make([][]string, len(comps))
+			for i := range comps {
+				perComp[i] = make([]string, len(recv))
+			}
+			for j, msg := range recv {
+				if msg == "" {
+					continue
+				}
+				parts := decodeTuple(msg, len(comps)+1)
+				for i := range comps {
+					perComp[i][j] = parts[i]
+				}
+				// Merge neighbor flags: any '0' taints ours.
+				nf := parts[len(comps)]
+				for i := 0; i < len(st.flags) && i < len(nf); i++ {
+					if nf[i] == '0' {
+						st.flags[i] = false
+					}
+				}
+			}
+			sends := make([][]string, len(comps))
+			allHalt := true
+			for i, m := range comps {
+				send := make([]string, st.degree)
+				if !st.halted[i] {
+					out, halt := m.Round(st.comps[i], round, perComp[i])
+					copy(send, out)
+					st.halted[i] = halt
+					if halt && i < len(st.flags) && m.Output(st.comps[i]) != "1" {
+						st.flags[i] = false
+					}
+					if !halt {
+						allHalt = false
+					}
+				}
+				sends[i] = send
+			}
+			// Halt only when all components have halted and flags were
+			// propagated for extraRounds additional rounds.
+			halt := false
+			if allHalt {
+				if st.haltRound == 0 {
+					st.haltRound = round
+				}
+				if round >= st.haltRound+extraRounds {
+					halt = true
+				}
+			}
+			// Pack tuple: components + flag string.
+			var fb strings.Builder
+			for _, f := range st.flags {
+				if f {
+					fb.WriteByte('1')
+				} else {
+					fb.WriteByte('0')
+				}
+			}
+			out := make([]string, st.degree)
+			for j := 0; j < st.degree; j++ {
+				parts := make([]string, len(comps)+1)
+				for i := range comps {
+					parts[i] = sends[i][j]
+				}
+				parts[len(comps)] = fb.String()
+				out[j] = encodeTuple(parts)
+			}
+			return out, halt
+		},
+		Output: func(sv any) string {
+			st := sv.(*relState)
+			// Walk the flags in move order; the first violation decides.
+			for idx := 0; idx < len(st.flags); idx++ {
+				if st.flags[idx] {
+					continue
+				}
+				if st.level.ExistentialAt(st.moves[idx]) {
+					return "0" // Eve played an invalid certificate: reject
+				}
+				return "1" // Adam played an invalid certificate: accept
+			}
+			return comps[len(comps)-1].Output(st.comps[len(st.comps)-1])
+		},
+	}
+}

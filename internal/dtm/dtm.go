@@ -1,0 +1,394 @@
+// Package dtm implements the distributed Turing machines of Section 4 of
+// the paper, faithfully: three one-way infinite tapes (receiving, internal,
+// sending) over the alphabet {⊢, □, #, 0, 1}, a transition function
+// δ: Q×Σ³ → Q×Σ³×{−1,0,1}³, and the three-phase synchronous round
+// semantics (receive messages sorted by identifier order, compute locally
+// until q_pause or q_stop, send the first d bit strings of the sending
+// tape).
+//
+// This package is the formal reference model. The practical engine used by
+// most arbiters lives in package simulate; the two are cross-validated in
+// the tests and in the Figure 8 experiment.
+package dtm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Tape symbols. The paper's Σ = {⊢, □, #, 0, 1}; we use single ASCII bytes.
+const (
+	LeftEnd = byte('>') // ⊢, left-end marker
+	Blank   = byte('_') // □, blank
+	Sep     = byte('#') // separator
+	Zero    = byte('0')
+	One     = byte('1')
+)
+
+// Any is a wildcard symbol usable in transition patterns and actions (it is
+// not a tape symbol): in a pattern it matches any scanned symbol on that
+// tape, and as a written symbol it leaves the cell unchanged. Both are
+// notational conveniences expressible in the strict model by enlarging the
+// state set with one state per scanned symbol.
+const Any = byte(0)
+
+// State is a machine state. Three states are designated.
+type State int
+
+// Designated states required by the paper's model.
+const (
+	Start State = 0 // q_start
+	Pause State = 1 // q_pause
+	Stop  State = 2 // q_stop
+)
+
+// Move is a head movement.
+type Move int8
+
+// Head movements.
+const (
+	Left  Move = -1
+	Stay  Move = 0
+	Right Move = 1
+)
+
+// Key indexes the transition function: current state and the three scanned
+// symbols (receiving, internal, sending).
+type Key struct {
+	Q       State
+	R, I, S byte
+}
+
+// Action is the outcome of a transition: new state, symbols written on the
+// three tapes, and head movements.
+type Action struct {
+	Q          State
+	WR, WI, WS byte
+	MR, MI, MS Move
+}
+
+// Machine is a distributed Turing machine M = (Q, δ). Q is implicit in the
+// states mentioned by Delta. The zero value is an empty machine with no
+// transitions (it halts immediately only if given explicit transitions).
+type Machine struct {
+	delta map[Key]Action
+}
+
+// NewMachine creates an empty machine.
+func NewMachine() *Machine {
+	return &Machine{delta: make(map[Key]Action)}
+}
+
+// Add registers δ(q, r, i, s) = action. The pattern symbols r, i, s may be
+// Any; exact matches take precedence over wildcard matches, and patterns
+// with fewer wildcards take precedence over patterns with more.
+func (m *Machine) Add(q State, r, i, s byte, a Action) *Machine {
+	m.delta[Key{Q: q, R: r, I: i, S: s}] = a
+	return m
+}
+
+// lookup resolves the transition for the scanned symbols, trying patterns
+// from most to least specific.
+func (m *Machine) lookup(q State, r, i, s byte) (Action, bool) {
+	// Order: exact; wildcards on S, R, I; then pairs; then all-wildcard.
+	candidates := [...]Key{
+		{q, r, i, s},
+		{q, r, i, Any},
+		{q, Any, i, s},
+		{q, r, Any, s},
+		{q, r, Any, Any},
+		{q, Any, i, Any},
+		{q, Any, Any, s},
+		{q, Any, Any, Any},
+	}
+	for _, k := range candidates {
+		if a, ok := m.delta[k]; ok {
+			return a, true
+		}
+	}
+	return Action{}, false
+}
+
+// tape is a one-way infinite tape with a left-end marker at cell 0.
+type tape struct {
+	cells []byte
+	head  int
+}
+
+func newTape(content string) *tape {
+	t := &tape{cells: make([]byte, 1, len(content)+2)}
+	t.cells[0] = LeftEnd
+	t.cells = append(t.cells, content...)
+	return t
+}
+
+func (t *tape) read() byte {
+	if t.head < len(t.cells) {
+		return t.cells[t.head]
+	}
+	return Blank
+}
+
+func (t *tape) write(b byte) {
+	if b == Any {
+		return // Any as a written symbol means "leave unchanged".
+	}
+	for t.head >= len(t.cells) {
+		t.cells = append(t.cells, Blank)
+	}
+	if t.head == 0 {
+		// Cell 0 always holds the left-end marker; writes of other
+		// symbols there are ignored to preserve the tape invariant.
+		if b == LeftEnd {
+			t.cells[0] = b
+		}
+		return
+	}
+	t.cells[t.head] = b
+}
+
+func (t *tape) move(m Move) {
+	t.head += int(m)
+	if t.head < 0 {
+		t.head = 0
+	}
+}
+
+// content returns the tape content in the paper's sense: the symbols
+// ignoring leading/trailing ⊢ and □.
+func (t *tape) content() string {
+	s := t.cells
+	// Drop the left-end marker and trailing blanks.
+	start := 1
+	end := len(s)
+	for end > start && s[end-1] == Blank {
+		end--
+	}
+	return string(s[start:end])
+}
+
+// ErrStepLimit is returned when a node exceeds the per-round step budget.
+var ErrStepLimit = errors.New("dtm: step limit exceeded")
+
+// ErrNoTransition is returned when δ is undefined for the current
+// configuration before reaching q_pause or q_stop.
+type ErrNoTransition struct {
+	Q       State
+	R, I, S byte
+}
+
+func (e *ErrNoTransition) Error() string {
+	return fmt.Sprintf("dtm: no transition from state %d on (%q,%q,%q)",
+		e.Q, string(e.R), string(e.I), string(e.S))
+}
+
+// nodeExec is the per-node execution state across rounds.
+type nodeExec struct {
+	state    State
+	internal *tape
+	sending  *tape
+	// stats
+	steps    []int // per round
+	space    []int // per round: max total tape length
+	outgoing []string
+}
+
+// Exec is the result of executing a machine on a graph.
+type Exec struct {
+	// Result is the result graph M(G, id, κ̄): same topology, labels are
+	// the 0/1 characters of each node's final internal tape.
+	Result *graph.Graph
+	// Rounds is the number of rounds until all nodes reached q_stop.
+	Rounds int
+	// Steps[u][i] is the step running time of node u in round i (0-based).
+	Steps [][]int
+	// Space[u][i] is the space usage of node u in round i.
+	Space [][]int
+	// Internals[u] is the final internal tape content of node u.
+	Internals []string
+}
+
+// Accepted reports acceptance by unanimity: every node's verdict is "1".
+func (e *Exec) Accepted() bool {
+	for u := 0; u < e.Result.N(); u++ {
+		if e.Result.Label(u) != "1" {
+			return false
+		}
+	}
+	return true
+}
+
+// Options bound an execution.
+type Options struct {
+	MaxRounds int // default 64
+	MaxSteps  int // per node per round; default 1 << 20
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 64
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	return o
+}
+
+// Run executes the machine on graph g under identifier assignment id and
+// certificate lists certs (certs[u] is the list of certificates of node u;
+// nil means no certificates). The identifier assignment must be at least
+// 1-locally unique; this is checked.
+func (m *Machine) Run(g *graph.Graph, id graph.IDAssignment, certs [][]string, opt Options) (*Exec, error) {
+	opt = opt.withDefaults()
+	if !id.IsLocallyUnique(g, 1) {
+		return nil, errors.New("dtm: identifier assignment is not 1-locally unique")
+	}
+	n := g.N()
+	nodes := make([]*nodeExec, n)
+	for u := 0; u < n; u++ {
+		// Initial internal tape: label # id # κ̄(u) where κ̄ joins the
+		// certificates with '#'.
+		var kappa string
+		if certs != nil {
+			kappa = strings.Join(certs[u], "#")
+		}
+		init := g.Label(u) + "#" + id[u] + "#" + kappa
+		nodes[u] = &nodeExec{state: Start, internal: newTape(init)}
+	}
+	// neighborOrder[u] lists u's neighbors in ascending identifier order.
+	neighborOrder := make([][]int, n)
+	for u := 0; u < n; u++ {
+		neighborOrder[u] = id.SortByID(g.Neighbors(u))
+	}
+	// prevMsgs[u][j] is the message u sent to its j-th neighbor (in u's
+	// own neighbor order) in the previous round.
+	prevMsgs := make([][]string, n)
+	for u := range prevMsgs {
+		prevMsgs[u] = make([]string, len(neighborOrder[u]))
+	}
+
+	for round := 1; round <= opt.MaxRounds; round++ {
+		allStopped := true
+		nextMsgs := make([][]string, n)
+		for u := 0; u < n; u++ {
+			ne := nodes[u]
+			// Phase 1: build receiving tape from neighbors' previous
+			// messages, sorted by sender identifier.
+			var recv strings.Builder
+			for _, v := range neighborOrder[u] {
+				// Find u's position in v's neighbor order.
+				msg := ""
+				if round > 1 {
+					for j, w := range neighborOrder[v] {
+						if w == u {
+							msg = prevMsgs[v][j]
+							break
+						}
+					}
+				}
+				recv.WriteString(msg)
+				recv.WriteByte(Sep)
+			}
+			receiving := newTape(recv.String())
+
+			// Phase 2: local computation.
+			ne.sending = newTape("")
+			steps := 0
+			maxSpace := len(receiving.cells) + len(ne.internal.cells) + len(ne.sending.cells)
+			if ne.state != Stop {
+				ne.state = Start
+				ne.internal.head = 0
+				for ne.state != Pause && ne.state != Stop {
+					a, ok := m.lookup(ne.state, receiving.read(), ne.internal.read(), ne.sending.read())
+					if !ok {
+						return nil, &ErrNoTransition{Q: ne.state, R: receiving.read(), I: ne.internal.read(), S: ne.sending.read()}
+					}
+					receiving.write(a.WR)
+					ne.internal.write(a.WI)
+					ne.sending.write(a.WS)
+					receiving.move(a.MR)
+					ne.internal.move(a.MI)
+					ne.sending.move(a.MS)
+					ne.state = a.Q
+					steps++
+					if sp := len(receiving.cells) + len(ne.internal.cells) + len(ne.sending.cells); sp > maxSpace {
+						maxSpace = sp
+					}
+					if steps > opt.MaxSteps {
+						return nil, fmt.Errorf("node %d round %d: %w", u, round, ErrStepLimit)
+					}
+				}
+			}
+			ne.steps = append(ne.steps, steps)
+			ne.space = append(ne.space, maxSpace)
+
+			// Phase 3: extract the first d messages from the sending tape.
+			d := len(neighborOrder[u])
+			msgs := splitMessages(ne.sending.content(), d)
+			nextMsgs[u] = msgs
+			if ne.state != Stop {
+				allStopped = false
+			}
+		}
+		prevMsgs = nextMsgs
+		if allStopped {
+			return m.finish(g, nodes, round), nil
+		}
+	}
+	return nil, fmt.Errorf("dtm: execution did not terminate within %d rounds", opt.MaxRounds)
+}
+
+// splitMessages extracts the first d bit strings stored on the sending
+// tape, using # as separator and ignoring blanks; missing messages default
+// to the empty string.
+func splitMessages(content string, d int) []string {
+	msgs := make([]string, d)
+	cur := 0
+	var b strings.Builder
+	for i := 0; i < len(content) && cur < d; i++ {
+		switch content[i] {
+		case Sep:
+			msgs[cur] = b.String()
+			b.Reset()
+			cur++
+		case Zero, One:
+			b.WriteByte(content[i])
+		default:
+			// □ and stray symbols are ignored.
+		}
+	}
+	if cur < d && b.Len() > 0 {
+		msgs[cur] = b.String()
+	}
+	return msgs
+}
+
+func (m *Machine) finish(g *graph.Graph, nodes []*nodeExec, rounds int) *Exec {
+	n := g.N()
+	labels := make([]string, n)
+	internals := make([]string, n)
+	steps := make([][]int, n)
+	space := make([][]int, n)
+	for u := 0; u < n; u++ {
+		content := nodes[u].internal.content()
+		var b strings.Builder
+		for i := 0; i < len(content); i++ {
+			if content[i] == Zero || content[i] == One {
+				b.WriteByte(content[i])
+			}
+		}
+		labels[u] = b.String()
+		internals[u] = content
+		steps[u] = nodes[u].steps
+		space[u] = nodes[u].space
+	}
+	result, err := g.WithLabels(labels)
+	if err != nil {
+		// Unreachable: labels are filtered to 0/1.
+		panic(err)
+	}
+	return &Exec{Result: result, Rounds: rounds, Steps: steps, Space: space, Internals: internals}
+}

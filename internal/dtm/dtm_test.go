@@ -1,0 +1,290 @@
+package dtm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func runOn(t *testing.T, m *Machine, g *graph.Graph) *Exec {
+	t.Helper()
+	e, err := m.Run(g, graph.GloballyUnique(g), nil, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return e
+}
+
+func TestTapeBasics(t *testing.T) {
+	t.Parallel()
+	tp := newTape("10#")
+	if tp.read() != LeftEnd {
+		t.Fatal("cell 0 must hold the left-end marker")
+	}
+	tp.move(Left) // clamped at 0
+	if tp.head != 0 {
+		t.Fatal("head moved left of cell 0")
+	}
+	tp.move(Right)
+	if tp.read() != '1' {
+		t.Fatalf("cell 1 = %q", string(tp.read()))
+	}
+	tp.write(Any)
+	if tp.read() != '1' {
+		t.Fatal("Any-write must not change the cell")
+	}
+	tp.head = 10
+	if tp.read() != Blank {
+		t.Fatal("beyond content must read blank")
+	}
+	if tp.content() != "10#" {
+		t.Fatalf("content = %q", tp.content())
+	}
+}
+
+func TestSplitMessages(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		content string
+		d       int
+		want    []string
+	}{
+		{"10#0#", 2, []string{"10", "0"}},
+		{"10#", 3, []string{"10", "", ""}},
+		{"", 2, []string{"", ""}},
+		{"1__0#1#", 2, []string{"10", "1"}}, // blanks ignored
+		{"1#1#1#1#", 2, []string{"1", "1"}}, // extra messages dropped
+		{"11", 1, []string{"11"}},           // missing trailing separator
+	}
+	for _, tt := range tests {
+		got := splitMessages(tt.content, tt.d)
+		if len(got) != len(tt.want) {
+			t.Fatalf("splitMessages(%q,%d) = %v", tt.content, tt.d, got)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("splitMessages(%q,%d) = %v, want %v", tt.content, tt.d, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestAllSelectedMachine(t *testing.T) {
+	t.Parallel()
+	m := AllSelectedMachine()
+	tests := []struct {
+		labels []string
+		want   bool
+	}{
+		{[]string{"1", "1", "1"}, true},
+		{[]string{"1", "0", "1"}, false},
+		{[]string{"1", "1", "11"}, false},
+		{[]string{"1", "1", ""}, false},
+		{[]string{"0", "0", "0"}, false},
+	}
+	for _, tt := range tests {
+		g := graph.Path(3).MustWithLabels(tt.labels)
+		e := runOn(t, m, g)
+		if e.Accepted() != tt.want {
+			t.Errorf("labels %v: accepted = %v, want %v (verdicts %v)",
+				tt.labels, e.Accepted(), tt.want, e.Result.Labels())
+		}
+		if e.Rounds != 1 {
+			t.Errorf("labels %v: rounds = %d, want 1", tt.labels, e.Rounds)
+		}
+	}
+}
+
+func TestAllSelectedVerdictsAreLocal(t *testing.T) {
+	t.Parallel()
+	m := AllSelectedMachine()
+	g := graph.Cycle(5).MustWithLabels([]string{"1", "0", "1", "11", ""})
+	e := runOn(t, m, g)
+	want := []string{"1", "0", "1", "0", "0"}
+	// Node 4's label is empty: the machine writes the explicit verdict "0".
+	for u, w := range want {
+		if e.Result.Label(u) != w {
+			t.Errorf("node %d verdict %q, want %q", u, e.Result.Label(u), w)
+		}
+	}
+}
+
+func TestAllEqualMachine(t *testing.T) {
+	t.Parallel()
+	m := AllEqualMachine()
+	tests := []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{graph.Path(3).MustWithLabels([]string{"10", "10", "10"}), true},
+		{graph.Path(3).MustWithLabels([]string{"10", "10", "11"}), false},
+		{graph.Cycle(4).MustWithLabels([]string{"0", "0", "0", "0"}), true},
+		{graph.Cycle(4).MustWithLabels([]string{"0", "0", "1", "0"}), false},
+		{graph.Single("101"), true},
+		{graph.Path(2).MustWithLabels([]string{"", ""}), true},
+		{graph.Path(2).MustWithLabels([]string{"", "1"}), false},
+		{graph.Star(5).MustWithLabels([]string{"1", "1", "1", "1", "1"}), true},
+		{graph.Star(5).MustWithLabels([]string{"1", "1", "1", "0", "1"}), false},
+	}
+	for _, tt := range tests {
+		e := runOn(t, m, tt.g)
+		if e.Accepted() != tt.want {
+			t.Errorf("%v: accepted = %v, want %v (verdicts %v)",
+				tt.g, e.Accepted(), tt.want, e.Result.Labels())
+		}
+		if e.Rounds != 2 {
+			t.Errorf("%v: rounds = %d, want 2", tt.g, e.Rounds)
+		}
+	}
+}
+
+// TestAllEqualRandom cross-checks the TM against the trivial ground truth
+// on random graphs with random short labels and small locally unique
+// identifiers (not just globally unique ones).
+func TestAllEqualRandom(t *testing.T) {
+	t.Parallel()
+	m := AllEqualMachine()
+	rng := rand.New(rand.NewSource(21))
+	labelsPool := []string{"", "0", "1", "01", "10"}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		g := graph.RandomConnected(n, 0.3, rng)
+		labels := make([]string, n)
+		same := rng.Intn(2) == 0
+		base := labelsPool[rng.Intn(len(labelsPool))]
+		for u := range labels {
+			if same {
+				labels[u] = base
+			} else {
+				labels[u] = labelsPool[rng.Intn(len(labelsPool))]
+			}
+		}
+		lg := g.MustWithLabels(labels)
+		want := true
+		for u := 1; u < n; u++ {
+			if labels[u] != labels[0] {
+				want = false
+			}
+		}
+		id := graph.SmallLocallyUnique(lg, 1)
+		e, err := m.Run(lg, id, nil, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if e.Accepted() != want {
+			t.Fatalf("trial %d (%v): accepted = %v, want %v", trial, lg, e.Accepted(), want)
+		}
+	}
+}
+
+func TestRunRejectsNonLocallyUniqueIDs(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(2)
+	if _, err := AllSelectedMachine().Run(g, graph.IDAssignment{"0", "0"}, nil, Options{}); err == nil {
+		t.Fatal("Run accepted duplicate identifiers on adjacent nodes")
+	}
+}
+
+func TestRunNoTransitionError(t *testing.T) {
+	t.Parallel()
+	m := NewMachine() // no transitions at all
+	_, err := m.Run(graph.Single("1"), graph.IDAssignment{""}, nil, Options{})
+	var nt *ErrNoTransition
+	if !errors.As(err, &nt) {
+		t.Fatalf("want ErrNoTransition, got %v", err)
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	t.Parallel()
+	// A machine that moves right forever.
+	m := NewMachine()
+	m.Add(Start, Any, Any, Any, act(Start, Any, Right))
+	_, err := m.Run(graph.Single("1"), graph.IDAssignment{""}, nil, Options{MaxSteps: 100})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+}
+
+func TestRunRoundLimit(t *testing.T) {
+	t.Parallel()
+	// A machine that pauses forever without stopping.
+	m := NewMachine()
+	m.Add(Start, Any, Any, Any, act(Pause, Any, Stay))
+	_, err := m.Run(graph.Single("1"), graph.IDAssignment{""}, nil, Options{MaxRounds: 5})
+	if err == nil {
+		t.Fatal("non-terminating machine should error out")
+	}
+}
+
+func TestStepAndSpaceAccounting(t *testing.T) {
+	t.Parallel()
+	m := AllSelectedMachine()
+	g := graph.Single("1")
+	e := runOn(t, m, g)
+	if len(e.Steps) != 1 || len(e.Steps[0]) != 1 {
+		t.Fatalf("steps shape: %v", e.Steps)
+	}
+	if e.Steps[0][0] <= 0 {
+		t.Fatal("step count must be positive")
+	}
+	if e.Space[0][0] < 3 {
+		t.Fatalf("space usage too small: %d", e.Space[0][0])
+	}
+}
+
+// TestCertificatesOnInternalTape checks that certificate lists appear on
+// the internal tape in the κ1#κ2 format.
+func TestCertificatesOnInternalTape(t *testing.T) {
+	t.Parallel()
+	// A machine that stops immediately; the internal tape stays intact.
+	m := NewMachine()
+	m.Add(Start, Any, Any, Any, act(Stop, Any, Stay))
+	g := graph.Single("10")
+	e, err := m.Run(g, graph.IDAssignment{"0"}, [][]string{{"11", "01"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Internals[0] != "10#0#11#01" {
+		t.Fatalf("internal tape = %q, want %q", e.Internals[0], "10#0#11#01")
+	}
+}
+
+// TestMessageOrderFollowsIdentifiers: a node with two neighbors receives
+// their messages sorted by identifier, not by node index.
+func TestMessageOrderFollowsIdentifiers(t *testing.T) {
+	t.Parallel()
+	// Machine: round 1 pause (send nothing); we only inspect engine
+	// plumbing via AllEqual on a path where the center compares with both.
+	g := graph.Path(3).MustWithLabels([]string{"1", "1", "1"})
+	// Give the endpoints inverted identifiers relative to their indices.
+	id := graph.IDAssignment{"11", "0", "10"}
+	e, err := AllEqualMachine().Run(g, id, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Accepted() {
+		t.Fatal("equal labels must be accepted under any identifier order")
+	}
+}
+
+func TestWildcardPrecedence(t *testing.T) {
+	t.Parallel()
+	m := NewMachine()
+	m.Add(Start, Any, One, Any, act(Stop, One, Stay))       // specific
+	m.Add(Start, Any, Any, Any, act(Stop, Zero, Stay))      // fallback
+	m.Add(Start, Any, LeftEnd, Any, act(Start, Any, Right)) // step off ⊢
+	g := graph.Single("1")
+	// Empty identifier so the internal tape is "1##": the only 0/1 chars
+	// left after the run are the label's own.
+	e, err := m.Run(g, graph.IDAssignment{""}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The specific '1' rule should fire, leaving the '1' in place.
+	if e.Result.Label(0) != "1" {
+		t.Fatalf("verdict %q, want 1", e.Result.Label(0))
+	}
+}

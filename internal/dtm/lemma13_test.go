@@ -1,0 +1,100 @@
+package dtm
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// TestLemma13StepEnvelope measures the step running time and space usage
+// of the faithful TM across growing cycles and checks they stay inside a
+// fixed polynomial of card(N^{$G}_{4r}(u)) — Lemma 13 made executable on
+// the formal model.
+func TestLemma13StepEnvelope(t *testing.T) {
+	t.Parallel()
+	m := AllEqualMachine()
+	// p(n) = 8 + 8n + n²: a generous fixed envelope; the point is that
+	// ONE polynomial covers every instance size.
+	p := func(n int) int { return 8 + 8*n + n*n }
+	for _, n := range []int{4, 8, 16, 32} {
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = "10"
+		}
+		g := graph.Cycle(n).MustWithLabels(labels)
+		id := graph.SmallLocallyUnique(g, 1)
+		rep := structure.NewRep(g)
+		e, err := m.Run(g, id, nil, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !e.Accepted() {
+			t.Fatalf("n=%d: equal labels rejected", n)
+		}
+		for u := 0; u < n; u++ {
+			local := rep.NeighborhoodCard(u, 4*e.Rounds)
+			bound := p(local)
+			for round := range e.Steps[u] {
+				if e.Steps[u][round] > bound {
+					t.Fatalf("n=%d node %d round %d: %d steps > p(%d) = %d",
+						n, u, round, e.Steps[u][round], local, bound)
+				}
+				if e.Space[u][round] > bound {
+					t.Fatalf("n=%d node %d round %d: space %d > p(%d) = %d",
+						n, u, round, e.Space[u][round], local, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma13LocalityOfSteps: on a cycle, every node sees the same local
+// structure, so step counts must be identical across nodes — the step
+// time depends only on the local input, never on n.
+func TestLemma13LocalityOfSteps(t *testing.T) {
+	t.Parallel()
+	m := AllEqualMachine()
+	var reference []int
+	for _, n := range []int{6, 12, 24} {
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = "1"
+		}
+		g := graph.Cycle(n).MustWithLabels(labels)
+		// Same-width identifiers everywhere so local inputs really match.
+		id := graph.CyclicIDs(n, 3)
+		e, err := m.Run(g, id, nil, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Group nodes by identifier value: nodes with the same id string
+		// have byte-identical local inputs and must take identical steps.
+		byID := make(map[string][]int)
+		for u := 0; u < n; u++ {
+			byID[id[u]] = append(byID[id[u]], e.Steps[u][0])
+		}
+		for idv, steps := range byID {
+			for _, s := range steps {
+				if s != steps[0] {
+					t.Fatalf("n=%d id=%s: differing step counts %v", n, idv, steps)
+				}
+			}
+		}
+		// Across sizes, the per-id step profile is stable (constant round
+		// time + locally determined step time).
+		var profile []int
+		for _, u := range []int{0, 1, 2} {
+			profile = append(profile, e.Steps[u][0], e.Steps[u][1])
+		}
+		if reference == nil {
+			reference = profile
+		} else {
+			for i := range reference {
+				if reference[i] != profile[i] {
+					t.Fatalf("step profile changed with n: %v vs %v", reference, profile)
+				}
+			}
+		}
+	}
+}

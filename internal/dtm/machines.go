@@ -1,0 +1,153 @@
+package dtm
+
+// This file contains hand-written distributed Turing machine programs used
+// as reference implementations (Figure 8 experiments). They operate on the
+// initial internal tape layout "label#id#certs" described in Section 4 and
+// produce verdict labels "1" (accept) or "0"/"" (reject).
+
+// act builds an Action that only manipulates the internal tape, leaving the
+// receiving and sending tapes untouched (Any-writes are no-ops).
+func act(q State, wi byte, mi Move) Action {
+	return Action{Q: q, WR: Any, WI: wi, WS: Any, MR: Stay, MI: mi, MS: Stay}
+}
+
+// AllSelectedMachine returns a one-round LP-decider for the all-selected
+// property: each node accepts iff its own label is exactly "1" (acceptance
+// by unanimity then decides all-selected, cf. Remark 17).
+//
+// Plan: the head walks right from ⊢; cell 1 must hold '1' and cell 2 the
+// separator '#'. On failure the machine writes '0' into cell 1. Either way
+// it erases every cell to the right of the verdict so that the filtered
+// (0/1-only) internal tape spells exactly "1" or "0".
+func AllSelectedMachine() *Machine {
+	const (
+		chk1     = State(3) // at cell 1: expect '1'
+		chk2     = State(4) // at cell 2: expect '#'
+		failBack = State(5) // move back to cell 1 to write '0'
+		erase    = State(6) // erase rightward until blank
+	)
+	m := NewMachine()
+	// From the start state, step onto cell 1.
+	m.Add(Start, Any, LeftEnd, Any, act(chk1, LeftEnd, Right))
+	// chk1: '1' is promising; anything else means reject.
+	m.Add(chk1, Any, One, Any, act(chk2, One, Right))
+	m.Add(chk1, Any, Zero, Any, act(erase, Zero, Right)) // verdict 0 stays in cell 1
+	m.Add(chk1, Any, Sep, Any, act(erase, Zero, Right))  // empty label: verdict 0
+	// chk2: '#' confirms the label is exactly "1".
+	m.Add(chk2, Any, Sep, Any, act(erase, Blank, Right))
+	// A longer label ("10", "11", ...): back up and overwrite cell 1.
+	m.Add(chk2, Any, Zero, Any, act(failBack, Zero, Left))
+	m.Add(chk2, Any, One, Any, act(failBack, One, Left))
+	m.Add(failBack, Any, Any, Any, act(erase, Zero, Right))
+	// erase: blank out the rest of the tape, then stop.
+	m.Add(erase, Any, Blank, Any, act(Stop, Blank, Stay))
+	m.Add(erase, Any, Any, Any, act(erase, Blank, Right))
+	return m
+}
+
+// AllEqualMachine returns a two-round LP-decider for the property "all
+// nodes carry the same label": in round 1 each node broadcasts its label to
+// every neighbor; in round 2 it compares each received message with its own
+// label. Acceptance by unanimity then decides global label equality on
+// connected graphs.
+//
+// Because the machine state resets to q_start every round, the round number
+// is remembered on the internal tape: round 1 appends a third '#' marker
+// after the initial "label#id#" content (the machine is meant to run
+// without certificates).
+func AllEqualMachine() *Machine {
+	const (
+		cnt0  = State(3)  // scanning label, before 1st '#'
+		cnt1  = State(4)  // scanning id, before 2nd '#'
+		cnt2  = State(5)  // after 2nd '#': blank = round 1, '#' = round 2
+		rew1  = State(6)  // round 1: rewind internal before copying
+		cpchk = State(7)  // round 1: one more neighbor to serve?
+		cp    = State(8)  // round 1: copy label to sending tape
+		rewi  = State(9)  // round 1: rewind internal between copies
+		rew2  = State(10) // round 2: rewind internal before comparing
+		cmp   = State(11) // round 2: compare receiving vs internal
+		rewc  = State(12) // round 2: rewind internal between messages
+		ckend = State(13) // round 2: more messages?
+		acc   = State(14) // accept: rewind, erase, write 1
+		era1  = State(15)
+		bk1   = State(16)
+		wr1   = State(17)
+		rej   = State(18) // reject: rewind, erase, write 0
+		era0  = State(19)
+		bk0   = State(20)
+		wr0   = State(21)
+	)
+	m := NewMachine()
+	step := func(q State, wi byte, mi Move) Action { return act(q, wi, mi) }
+
+	// --- Determine the round by counting '#'s on the internal tape. ---
+	m.Add(Start, Any, LeftEnd, Any, step(cnt0, LeftEnd, Right))
+	for _, b := range []byte{Zero, One} {
+		m.Add(cnt0, Any, b, Any, step(cnt0, b, Right))
+		m.Add(cnt1, Any, b, Any, step(cnt1, b, Right))
+	}
+	m.Add(cnt0, Any, Sep, Any, step(cnt1, Sep, Right))
+	m.Add(cnt1, Any, Sep, Any, step(cnt2, Sep, Right))
+	// Round 1: append the marker and go broadcast.
+	m.Add(cnt2, Any, Blank, Any, step(rew1, Sep, Left))
+	// Round 2: marker present; go compare.
+	m.Add(cnt2, Any, Sep, Any, step(rew2, Sep, Left))
+
+	// --- Round 1: copy the label to the sending tape once per neighbor.
+	// The receiving tape holds "#"^d, so each '#' consumed = one neighbor.
+	m.Add(rew1, Any, LeftEnd, Any, Action{Q: cpchk, WR: LeftEnd, WI: LeftEnd, WS: LeftEnd, MR: Right, MI: Right, MS: Right})
+	for _, b := range []byte{Zero, One, Sep} {
+		m.Add(rew1, Any, b, Any, step(rew1, b, Left))
+	}
+	m.Add(cpchk, Sep, Any, Any, step(cp, Any, Stay))
+	m.Add(cpchk, Blank, Any, Any, step(Pause, Any, Stay))
+	// cp copies internal label bits to the sending tape until '#'.
+	for _, b := range []byte{Zero, One} {
+		m.Add(cp, Any, b, Any, Action{Q: cp, WR: Sep, WI: b, WS: b, MR: Stay, MI: Right, MS: Right})
+	}
+	// End of label: emit '#', consume one receiving '#', rewind internal.
+	m.Add(cp, Any, Sep, Any, Action{Q: rewi, WR: Sep, WI: Sep, WS: Sep, MR: Right, MI: Left, MS: Right})
+	for _, b := range []byte{Zero, One} {
+		m.Add(rewi, Any, b, Any, step(rewi, b, Left))
+	}
+	m.Add(rewi, Any, LeftEnd, Any, step(cpchk, LeftEnd, Right))
+
+	// --- Round 2: compare each message against the label. ---
+	m.Add(rew2, Any, LeftEnd, Any, Action{Q: cmp, WR: LeftEnd, WI: LeftEnd, WS: LeftEnd, MR: Right, MI: Right, MS: Stay})
+	for _, b := range []byte{Zero, One, Sep} {
+		m.Add(rew2, Any, b, Any, step(rew2, b, Left))
+	}
+	// Matching symbols advance both heads.
+	for _, b := range []byte{Zero, One} {
+		m.Add(cmp, b, b, Any, Action{Q: cmp, WR: b, WI: b, WS: LeftEnd, MR: Right, MI: Right, MS: Stay})
+	}
+	// Both at '#': message matches the whole label.
+	m.Add(cmp, Sep, Sep, Any, Action{Q: rewc, WR: Sep, WI: Sep, WS: LeftEnd, MR: Right, MI: Left, MS: Stay})
+	// No messages left at all (degree 0, or after ckend loops): accept.
+	m.Add(cmp, Blank, Any, Any, step(acc, Any, Stay))
+	// Any other combination is a mismatch.
+	m.Add(cmp, Any, Any, Any, step(rej, Any, Stay))
+	for _, b := range []byte{Zero, One} {
+		m.Add(rewc, Any, b, Any, step(rewc, b, Left))
+	}
+	m.Add(rewc, Any, LeftEnd, Any, step(ckend, LeftEnd, Right))
+	m.Add(ckend, Blank, Any, Any, step(acc, Any, Stay))
+	m.Add(ckend, Any, Any, Any, step(cmp, Any, Stay))
+
+	// --- Verdict writing: rewind, erase everything, write 1/0 in cell 1.
+	addVerdict := func(entry, era, bk, wr State, verdict byte) {
+		for _, b := range []byte{Zero, One, Sep} {
+			m.Add(entry, Any, b, Any, step(entry, b, Left))
+		}
+		m.Add(entry, Any, Blank, Any, step(entry, Blank, Left))
+		m.Add(entry, Any, LeftEnd, Any, step(era, LeftEnd, Right))
+		m.Add(era, Any, Blank, Any, step(bk, Blank, Left))
+		m.Add(era, Any, Any, Any, step(era, Blank, Right))
+		m.Add(bk, Any, LeftEnd, Any, step(wr, LeftEnd, Right))
+		m.Add(bk, Any, Any, Any, step(bk, Blank, Left))
+		m.Add(wr, Any, Any, Any, step(Stop, verdict, Stay))
+	}
+	addVerdict(acc, era1, bk1, wr1, One)
+	addVerdict(rej, era0, bk0, wr0, Zero)
+	return m
+}

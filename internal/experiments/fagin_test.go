@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/props"
+	"repro/internal/reduce"
+)
+
+// TestTauTranslationRandomized widens the Theorem 22 coverage: the
+// τ-translation must preserve the property on every labeling of small
+// graphs too (labels add labeling-bit elements to $G, exercising the
+// bit-successor paths of the translation).
+func TestTauTranslationWithLabels(t *testing.T) {
+	t.Parallel()
+	for _, base := range []*graph.Graph{graph.Path(2), graph.Cycle(3)} {
+		for mask := uint(0); mask < 1<<uint(base.N()); mask++ {
+			g := base.MustWithLabels(graph.BitLabels(base.N(), mask))
+			bg, err := reduce.FormulaToBooleanGraph(g, logic.KColorable(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bg.Satisfiable() != props.KColorable(g, 2) {
+				t.Fatalf("τ mismatch on %v", g)
+			}
+		}
+	}
+}
+
+// TestTauTranslationRejectsNonSigma1 checks input validation.
+func TestTauTranslationRejectsNonSigma1(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(2)
+	// A universal second-order prefix is not Σ^lfo_1.
+	bad := logic.SO{Existential: false, R: "X", Arity: 1,
+		F: logic.Forall{X: "x", F: logic.Truth(true)}}
+	if _, err := reduce.FormulaToBooleanGraph(g, bad); err == nil {
+		t.Fatal("Π-prefix accepted")
+	}
+	// A non-BF core must be rejected.
+	bad2 := logic.SO{Existential: true, R: "X", Arity: 1,
+		F: logic.Forall{X: "x", F: logic.Exists{X: "y", F: logic.Truth(true)}}}
+	if _, err := reduce.FormulaToBooleanGraph(g, bad2); err == nil {
+		t.Fatal("unbounded core accepted")
+	}
+	// Missing the ∀x core entirely.
+	if _, err := reduce.FormulaToBooleanGraph(g, logic.Truth(true)); err == nil {
+		t.Fatal("missing ∀x accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package games
+
+import "repro/internal/graph"
+
+// This file implements Example 7: the complementation technique that
+// turns the Σ^lfo_1 property 3-colorable into the Π^lfo_4 property
+// non-3-colorable. The sentence is
+//
+//	∀C0,C1,C2 ∃P ∀X ∃Y ∀◦x PointsTo[¬WellColored](x):
+//
+// Adam opens by proposing color sets; Eve replies with a spanning forest
+// whose roots are badly colored nodes (the ExistsBadNode sub-game of
+// Example 6); Adam challenges the forest; Eve answers with charges. The
+// graph is non-k-colorable iff every Adam proposal leaves a bad node for
+// Eve to point at.
+
+// ColorSets assigns to every node a subset of k colors (Adam's opening
+// move: the interpretations of C0, …, C(k-1) restricted to node elements,
+// which is all the formula inspects).
+type ColorSets [][]bool
+
+// ForEachColorSets enumerates all (2^k)^n color-set assignments.
+func ForEachColorSets(n, k int, yield func(ColorSets) bool) bool {
+	cur := make(ColorSets, n)
+	for u := range cur {
+		cur[u] = make([]bool, k)
+	}
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == n*k {
+			return yield(cur)
+		}
+		u, c := pos/k, pos%k
+		cur[u][c] = false
+		if !rec(pos + 1) {
+			return false
+		}
+		cur[u][c] = true
+		ok := rec(pos + 1)
+		cur[u][c] = false
+		return ok
+	}
+	return rec(0)
+}
+
+// badlyColored reports whether node u violates WellColored under the
+// color sets: it has no color, more than one color, or shares a color
+// with a neighbor (Example 5's three conjuncts, negated).
+func badlyColored(g *graph.Graph, cs ColorSets, u int) bool {
+	count := 0
+	for _, has := range cs[u] {
+		if has {
+			count++
+		}
+	}
+	if count != 1 {
+		return true
+	}
+	for _, v := range g.Neighbors(u) {
+		for c, has := range cs[u] {
+			if has && cs[v][c] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EveWinsNonKColorable evaluates the Example 7 game exactly: for every
+// color-set proposal of Adam, Eve must win the PointsTo[¬WellColored]
+// sub-game — i.e. some node must be badly colored and she must be able to
+// anchor a refutation forest there. The value is true iff g is not
+// k-colorable.
+func EveWinsNonKColorable(g *graph.Graph, k int) bool {
+	allHandled := ForEachColorSets(g.N(), k, func(cs ColorSets) bool {
+		target := func(g *graph.Graph, u int) bool { return badlyColored(g, cs, u) }
+		return EveWinsPointsTo(g, target)
+	})
+	return allHandled
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Single returns the single-node graph with the given label. Single-node
+// graphs are how the paper embeds classical string languages: the class
+// `node` of Section 3.
+func Single(label string) *Graph {
+	return MustNew(1, nil, []string{label})
+}
+
+// Path returns the path graph on n nodes (0-1-2-...-(n-1)) with empty labels.
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1})
+	}
+	return MustNew(n, edges, nil)
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes with empty labels.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % n})
+	}
+	return MustNew(n, edges, nil)
+}
+
+// Complete returns the complete graph K_n with empty labels.
+func Complete(n int) *Graph {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{U: i, V: j})
+		}
+	}
+	return MustNew(n, edges, nil)
+}
+
+// Star returns the star graph with one center (node 0) and n-1 leaves.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: 0, V: i})
+	}
+	return MustNew(n, edges, nil)
+}
+
+// Grid returns the rows x cols grid graph with empty labels.
+// Node (i,j) has index i*cols+j.
+func Grid(rows, cols int) *Graph {
+	var edges []Edge
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			u := i*cols + j
+			if j+1 < cols {
+				edges = append(edges, Edge{U: u, V: u + 1})
+			}
+			if i+1 < rows {
+				edges = append(edges, Edge{U: u, V: u + cols})
+			}
+		}
+	}
+	return MustNew(rows*cols, edges, nil)
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes
+// (via a random attachment process; not Prüfer-uniform, but well spread).
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: rng.Intn(i), V: i})
+	}
+	return MustNew(n, edges, nil)
+}
+
+// RandomConnected returns a random connected graph on n nodes: a random
+// spanning tree plus each remaining pair added independently with
+// probability p.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	edges := make([]Edge, 0, n-1)
+	present := make(map[Edge]bool)
+	for i := 1; i < n; i++ {
+		e := Edge{U: rng.Intn(i), V: i}
+		edges = append(edges, e)
+		present[e.Normalize()] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			e := Edge{U: i, V: j}
+			if !present[e] && rng.Float64() < p {
+				edges = append(edges, e)
+				present[e] = true
+			}
+		}
+	}
+	return MustNew(n, edges, nil)
+}
+
+// AllSelectedLabels returns n copies of the label "1" (the all-selected
+// labeling of Section 5.2).
+func AllSelectedLabels(n int) []string {
+	ls := make([]string, n)
+	for i := range ls {
+		ls[i] = "1"
+	}
+	return ls
+}
+
+// BitLabels converts a bit mask into single-bit labels: bit i set means
+// node i is labeled "1", otherwise "0".
+func BitLabels(n int, mask uint) []string {
+	ls := make([]string, n)
+	for i := range ls {
+		if mask&(1<<uint(i)) != 0 {
+			ls[i] = "1"
+		} else {
+			ls[i] = "0"
+		}
+	}
+	return ls
+}
+
+// Figure1NoInstance returns the 6-node graph of Figure 1a, which is
+// 3-colorable but NOT 3-round 3-colorable.
+//
+// Nodes: 0=u, 1=v1, 2=v2, 3=w1, 4=w2, 5=w3.
+// u has degree 1 (attached to w1); v1, v2 have degree 2.
+// The adjacency realizes Adam's winning strategy described in Example 1:
+// after Eve colors u with i, Adam sets v1 := i and v2 := j ≠ i, forcing
+// both w1 and w3 to the third color k although they are adjacent.
+func Figure1NoInstance() *Graph {
+	return MustNew(6, []Edge{
+		{U: 0, V: 3},               // u - w1
+		{U: 1, V: 4}, {U: 1, V: 5}, // v1 - w2, v1 - w3
+		{U: 2, V: 3}, {U: 2, V: 5}, // v2 - w1, v2 - w3
+		{U: 3, V: 4}, {U: 4, V: 5}, // w1 - w2, w2 - w3
+		{U: 3, V: 5}, // w1 - w3  (the edge removed in Figure 1b)
+	}, nil)
+}
+
+// Figure1YesInstance returns the 6-node graph of Figure 1b, obtained from
+// Figure 1a by removing the edge {w1, w3}; it is 3-round 3-colorable.
+func Figure1YesInstance() *Graph {
+	return MustNew(6, []Edge{
+		{U: 0, V: 3},
+		{U: 1, V: 4}, {U: 1, V: 5},
+		{U: 2, V: 3}, {U: 2, V: 5},
+		{U: 3, V: 4}, {U: 4, V: 5},
+	}, nil)
+}
+
+// Figure5Graph returns the 3-node labeled graph of Figure 5 (labels 010,
+// 1101 and 001, with node 1 additionally labeled 10 in the figure's
+// depiction; we follow the four-string version: 010, 10, 1101, 001 is a
+// triangle plus pendant in the figure — here we reproduce the triangle of
+// three labeled nodes plus one, as drawn).
+//
+// The exact figure shows four nodes labeled 010, 10, 1101, 001 with the
+// 10-node adjacent to the other three forming a "triangle with center".
+func Figure5Graph() *Graph {
+	return MustNew(4, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 0, V: 2}, {U: 2, V: 3},
+	}, []string{"010", "10", "1101", "001"})
+}
+
+// GluedDoubleCycle implements the construction in the proof of
+// Proposition 24: given an odd cycle length n, it returns the even cycle
+// of length 2n obtained by "gluing together" two copies of the n-cycle.
+// Node i and node n+i of the result correspond to node i of the original.
+func GluedDoubleCycle(n int) *Graph {
+	edges := make([]Edge, 0, 2*n)
+	for i := 0; i < 2*n; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % (2 * n)})
+	}
+	return MustNew(2*n, edges, nil)
+}

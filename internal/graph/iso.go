@@ -1,0 +1,62 @@
+package graph
+
+// Isomorphic reports whether g and h are isomorphic as labeled graphs, i.e.
+// there is a bijection between their nodes preserving both adjacency and
+// labels. It uses backtracking with degree/label pruning and is intended
+// for the small graphs used in tests and experiments.
+func Isomorphic(g, h *Graph) bool {
+	n := g.N()
+	if n != h.N() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	// Quick invariant: multiset of (degree, label) pairs must match.
+	type sig struct {
+		deg   int
+		label string
+	}
+	count := make(map[sig]int)
+	for u := 0; u < n; u++ {
+		count[sig{g.Degree(u), g.Label(u)}]++
+		count[sig{h.Degree(u), h.Label(u)}]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	phi := make([]int, n) // phi[u in g] = node in h
+	used := make([]bool, n)
+	for i := range phi {
+		phi[i] = -1
+	}
+	var try func(u int) bool
+	try = func(u int) bool {
+		if u == n {
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || g.Degree(u) != h.Degree(v) || g.Label(u) != h.Label(v) {
+				continue
+			}
+			ok := true
+			for w := 0; w < u; w++ {
+				if g.HasEdge(u, w) != h.HasEdge(v, phi[w]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			phi[u] = v
+			used[v] = true
+			if try(u + 1) {
+				return true
+			}
+			phi[u] = -1
+			used[v] = false
+		}
+		return false
+	}
+	return try(0)
+}

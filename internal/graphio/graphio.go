@@ -1,0 +1,46 @@
+// Package graphio serializes labeled graphs as JSON for the command-line
+// tools and examples.
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// JSON is the on-disk graph format:
+//
+//	{"n": 3, "edges": [[0,1],[1,2]], "labels": ["1","0","1"]}
+//
+// Labels may be omitted (all empty).
+type JSON struct {
+	N      int      `json:"n"`
+	Edges  [][2]int `json:"edges"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Encode writes g to w.
+func Encode(w io.Writer, g *graph.Graph) error {
+	out := JSON{N: g.N(), Labels: g.Labels()}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, [2]int{e.U, e.V})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Decode reads a graph from r.
+func Decode(r io.Reader) (*graph.Graph, error) {
+	var in JSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	edges := make([]graph.Edge, len(in.Edges))
+	for i, e := range in.Edges {
+		edges[i] = graph.Edge{U: e[0], V: e[1]}
+	}
+	return graph.New(in.N, edges, in.Labels)
+}

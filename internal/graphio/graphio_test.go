@@ -1,0 +1,52 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	g := graph.Cycle(4).MustWithLabels([]string{"1", "0", "11", ""})
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatalf("round trip changed the graph: %v vs %v", g, h)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	t.Parallel()
+	cases := []string{
+		`{"n":0}`,            // empty
+		`{"n":2,"edges":[]}`, // disconnected
+		`{"n":2,"edges":[[0,1]],"labels":["2",""]}`, // bad label
+		`{"n":2,"edges":[[0,5]]}`,                   // out of range
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeMinimal(t *testing.T) {
+	t.Parallel()
+	g, err := Decode(strings.NewReader(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1 || g.Label(0) != "" {
+		t.Fatal("minimal graph wrong")
+	}
+}

@@ -1,0 +1,265 @@
+// Package logic implements the logical formalism of Section 5 of the
+// paper: first-order logic FO, its bounded fragment BF (quantification only
+// relative to already-fixed elements, ∃x −⇀↽− y), local first-order logic
+// LFO (a single outer ∀x over a BF body), and the (local) second-order
+// hierarchies obtained by prefixing blocks of second-order quantifiers.
+//
+// Formulas are evaluated on the relational structures of package structure
+// (in particular on structural representations $G of labeled graphs), with
+// second-order quantification resolved by exhaustive enumeration over
+// configurable universes — exactly the locality-based restriction that the
+// paper's proofs exploit (certificates encode only locally relevant parts
+// of each relation; cf. Theorem 15 and Proposition 31).
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Var is a first-order variable.
+type Var string
+
+// Formula is a node of the formula AST. The constructors mirror Table 1.
+type Formula interface {
+	fmt.Stringer
+	formula()
+}
+
+// Unary is ⊙_i x (line 1 of Table 1).
+type Unary struct {
+	I int // 1-based relation index
+	X Var
+}
+
+// Edge is x ⇀_i y (line 2).
+type Edge struct {
+	I    int
+	X, Y Var
+}
+
+// Eq is x ≐ y (line 3).
+type Eq struct{ X, Y Var }
+
+// Atom is R(x1,…,xk) (line 4), with R a second-order variable name.
+type Atom struct {
+	R    string
+	Args []Var
+}
+
+// Not is ¬φ (line 5).
+type Not struct{ F Formula }
+
+// Or is φ1 ∨ φ2 (line 6).
+type Or struct{ L, R Formula }
+
+// And is φ1 ∧ φ2 (derived connective).
+type And struct{ L, R Formula }
+
+// Exists is unbounded ∃x φ (line 7). Not part of BF.
+type Exists struct {
+	X Var
+	F Formula
+}
+
+// ExistsB is bounded ∃x −⇀↽− y φ (line 8): x ranges over elements connected
+// to y by some binary relation or its inverse. Requires x ≠ y.
+type ExistsB struct {
+	X, Y Var
+	F    Formula
+}
+
+// Forall is unbounded ∀x φ (derived).
+type Forall struct {
+	X Var
+	F Formula
+}
+
+// ForallB is bounded ∀x −⇀↽− y φ (derived).
+type ForallB struct {
+	X, Y Var
+	F    Formula
+}
+
+// SO is second-order quantification Qe R φ (line 9 and its dual), where R
+// is a relation variable of the given arity.
+type SO struct {
+	Existential bool
+	R           string
+	Arity       int
+	F           Formula
+}
+
+// Truth is a truth constant (⊤ or ⊥).
+type Truth bool
+
+func (Unary) formula()   {}
+func (Edge) formula()    {}
+func (Eq) formula()      {}
+func (Atom) formula()    {}
+func (Not) formula()     {}
+func (Or) formula()      {}
+func (And) formula()     {}
+func (Exists) formula()  {}
+func (ExistsB) formula() {}
+func (Forall) formula()  {}
+func (ForallB) formula() {}
+func (SO) formula()      {}
+func (Truth) formula()   {}
+
+func (f Unary) String() string { return fmt.Sprintf("⊙%d %s", f.I, f.X) }
+func (f Edge) String() string  { return fmt.Sprintf("%s ⇀%d %s", f.X, f.I, f.Y) }
+func (f Eq) String() string    { return fmt.Sprintf("%s ≐ %s", f.X, f.Y) }
+func (f Atom) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = string(a)
+	}
+	return fmt.Sprintf("%s(%s)", f.R, strings.Join(args, ","))
+}
+func (f Not) String() string     { return "¬" + paren(f.F) }
+func (f Or) String() string      { return paren(f.L) + " ∨ " + paren(f.R) }
+func (f And) String() string     { return paren(f.L) + " ∧ " + paren(f.R) }
+func (f Exists) String() string  { return fmt.Sprintf("∃%s %s", f.X, paren(f.F)) }
+func (f ExistsB) String() string { return fmt.Sprintf("∃%s−⇀↽−%s %s", f.X, f.Y, paren(f.F)) }
+func (f Forall) String() string  { return fmt.Sprintf("∀%s %s", f.X, paren(f.F)) }
+func (f ForallB) String() string { return fmt.Sprintf("∀%s−⇀↽−%s %s", f.X, f.Y, paren(f.F)) }
+func (f SO) String() string {
+	q := "∃"
+	if !f.Existential {
+		q = "∀"
+	}
+	return fmt.Sprintf("%s%s/%d %s", q, f.R, f.Arity, paren(f.F))
+}
+func (f Truth) String() string {
+	if f {
+		return "⊤"
+	}
+	return "⊥"
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Unary, Eq, Atom, Not, Truth, Edge:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Convenience constructors.
+
+// Implies builds φ → ψ as ¬φ ∨ ψ.
+func Implies(a, b Formula) Formula { return Or{L: Not{F: a}, R: b} }
+
+// Iff builds φ ↔ ψ.
+func Iff(a, b Formula) Formula {
+	return And{L: Implies(a, b), R: Implies(b, a)}
+}
+
+// Neq builds x ≠ y.
+func Neq(x, y Var) Formula { return Not{F: Eq{X: x, Y: y}} }
+
+// BigAnd conjoins formulas (⊤ for none).
+func BigAnd(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth(true)
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And{L: out, R: f}
+	}
+	return out
+}
+
+// BigOr disjoins formulas (⊥ for none).
+func BigOr(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth(false)
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = Or{L: out, R: f}
+	}
+	return out
+}
+
+// ExistsWithin builds the shorthand ∃x ≤r−⇀↽− y φ of Section 5.1: an
+// element x within distance r of y satisfies φ. It expands inductively:
+//
+//	∃x ≤0−⇀↽−y φ  ≡  φ[x↦y]
+//	∃x ≤r+1−⇀↽−y φ ≡ ∃x ≤r−⇀↽−y (φ ∨ ∃x′−⇀↽−x φ[x↦x′])
+//
+// The implementation produces an equivalent right-linear expansion.
+func ExistsWithin(x Var, r int, y Var, f Formula) Formula {
+	if r == 0 {
+		return Substitute(f, x, y)
+	}
+	inner := Or{
+		L: f,
+		R: ExistsB{X: x + "'", Y: x, F: Substitute(f, x, x+"'")},
+	}
+	return ExistsWithin(x, r-1, y, inner)
+}
+
+// ForallWithin is the universal dual of ExistsWithin.
+func ForallWithin(x Var, r int, y Var, f Formula) Formula {
+	return Not{F: ExistsWithin(x, r, y, Not{F: f})}
+}
+
+// Substitute returns f with every free occurrence of x replaced by y.
+// Quantifiers binding x shadow the substitution.
+func Substitute(f Formula, x, y Var) Formula {
+	sub := func(v Var) Var {
+		if v == x {
+			return y
+		}
+		return v
+	}
+	switch g := f.(type) {
+	case Unary:
+		return Unary{I: g.I, X: sub(g.X)}
+	case Edge:
+		return Edge{I: g.I, X: sub(g.X), Y: sub(g.Y)}
+	case Eq:
+		return Eq{X: sub(g.X), Y: sub(g.Y)}
+	case Atom:
+		args := make([]Var, len(g.Args))
+		for i, a := range g.Args {
+			args[i] = sub(a)
+		}
+		return Atom{R: g.R, Args: args}
+	case Not:
+		return Not{F: Substitute(g.F, x, y)}
+	case Or:
+		return Or{L: Substitute(g.L, x, y), R: Substitute(g.R, x, y)}
+	case And:
+		return And{L: Substitute(g.L, x, y), R: Substitute(g.R, x, y)}
+	case Exists:
+		if g.X == x {
+			return g
+		}
+		return Exists{X: g.X, F: Substitute(g.F, x, y)}
+	case ExistsB:
+		if g.X == x {
+			return ExistsB{X: g.X, Y: sub(g.Y), F: g.F}
+		}
+		return ExistsB{X: g.X, Y: sub(g.Y), F: Substitute(g.F, x, y)}
+	case Forall:
+		if g.X == x {
+			return g
+		}
+		return Forall{X: g.X, F: Substitute(g.F, x, y)}
+	case ForallB:
+		if g.X == x {
+			return ForallB{X: g.X, Y: sub(g.Y), F: g.F}
+		}
+		return ForallB{X: g.X, Y: sub(g.Y), F: Substitute(g.F, x, y)}
+	case SO:
+		return SO{Existential: g.Existential, R: g.R, Arity: g.Arity, F: Substitute(g.F, x, y)}
+	case Truth:
+		return g
+	default:
+		panic(fmt.Sprintf("logic: unknown formula type %T", f))
+	}
+}

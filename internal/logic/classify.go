@@ -1,0 +1,87 @@
+package logic
+
+// Syntactic classification of formulas into the fragments of Section 5.1:
+// BF (bounded first-order), LFO (∀x over a BF body), and the local
+// second-order hierarchy Σ^lfo_ℓ / Π^lfo_ℓ.
+
+// IsBF reports whether f belongs to the bounded fragment: no unbounded
+// first-order quantifiers and no second-order quantifiers. (Derived
+// bounded quantifiers ForallB are allowed; they abbreviate ¬∃¬.)
+func IsBF(f Formula) bool {
+	switch g := f.(type) {
+	case Unary, Edge, Eq, Atom, Truth:
+		return true
+	case Not:
+		return IsBF(g.F)
+	case Or:
+		return IsBF(g.L) && IsBF(g.R)
+	case And:
+		return IsBF(g.L) && IsBF(g.R)
+	case ExistsB:
+		return g.X != g.Y && IsBF(g.F)
+	case ForallB:
+		return g.X != g.Y && IsBF(g.F)
+	case Exists, Forall, SO:
+		return false
+	default:
+		return false
+	}
+}
+
+// IsLFO reports whether f is a local first-order sentence: a single outer
+// unbounded universal quantifier over a BF body.
+func IsLFO(f Formula) bool {
+	g, ok := f.(Forall)
+	if !ok {
+		return false
+	}
+	return IsBF(g.F)
+}
+
+// Level describes a class of the local second-order hierarchy.
+type Level struct {
+	// Alternations is ℓ: the number of alternating second-order blocks.
+	Alternations int
+	// FirstExistential distinguishes Σ^lfo_ℓ from Π^lfo_ℓ.
+	FirstExistential bool
+	// Monadic reports whether all quantified relations are unary.
+	Monadic bool
+}
+
+// Classify determines the lowest level of the local second-order hierarchy
+// containing f: it strips alternating second-order blocks and requires an
+// LFO core. ok is false when the core is not LFO (then f is outside the
+// hierarchy as written).
+func Classify(f Formula) (Level, bool) {
+	var lvl Level
+	lvl.Monadic = true
+	first := true
+	cur := f
+	blocks := 0
+	var lastExistential bool
+	for {
+		so, ok := cur.(SO)
+		if !ok {
+			break
+		}
+		if so.Arity != 1 {
+			lvl.Monadic = false
+		}
+		if first {
+			lvl.FirstExistential = so.Existential
+			lastExistential = so.Existential
+			blocks = 1
+			first = false
+		} else if so.Existential != lastExistential {
+			blocks++
+			lastExistential = so.Existential
+		}
+		cur = so.F
+	}
+	lvl.Alternations = blocks
+	if blocks == 0 {
+		lvl.Monadic = true
+		return lvl, IsLFO(f)
+	}
+	return lvl, IsLFO(cur)
+}

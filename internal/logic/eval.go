@@ -1,0 +1,318 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/structure"
+)
+
+// Relation is an interpretation of a second-order variable: a set of
+// element tuples, keyed by their comma-joined encoding.
+type Relation map[string]bool
+
+// TupleKey encodes a tuple of elements.
+func TupleKey(elems ...int) string {
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = strconv.Itoa(e)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Assignment interprets the free variables of a formula.
+type Assignment struct {
+	FO map[Var]int
+	SO map[string]Relation
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{FO: make(map[Var]int), SO: make(map[string]Relation)}
+}
+
+// clone-free scoped update helpers.
+func (a *Assignment) withFO(x Var, e int, f func() bool) bool {
+	old, had := a.FO[x]
+	a.FO[x] = e
+	out := f()
+	if had {
+		a.FO[x] = old
+	} else {
+		delete(a.FO, x)
+	}
+	return out
+}
+
+func (a *Assignment) withSO(r string, rel Relation, f func() bool) bool {
+	old, had := a.SO[r]
+	a.SO[r] = rel
+	out := f()
+	if had {
+		a.SO[r] = old
+	} else {
+		delete(a.SO, r)
+	}
+	return out
+}
+
+// Pair is an ordered element pair.
+type Pair struct{ A, B int }
+
+// NodeRestricted returns evaluation options that restrict the named unary
+// second-order variables to node elements of the structural representation
+// rep. This is the locality restriction of Theorem 15: formulas such as
+// the coloring sentences of Example 5 only ever query those variables at
+// node elements, so excluding labeling-bit elements loses no generality
+// while shrinking the enumeration space exponentially.
+func NodeRestricted(rep interface{ NodeElems() []int }, names ...string) Options {
+	nodes := rep.NodeElems()
+	uni := make(map[string][]int, len(names))
+	for _, n := range names {
+		uni[n] = nodes
+	}
+	return Options{UnaryUniverse: uni}
+}
+
+// Options configure second-order enumeration during evaluation.
+//
+// The universes restrict which elements/pairs a quantified relation may
+// contain. By the locality of BF-formulas this loses no generality as long
+// as the universes cover every tuple the formula can inspect (Theorem 15's
+// certificates perform exactly this restriction); the defaults cover all
+// elements and all "local" pairs (equal or −⇀↽−-connected).
+type Options struct {
+	// UnaryUniverse[R] lists the candidate elements of unary variable R;
+	// nil (or missing) means all elements.
+	UnaryUniverse map[string][]int
+	// BinaryUniverse[R] lists the candidate pairs of binary variable R;
+	// nil means all pairs (a,a) and (a,b) with a −⇀↽− b.
+	BinaryUniverse map[string][]Pair
+	// MaxEnumBits caps the size of any single enumeration universe
+	// (default 20, i.e. about a million interpretations per variable).
+	MaxEnumBits int
+}
+
+func (o Options) maxBits() int {
+	if o.MaxEnumBits == 0 {
+		return 20
+	}
+	return o.MaxEnumBits
+}
+
+// Eval evaluates f on s under asn. Second-order quantifiers are resolved
+// by exhaustive enumeration over their universes; an error is returned if
+// a universe is too large or a variable is unbound.
+func Eval(s *structure.Structure, f Formula, asn *Assignment, opt Options) (bool, error) {
+	e := &evaluator{s: s, opt: opt}
+	out := e.eval(f, asn)
+	if e.err != nil {
+		return false, e.err
+	}
+	return out, nil
+}
+
+// MustEval is Eval for well-formed inputs in tests and experiments.
+func MustEval(s *structure.Structure, f Formula, asn *Assignment, opt Options) bool {
+	out, err := Eval(s, f, asn, opt)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Sat evaluates a sentence with an empty assignment.
+func Sat(s *structure.Structure, f Formula, opt Options) (bool, error) {
+	return Eval(s, f, NewAssignment(), opt)
+}
+
+type evaluator struct {
+	s   *structure.Structure
+	opt Options
+	err error
+}
+
+func (e *evaluator) fail(format string, args ...any) bool {
+	if e.err == nil {
+		e.err = fmt.Errorf("logic: "+format, args...)
+	}
+	return false
+}
+
+func (e *evaluator) lookup(asn *Assignment, x Var) (int, bool) {
+	v, ok := asn.FO[x]
+	if !ok {
+		e.fail("unbound first-order variable %s", x)
+	}
+	return v, ok
+}
+
+func (e *evaluator) eval(f Formula, asn *Assignment) bool {
+	if e.err != nil {
+		return false
+	}
+	switch g := f.(type) {
+	case Truth:
+		return bool(g)
+	case Unary:
+		x, ok := e.lookup(asn, g.X)
+		if !ok {
+			return false
+		}
+		m, _ := e.s.Signature()
+		if g.I < 1 || g.I > m {
+			return e.fail("unary relation ⊙%d out of signature", g.I)
+		}
+		return e.s.InUnary(g.I, x)
+	case Edge:
+		x, ok1 := e.lookup(asn, g.X)
+		y, ok2 := e.lookup(asn, g.Y)
+		if !ok1 || !ok2 {
+			return false
+		}
+		_, n := e.s.Signature()
+		if g.I < 1 || g.I > n {
+			return e.fail("binary relation ⇀%d out of signature", g.I)
+		}
+		return e.s.InBinary(g.I, x, y)
+	case Eq:
+		x, ok1 := e.lookup(asn, g.X)
+		y, ok2 := e.lookup(asn, g.Y)
+		return ok1 && ok2 && x == y
+	case Atom:
+		rel, ok := asn.SO[g.R]
+		if !ok {
+			return e.fail("unbound second-order variable %s", g.R)
+		}
+		elems := make([]int, len(g.Args))
+		for i, a := range g.Args {
+			v, ok := e.lookup(asn, a)
+			if !ok {
+				return false
+			}
+			elems[i] = v
+		}
+		return rel[TupleKey(elems...)]
+	case Not:
+		return !e.eval(g.F, asn)
+	case Or:
+		return e.eval(g.L, asn) || e.eval(g.R, asn)
+	case And:
+		return e.eval(g.L, asn) && e.eval(g.R, asn)
+	case Exists:
+		for a := 0; a < e.s.Card(); a++ {
+			if asn.withFO(g.X, a, func() bool { return e.eval(g.F, asn) }) {
+				return true
+			}
+			if e.err != nil {
+				return false
+			}
+		}
+		return false
+	case Forall:
+		for a := 0; a < e.s.Card(); a++ {
+			if !asn.withFO(g.X, a, func() bool { return e.eval(g.F, asn) }) {
+				return false
+			}
+		}
+		return true
+	case ExistsB:
+		y, ok := e.lookup(asn, g.Y)
+		if !ok {
+			return false
+		}
+		for _, a := range e.s.Connected(y) {
+			if asn.withFO(g.X, a, func() bool { return e.eval(g.F, asn) }) {
+				return true
+			}
+			if e.err != nil {
+				return false
+			}
+		}
+		return false
+	case ForallB:
+		y, ok := e.lookup(asn, g.Y)
+		if !ok {
+			return false
+		}
+		for _, a := range e.s.Connected(y) {
+			if !asn.withFO(g.X, a, func() bool { return e.eval(g.F, asn) }) {
+				return false
+			}
+		}
+		return true
+	case SO:
+		return e.evalSO(g, asn)
+	default:
+		return e.fail("unknown formula type %T", f)
+	}
+}
+
+func (e *evaluator) evalSO(g SO, asn *Assignment) bool {
+	keys := e.universe(g)
+	if e.err != nil {
+		return false
+	}
+	if len(keys) > e.opt.maxBits() {
+		return e.fail("universe of %s has %d tuples (cap %d); restrict Options universes",
+			g.R, len(keys), e.opt.maxBits())
+	}
+	total := 1 << uint(len(keys))
+	for mask := 0; mask < total; mask++ {
+		rel := make(Relation, len(keys))
+		for i, k := range keys {
+			if mask&(1<<uint(i)) != 0 {
+				rel[k] = true
+			}
+		}
+		v := asn.withSO(g.R, rel, func() bool { return e.eval(g.F, asn) })
+		if e.err != nil {
+			return false
+		}
+		if g.Existential && v {
+			return true
+		}
+		if !g.Existential && !v {
+			return false
+		}
+	}
+	return !g.Existential
+}
+
+func (e *evaluator) universe(g SO) []string {
+	switch g.Arity {
+	case 1:
+		if elems, ok := e.opt.UnaryUniverse[g.R]; ok && elems != nil {
+			keys := make([]string, len(elems))
+			for i, a := range elems {
+				keys[i] = TupleKey(a)
+			}
+			return keys
+		}
+		keys := make([]string, e.s.Card())
+		for a := 0; a < e.s.Card(); a++ {
+			keys[a] = TupleKey(a)
+		}
+		return keys
+	case 2:
+		if pairs, ok := e.opt.BinaryUniverse[g.R]; ok && pairs != nil {
+			keys := make([]string, len(pairs))
+			for i, p := range pairs {
+				keys[i] = TupleKey(p.A, p.B)
+			}
+			return keys
+		}
+		var keys []string
+		for a := 0; a < e.s.Card(); a++ {
+			keys = append(keys, TupleKey(a, a))
+			for _, b := range e.s.Connected(a) {
+				keys = append(keys, TupleKey(a, b))
+			}
+		}
+		return keys
+	default:
+		e.fail("second-order arity %d unsupported by the enumerating evaluator", g.Arity)
+		return nil
+	}
+}

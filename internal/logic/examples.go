@@ -1,0 +1,250 @@
+package logic
+
+// This file contains the example formulas of Section 5.2, built exactly as
+// in the paper. On structural representations $G (signature (1,2)):
+// ⇀1 carries graph edges and label-bit successors, ⇀2 carries ownership.
+
+// IsNode states that x represents a node: no dotted (⇀2) arrow points to x.
+func IsNode(x Var) Formula {
+	y := x + "_n"
+	return Not{F: ExistsB{X: y, Y: x, F: Edge{I: 2, X: y, Y: x}}}
+}
+
+// IsBit1 states that x is a labeling bit of value 1.
+func IsBit1(x Var) Formula {
+	return And{L: Not{F: IsNode(x)}, R: Unary{I: 1, X: x}}
+}
+
+// IsBit0 states that x is a labeling bit of value 0.
+func IsBit0(x Var) Formula {
+	return And{L: Not{F: IsNode(x)}, R: Not{F: Unary{I: 1, X: x}}}
+}
+
+// ExistsNode builds ∃◦x −⇀↽− y φ: a bounded node-quantifier.
+func ExistsNode(x, y Var, f Formula) Formula {
+	return ExistsB{X: x, Y: y, F: And{L: IsNode(x), R: f}}
+}
+
+// ForallNode builds ∀◦x −⇀↽− y φ.
+func ForallNode(x, y Var, f Formula) Formula {
+	return ForallB{X: x, Y: y, F: Implies(IsNode(x), f)}
+}
+
+// ForallNodes builds the LFO prefix ∀◦x φ = ∀x (IsNode(x) → φ).
+func ForallNodes(x Var, f Formula) Formula {
+	return Forall{X: x, F: Implies(IsNode(x), f)}
+}
+
+// IsSelected is the BF-formula of Example 4: the node represented by x is
+// labeled with the string "1" — it owns a 1-bit with no successor bit and
+// no predecessor bit.
+func IsSelected(x Var) Formula {
+	y := x + "_b"
+	z := x + "_s"
+	noSucc := Not{F: ExistsB{X: z, Y: y, F: Or{
+		L: Edge{I: 1, X: z, Y: y},
+		R: Edge{I: 1, X: y, Y: z},
+	}}}
+	return ExistsB{X: y, Y: x, F: BigAnd(
+		// y must actually be x's labeling bit (not a graph neighbor).
+		Edge{I: 2, X: x, Y: y},
+		IsBit1(y),
+		noSucc,
+	)}
+}
+
+// AllSelected is the LFO-sentence of Example 4: ∀◦x IsSelected(x).
+func AllSelected() Formula {
+	return ForallNodes("x", IsSelected("x"))
+}
+
+// WellColored is the BF-formula of Example 5 for color set variables
+// C[0..k-1]: x has exactly one color, differing from all neighbors'.
+func WellColored(x Var, colors []string) Formula {
+	someColor := make([]Formula, len(colors))
+	for i, c := range colors {
+		someColor[i] = Atom{R: c, Args: []Var{x}}
+	}
+	var exclusive []Formula
+	for i := range colors {
+		for j := range colors {
+			if i != j {
+				exclusive = append(exclusive,
+					Not{F: And{
+						L: Atom{R: colors[i], Args: []Var{x}},
+						R: Atom{R: colors[j], Args: []Var{x}},
+					}})
+			}
+		}
+	}
+	y := x + "_adj"
+	var differs []Formula
+	for _, c := range colors {
+		differs = append(differs, Not{F: And{
+			L: Atom{R: c, Args: []Var{x}},
+			R: Atom{R: c, Args: []Var{y}},
+		}})
+	}
+	// Neighbors of a node via ⇀1 among node elements.
+	neighborsDiffer := ForallB{X: y, Y: x, F: Implies(
+		And{L: IsNode(y), R: Edge{I: 1, X: x, Y: y}},
+		BigAnd(differs...),
+	)}
+	return BigAnd(append([]Formula{BigOr(someColor...), BigAnd(exclusive...)}, neighborsDiffer)...)
+}
+
+// KColorable is the Σ^lfo_1-sentence of Example 5 generalized to k colors:
+// ∃C0…∃C(k−1) ∀◦x WellColored(x).
+func KColorable(k int) Formula {
+	colors := make([]string, k)
+	for i := range colors {
+		colors[i] = colorName(i)
+	}
+	body := ForallNodes("x", WellColored("x", colors))
+	f := Formula(body)
+	for i := k - 1; i >= 0; i-- {
+		f = SO{Existential: true, R: colors[i], Arity: 1, F: f}
+	}
+	return f
+}
+
+func colorName(i int) string {
+	return "C" + string(rune('0'+i))
+}
+
+// ColorNames returns the second-order variable names used by KColorable,
+// so that callers can restrict their enumeration universes (see
+// NodeRestricted).
+func ColorNames(k int) []string {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = colorName(i)
+	}
+	return names
+}
+
+// ThreeColorable is KColorable(3), the formula of Examples 2 and 5.
+func ThreeColorable() Formula { return KColorable(3) }
+
+// --- The spanning-forest schema of Example 6 ---------------------------
+
+// Root abbreviates P(x,x).
+func Root(x Var) Formula { return Atom{R: "P", Args: []Var{x, x}} }
+
+// UniqueParent states that x has exactly one parent within distance 1
+// (possibly itself).
+func UniqueParent(x Var) Formula {
+	y := x + "_p"
+	z := x + "_q"
+	unique := ForallWithin(z, 1, x, Implies(
+		And{L: IsNode(z), R: Atom{R: "P", Args: []Var{x, z}}},
+		Eq{X: z, Y: y},
+	))
+	return ExistsWithin(y, 1, x, BigAnd(
+		IsNode(y),
+		Atom{R: "P", Args: []Var{x, y}},
+		unique,
+	))
+}
+
+// RootCase states: if x is a root, it satisfies the target ϑ and is
+// positively charged.
+func RootCase(x Var, theta Formula) Formula {
+	return Implies(Root(x), And{L: theta, R: Atom{R: "Y", Args: []Var{x}}})
+}
+
+// ChildCase states: if x is a child, its charge follows its parent's,
+// flipped iff x is challenged.
+func ChildCase(x Var) Formula {
+	y := x + "_cp"
+	return Implies(
+		Not{F: Root(x)},
+		ExistsNode(y, x, And{
+			L: Atom{R: "P", Args: []Var{x, y}},
+			R: Iff(
+				Atom{R: "Y", Args: []Var{x}},
+				Not{F: Iff(Atom{R: "Y", Args: []Var{y}}, Atom{R: "X", Args: []Var{x}})},
+			),
+		}),
+	)
+}
+
+// PointsTo is the formula schema PointsTo[ϑ](x) of Example 6.
+func PointsTo(x Var, theta Formula) Formula {
+	return BigAnd(UniqueParent(x), RootCase(x, theta), ChildCase(x))
+}
+
+// NotAllSelected is the Σ^lfo_3-sentence of Example 6:
+// ∃P ∀X ∃Y ∀◦x PointsTo[¬IsSelected](x).
+func NotAllSelected() Formula {
+	body := ForallNodes("x", PointsTo("x", Not{F: IsSelected("x")}))
+	return SO{Existential: true, R: "P", Arity: 2,
+		F: SO{Existential: false, R: "X", Arity: 1,
+			F: SO{Existential: true, R: "Y", Arity: 1, F: body}}}
+}
+
+// BelievesInOne is the subformula of Example 8 tying the shared bit Z to
+// the challenge membership of target nodes.
+func BelievesInOne(x Var, theta Formula) Formula {
+	y := x + "_z"
+	agree := ForallNode(y, x, Iff(
+		Atom{R: "Z", Args: []Var{x}},
+		Atom{R: "Z", Args: []Var{y}},
+	))
+	tie := Implies(theta, Iff(
+		Atom{R: "Z", Args: []Var{x}},
+		Atom{R: "X", Args: []Var{x}},
+	))
+	return And{L: agree, R: tie}
+}
+
+// PointsToUnique is the schema of Example 8.
+func PointsToUnique(x Var, theta Formula) Formula {
+	return And{L: PointsTo(x, theta), R: BelievesInOne(x, theta)}
+}
+
+// OneSelected is the Σ^lfo_3-sentence of Example 8:
+// ∃P ∀X ∃Y,Z ∀◦x PointsToUnique[IsSelected](x).
+func OneSelected() Formula {
+	body := ForallNodes("x", PointsToUnique("x", IsSelected("x")))
+	return SO{Existential: true, R: "P", Arity: 2,
+		F: SO{Existential: false, R: "X", Arity: 1,
+			F: SO{Existential: true, R: "Y", Arity: 1,
+				F: SO{Existential: true, R: "Z", Arity: 1, F: body}}}}
+}
+
+// MaxOneChild is the subformula of Example 9.
+func MaxOneChild(x Var) Formula {
+	y := x + "_c1"
+	z := x + "_c2"
+	return ForallNode(y, x, ForallNode(z, x, Implies(
+		And{L: Atom{R: "P", Args: []Var{y, x}}, R: Atom{R: "P", Args: []Var{z, x}}},
+		Eq{X: y, Y: z},
+	)))
+}
+
+// SeesLeafIfRoot is the subformula of Example 9: the root is adjacent to
+// the unique leaf, which is not the root's own child.
+func SeesLeafIfRoot(x Var) Formula {
+	y := x + "_lf"
+	z := x + "_lc"
+	leaf := ForallNode(z, y, Not{F: Atom{R: "P", Args: []Var{z, y}}})
+	return Implies(Root(x), ExistsNode(y, x, And{
+		L: Not{F: Atom{R: "P", Args: []Var{y, x}}},
+		R: leaf,
+	}))
+}
+
+// Hamiltonian is the Σ^lfo_3-sentence of Example 9.
+func Hamiltonian() Formula {
+	x := Var("x")
+	body := ForallNodes(x, BigAnd(
+		PointsToUnique(x, Root(x)),
+		MaxOneChild(x),
+		SeesLeafIfRoot(x),
+	))
+	return SO{Existential: true, R: "P", Arity: 2,
+		F: SO{Existential: false, R: "X", Arity: 1,
+			F: SO{Existential: true, R: "Y", Arity: 1,
+				F: SO{Existential: true, R: "Z", Arity: 1, F: body}}}}
+}

@@ -1,0 +1,352 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/props"
+	"repro/internal/structure"
+)
+
+func rep(g *graph.Graph) *structure.Rep { return structure.NewRep(g) }
+
+func forEachLabeling(g *graph.Graph, f func(*graph.Graph)) {
+	for mask := uint(0); mask < 1<<uint(g.N()); mask++ {
+		f(g.MustWithLabels(graph.BitLabels(g.N(), mask)))
+	}
+}
+
+func TestIsNodeAndBits(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(2).MustWithLabels([]string{"01", "1"})
+	r := rep(g)
+	asn := NewAssignment()
+	check := func(f Formula, elem int, want bool) {
+		t.Helper()
+		asn.FO["x"] = elem
+		got, err := Eval(r.Structure, f, asn, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v at element %d = %v, want %v", f, elem, got, want)
+		}
+	}
+	check(IsNode("x"), r.NodeElem(0), true)
+	check(IsNode("x"), r.BitElem(0, 0), false)
+	check(IsBit0("x"), r.BitElem(0, 0), true)
+	check(IsBit1("x"), r.BitElem(0, 1), true)
+	check(IsBit1("x"), r.BitElem(0, 0), false)
+	check(IsBit0("x"), r.NodeElem(0), false)
+}
+
+func TestIsSelected(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(3).MustWithLabels([]string{"1", "0", "11"})
+	r := rep(g)
+	asn := NewAssignment()
+	want := []bool{true, false, false}
+	for u := 0; u < 3; u++ {
+		asn.FO["x"] = r.NodeElem(u)
+		got, err := Eval(r.Structure, IsSelected("x"), asn, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[u] {
+			t.Fatalf("IsSelected(node %d) = %v, want %v", u, got, want[u])
+		}
+	}
+}
+
+// TestAllSelectedFormula: the Example 4 LFO-sentence agrees with the
+// ground truth on exhaustive single-bit labelings, and with multi-bit
+// labels (where "11" and "" are not selected).
+func TestAllSelectedFormula(t *testing.T) {
+	t.Parallel()
+	f := AllSelected()
+	for _, base := range []*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Single("")} {
+		forEachLabeling(base, func(g *graph.Graph) {
+			got, err := Sat(rep(g).Structure, f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != props.AllSelected(g) {
+				t.Fatalf("%v: formula = %v, ground truth = %v", g, got, props.AllSelected(g))
+			}
+		})
+	}
+	// Multi-bit labels.
+	for _, labels := range [][]string{
+		{"1", "11"}, {"1", ""}, {"1", "10"}, {"1", "1"},
+	} {
+		g := graph.Path(2).MustWithLabels(labels)
+		got, err := Sat(rep(g).Structure, f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != props.AllSelected(g) {
+			t.Fatalf("labels %v: formula = %v", labels, got)
+		}
+	}
+}
+
+// TestKColorableFormula: the Example 5 Σ^lfo_1-sentence matches the exact
+// decider for k = 2, 3 on small graphs.
+func TestKColorableFormula(t *testing.T) {
+	t.Parallel()
+	graphs := []*graph.Graph{
+		graph.Path(3), graph.Cycle(3), graph.Cycle(4), graph.Cycle(5),
+		graph.Complete(4), graph.Star(4),
+	}
+	for _, g := range graphs {
+		r := rep(g)
+		for k := 2; k <= 3; k++ {
+			got, err := Sat(r.Structure, KColorable(k), Options{MaxEnumBits: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := props.KColorable(g, k)
+			if got != want {
+				t.Fatalf("%v: %d-colorable formula = %v, want %v", g, k, got, want)
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name  string
+		f     Formula
+		level int
+		sigma bool
+		mon   bool
+	}{
+		{"all-selected", AllSelected(), 0, false, true},
+		{"3-colorable", ThreeColorable(), 1, true, true},
+		{"not-all-selected", NotAllSelected(), 3, true, false},
+		{"one-selected", OneSelected(), 3, true, false},
+		{"hamiltonian", Hamiltonian(), 3, true, false},
+	}
+	for _, tt := range tests {
+		lvl, ok := Classify(tt.f)
+		if !ok {
+			t.Fatalf("%s: not in the local hierarchy", tt.name)
+		}
+		if lvl.Alternations != tt.level || (tt.level > 0 && lvl.FirstExistential != tt.sigma) || lvl.Monadic != tt.mon {
+			t.Fatalf("%s: Classify = %+v", tt.name, lvl)
+		}
+	}
+}
+
+func TestIsBF(t *testing.T) {
+	t.Parallel()
+	if !IsBF(IsSelected("x")) || !IsBF(WellColored("x", []string{"C0"})) {
+		t.Fatal("BF formulas misclassified")
+	}
+	if IsBF(Exists{X: "x", F: Truth(true)}) {
+		t.Fatal("unbounded quantifier accepted as BF")
+	}
+	if IsBF(ExistsB{X: "x", Y: "x", F: Truth(true)}) {
+		t.Fatal("ExistsB with x = y must be rejected")
+	}
+	if !IsLFO(AllSelected()) {
+		t.Fatal("AllSelected should be LFO")
+	}
+	if IsLFO(ThreeColorable()) {
+		t.Fatal("Σ^lfo_1 sentence is not plain LFO")
+	}
+}
+
+// nodePairUniverse restricts a binary variable to node self-pairs and
+// adjacent node pairs, and unary variables to node elements — the
+// locality restriction of Theorem 15's certificates.
+func nodeUniverses(r *structure.Rep) Options {
+	g := r.Graph()
+	var nodes []int
+	for u := 0; u < g.N(); u++ {
+		nodes = append(nodes, r.NodeElem(u))
+	}
+	var pairs []Pair
+	for u := 0; u < g.N(); u++ {
+		pairs = append(pairs, Pair{A: r.NodeElem(u), B: r.NodeElem(u)})
+		for _, v := range g.Neighbors(u) {
+			pairs = append(pairs, Pair{A: r.NodeElem(u), B: r.NodeElem(v)})
+		}
+	}
+	return Options{
+		UnaryUniverse:  map[string][]int{"X": nodes, "Y": nodes, "Z": nodes},
+		BinaryUniverse: map[string][]Pair{"P": pairs},
+		MaxEnumBits:    16,
+	}
+}
+
+// TestNotAllSelectedFormula: the Σ^lfo_3 spanning-forest sentence of
+// Example 6 agrees with the ground truth on exhaustive labelings of tiny
+// graphs (the triple second-order enumeration is expensive).
+func TestNotAllSelectedFormula(t *testing.T) {
+	t.Parallel()
+	f := NotAllSelected()
+	for _, base := range []*graph.Graph{graph.Path(2), graph.Path(3), graph.Cycle(3)} {
+		forEachLabeling(base, func(g *graph.Graph) {
+			r := rep(g)
+			got, err := Sat(r.Structure, f, nodeUniverses(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != props.NotAllSelected(g) {
+				t.Fatalf("%v: formula = %v, want %v", g, got, props.NotAllSelected(g))
+			}
+		})
+	}
+}
+
+// TestOneSelectedFormula: Example 8's sentence on tiny instances.
+func TestOneSelectedFormula(t *testing.T) {
+	t.Parallel()
+	f := OneSelected()
+	for _, base := range []*graph.Graph{graph.Path(2), graph.Path(3)} {
+		forEachLabeling(base, func(g *graph.Graph) {
+			r := rep(g)
+			got, err := Sat(r.Structure, f, nodeUniverses(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != props.OneSelected(g) {
+				t.Fatalf("%v: formula = %v, want %v", g, got, props.OneSelected(g))
+			}
+		})
+	}
+}
+
+// TestHamiltonianFormula: Example 9's sentence on tiny instances. C3 is
+// Hamiltonian; P3 and stars are not.
+func TestHamiltonianFormula(t *testing.T) {
+	t.Parallel()
+	f := Hamiltonian()
+	for _, tt := range []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{graph.Cycle(3), true},
+		{graph.Path(3), false},
+	} {
+		r := rep(tt.g)
+		got, err := Sat(r.Structure, f, nodeUniverses(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Fatalf("%v: hamiltonian formula = %v, want %v", tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	t.Parallel()
+	f := ExistsB{X: "y", Y: "x", F: Eq{X: "y", Y: "x"}}
+	g := Substitute(f, "x", "z").(ExistsB)
+	if g.Y != "z" {
+		t.Fatal("free occurrence not substituted")
+	}
+	if g.F.(Eq).Y != "z" || g.F.(Eq).X != "y" {
+		t.Fatalf("body substitution wrong: %v", g.F)
+	}
+	// Bound occurrences are untouched.
+	h := Substitute(f, "y", "z").(ExistsB)
+	if h.X != "y" || h.F.(Eq).X != "y" {
+		t.Fatal("bound variable renamed")
+	}
+}
+
+func TestExistsWithinRadius(t *testing.T) {
+	t.Parallel()
+	// On a path of 4 nodes with empty labels, "∃z within r of x with z a
+	// node having degree 1" — check radius semantics from node 1.
+	g := graph.Path(4)
+	r := rep(g)
+	// Degree-1 test: has exactly one connected element... node 0 and 3.
+	deg1 := func(z Var) Formula {
+		w1 := z + "_w1"
+		w2 := z + "_w2"
+		return ExistsB{X: w1, Y: z, F: ForallB{X: w2, Y: z, F: Eq{X: w1, Y: w2}}}
+	}
+	asn := NewAssignment()
+	asn.FO["x"] = r.NodeElem(1)
+	// Radius 1 from node 1 reaches node 0 (degree 1): true.
+	got, err := Eval(r.Structure, ExistsWithin("z", 1, "x", deg1("z")), asn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("radius 1 from node 1 should reach the endpoint")
+	}
+	// From node 1, radius 0 is node 1 itself (degree 2): false.
+	got, err = Eval(r.Structure, ExistsWithin("z", 0, "x", deg1("z")), asn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("radius 0 should not reach a degree-1 node")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	t.Parallel()
+	g := graph.Single("1")
+	r := rep(g)
+	if _, err := Sat(r.Structure, Unary{I: 5, X: "x"}, Options{}); err == nil {
+		t.Fatal("out-of-signature relation accepted")
+	}
+	if _, err := Sat(r.Structure, Atom{R: "Q", Args: []Var{"x"}}, Options{}); err == nil {
+		t.Fatal("unbound variables accepted")
+	}
+	// Universe too large.
+	big := graph.Cycle(25)
+	if _, err := Sat(structure.NewRep(big).Structure, SO{Existential: true, R: "A", Arity: 1, F: Truth(true)}, Options{MaxEnumBits: 5}); err == nil {
+		t.Fatal("oversized universe accepted")
+	}
+	// Arity 3 unsupported.
+	if _, err := Sat(r.Structure, SO{Existential: true, R: "A", Arity: 3, F: Truth(true)}, Options{}); err == nil {
+		t.Fatal("arity-3 enumeration should error")
+	}
+}
+
+func TestTruthAndConnectives(t *testing.T) {
+	t.Parallel()
+	g := graph.Single("")
+	s := rep(g).Structure
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Truth(true), true},
+		{Truth(false), false},
+		{Implies(Truth(false), Truth(false)), true},
+		{Iff(Truth(true), Truth(false)), false},
+		{BigAnd(), true},
+		{BigOr(), false},
+		{BigAnd(Truth(true), Truth(false)), false},
+		{BigOr(Truth(false), Truth(true)), true},
+	}
+	for _, tt := range cases {
+		got, err := Sat(s, tt.f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Fatalf("%v = %v", tt.f, got)
+		}
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	t.Parallel()
+	if s := ThreeColorable().String(); len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+	f := SO{Existential: false, R: "X", Arity: 1, F: Truth(true)}
+	if s := f.String(); s != "∀X/1 ⊤" {
+		t.Fatalf("String = %q", s)
+	}
+}

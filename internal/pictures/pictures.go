@@ -1,0 +1,185 @@
+// Package pictures implements the two-dimensional machinery of Section 9.2
+// of the paper: t-bit pictures (matrices of fixed-length bit strings),
+// their structural representations (Figures 6 and 14), tiling systems —
+// the automaton model of Giammarresi and Restivo that characterizes
+// existential monadic second-order logic on pictures (Theorem 32) — and
+// the encoding of pictures as bounded-degree labeled graphs used to
+// transfer the infiniteness of the monadic hierarchy from pictures to
+// graphs (Section 9.2.2).
+package pictures
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// Picture is a t-bit picture of size (m, n): an m×n matrix of bit strings
+// of uniform length t (t may be 0).
+type Picture struct {
+	T    int
+	Rows int
+	Cols int
+	// Cells[i][j] is the entry at pixel (i, j).
+	Cells [][]string
+}
+
+// ErrBadPicture reports malformed picture data.
+var ErrBadPicture = errors.New("pictures: malformed picture")
+
+// New validates and wraps picture data.
+func New(t int, cells [][]string) (*Picture, error) {
+	if len(cells) == 0 || len(cells[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadPicture)
+	}
+	cols := len(cells[0])
+	cp := make([][]string, len(cells))
+	for i, row := range cells {
+		if len(row) != cols {
+			return nil, fmt.Errorf("%w: ragged rows", ErrBadPicture)
+		}
+		for _, cell := range row {
+			if len(cell) != t || !graph.IsBitString(cell) {
+				return nil, fmt.Errorf("%w: cell %q is not a %d-bit string", ErrBadPicture, cell, t)
+			}
+		}
+		cp[i] = append([]string(nil), row...)
+	}
+	return &Picture{T: t, Rows: len(cells), Cols: cols, Cells: cp}, nil
+}
+
+// MustNew is New for fixtures.
+func MustNew(t int, cells [][]string) *Picture {
+	p, err := New(t, cells)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Uniform returns an m×n picture with every cell equal to value.
+func Uniform(t, m, n int, value string) *Picture {
+	cells := make([][]string, m)
+	for i := range cells {
+		cells[i] = make([]string, n)
+		for j := range cells[i] {
+			cells[i][j] = value
+		}
+	}
+	return MustNew(t, cells)
+}
+
+// At returns the cell at pixel (i, j).
+func (p *Picture) At(i, j int) string { return p.Cells[i][j] }
+
+// String renders the picture row by row.
+func (p *Picture) String() string {
+	var b strings.Builder
+	for i, row := range p.Cells {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(strings.Join(row, " "))
+	}
+	return b.String()
+}
+
+// Rep builds the structural representation $P of Figure 14: one element
+// per pixel, t unary relations for the bit values, and the vertical (⇀1)
+// and horizontal (⇀2) successor relations.
+func (p *Picture) Rep() *structure.Structure {
+	b := structure.NewBuilder(p.Rows*p.Cols, p.T, 2)
+	idx := func(i, j int) int { return i*p.Cols + j }
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			for k := 0; k < p.T; k++ {
+				if p.Cells[i][j][k] == '1' {
+					b.AddUnary(k+1, idx(i, j))
+				}
+			}
+			if i+1 < p.Rows {
+				b.AddBinary(1, idx(i, j), idx(i+1, j))
+			}
+			if j+1 < p.Cols {
+				b.AddBinary(2, idx(i, j), idx(i, j+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ForEachPicture enumerates all t-bit pictures of size (m, n), invoking
+// yield for each; it stops early when yield returns false.
+func ForEachPicture(t, m, n int, yield func(*Picture) bool) bool {
+	values := allBitStrings(t)
+	cells := make([][]string, m)
+	for i := range cells {
+		cells[i] = make([]string, n)
+	}
+	total := m * n
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == total {
+			return yield(MustNew(t, cells))
+		}
+		i, j := pos/n, pos%n
+		for _, v := range values {
+			cells[i][j] = v
+			if !rec(pos + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+func allBitStrings(t int) []string {
+	if t == 0 {
+		return []string{""}
+	}
+	out := make([]string, 0, 1<<uint(t))
+	for x := 0; x < 1<<uint(t); x++ {
+		s := make([]byte, t)
+		for i := 0; i < t; i++ {
+			if x&(1<<uint(t-1-i)) != 0 {
+				s[i] = '1'
+			} else {
+				s[i] = '0'
+			}
+		}
+		out = append(out, string(s))
+	}
+	return out
+}
+
+// ToGraph encodes the picture as a connected labeled graph of bounded
+// structural degree, in the spirit of Section 9.2.2: the pixels become
+// nodes of a grid graph, and each node's label packs its cell value
+// together with two orientation bits marking whether the node lies on the
+// last row/column (so that the grid's vertical/horizontal structure is
+// locally reconstructible without global coordinates).
+//
+// Label layout: cell bits, then "1" if last row else "0", then "1" if
+// last column else "0".
+func (p *Picture) ToGraph() *graph.Graph {
+	g := graph.Grid(p.Rows, p.Cols)
+	labels := make([]string, p.Rows*p.Cols)
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			lastRow := "0"
+			if i == p.Rows-1 {
+				lastRow = "1"
+			}
+			lastCol := "0"
+			if j == p.Cols-1 {
+				lastCol = "1"
+			}
+			labels[i*p.Cols+j] = p.Cells[i][j] + lastRow + lastCol
+		}
+	}
+	return g.MustWithLabels(labels)
+}

@@ -1,0 +1,235 @@
+package pictures
+
+import (
+	"testing"
+
+	"repro/internal/props"
+)
+
+// figure14Picture is the 2-bit 3×4 picture of Figures 6/14.
+func figure14Picture() *Picture {
+	return MustNew(2, [][]string{
+		{"00", "01", "00", "01"},
+		{"10", "11", "10", "11"},
+		{"00", "01", "00", "01"},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(1, nil); err == nil {
+		t.Fatal("empty picture accepted")
+	}
+	if _, err := New(1, [][]string{{"1"}, {"1", "0"}}); err == nil {
+		t.Fatal("ragged picture accepted")
+	}
+	if _, err := New(2, [][]string{{"1"}}); err == nil {
+		t.Fatal("wrong cell width accepted")
+	}
+	if _, err := New(1, [][]string{{"x"}}); err == nil {
+		t.Fatal("non-bit cell accepted")
+	}
+}
+
+func TestFigure14Rep(t *testing.T) {
+	t.Parallel()
+	p := figure14Picture()
+	s := p.Rep()
+	if s.Card() != 12 {
+		t.Fatalf("card = %d, want 12", s.Card())
+	}
+	m, n := s.Signature()
+	if m != 2 || n != 2 {
+		t.Fatalf("signature = (%d,%d), want (2,2)", m, n)
+	}
+	// Pixel (1,1) = "11": in both unary relations.
+	idx := func(i, j int) int { return i*p.Cols + j }
+	if !s.InUnary(1, idx(1, 1)) || !s.InUnary(2, idx(1, 1)) {
+		t.Fatal("bit relations of pixel (1,1) wrong")
+	}
+	if s.InUnary(1, idx(0, 0)) || s.InUnary(2, idx(0, 0)) {
+		t.Fatal("pixel (0,0) = 00 should be in no unary relation")
+	}
+	// Vertical successor ⇀1: (0,0) → (1,0); horizontal ⇀2: (0,0) → (0,1).
+	if !s.InBinary(1, idx(0, 0), idx(1, 0)) || s.InBinary(1, idx(1, 0), idx(0, 0)) {
+		t.Fatal("vertical successor wrong")
+	}
+	if !s.InBinary(2, idx(0, 0), idx(0, 1)) || s.InBinary(2, idx(0, 1), idx(0, 0)) {
+		t.Fatal("horizontal successor wrong")
+	}
+	// Last row/column pixels have no successors.
+	if len(s.Successors(1, idx(2, 0))) != 0 || len(s.Successors(2, idx(0, 3))) != 0 {
+		t.Fatal("border successors wrong")
+	}
+}
+
+func TestForEachPicture(t *testing.T) {
+	t.Parallel()
+	count := 0
+	ForEachPicture(1, 2, 2, func(p *Picture) bool {
+		count++
+		return true
+	})
+	if count != 16 {
+		t.Fatalf("enumerated %d 1-bit 2×2 pictures, want 16", count)
+	}
+	// Early stop.
+	count = 0
+	complete := ForEachPicture(1, 2, 2, func(*Picture) bool {
+		count++
+		return count < 3
+	})
+	if complete || count != 3 {
+		t.Fatal("early stop failed")
+	}
+}
+
+func TestConstantSystem(t *testing.T) {
+	t.Parallel()
+	ts := ConstantSystem(1, "1")
+	for m := 1; m <= 4; m++ {
+		for n := 1; n <= 4; n++ {
+			ForEachPicture(1, m, n, func(p *Picture) bool {
+				want := true
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						if p.At(i, j) != "1" {
+							want = false
+						}
+					}
+				}
+				got, err := ts.Accepts(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("constant system on\n%v\n= %v, want %v", p, got, want)
+				}
+				return m*n <= 9 // keep the big sizes to a spot check
+			})
+		}
+	}
+}
+
+// TestSquaresSystem: the diagonal system accepts exactly the square
+// pictures, including sizes beyond those its tiles were collected from.
+func TestSquaresSystem(t *testing.T) {
+	t.Parallel()
+	ts := SquaresSystem()
+	for m := 1; m <= 6; m++ {
+		for n := 1; n <= 6; n++ {
+			p := Uniform(0, m, n, "")
+			got, err := ts.Accepts(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != (m == n) {
+				t.Fatalf("squares system on %dx%d = %v", m, n, got)
+			}
+		}
+	}
+}
+
+func TestTopRowOnesSystem(t *testing.T) {
+	t.Parallel()
+	ts := TopRowOnesSystem()
+	for m := 1; m <= 3; m++ {
+		for n := 1; n <= 3; n++ {
+			ForEachPicture(1, m, n, func(p *Picture) bool {
+				want := true
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						wantBit := "0"
+						if i == 0 {
+							wantBit = "1"
+						}
+						if p.At(i, j) != wantBit {
+							want = false
+						}
+					}
+				}
+				got, err := ts.Accepts(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("top-row system on\n%v\n= %v, want %v", p, got, want)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestAcceptsWidthMismatch(t *testing.T) {
+	t.Parallel()
+	ts := ConstantSystem(1, "1")
+	if _, err := ts.Accepts(Uniform(2, 2, 2, "11")); err == nil {
+		t.Fatal("bit-width mismatch accepted")
+	}
+}
+
+func TestLanguage(t *testing.T) {
+	t.Parallel()
+	lang, err := SquaresSystem().Language(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-bit pictures: one per size; squares of sizes 1,2,3 → 3 members.
+	if len(lang) != 3 {
+		t.Fatalf("language size = %d, want 3", len(lang))
+	}
+}
+
+// TestToGraph: the picture-to-graph encoding of Section 9.2.2 produces a
+// connected, bounded-structural-degree labeled grid whose labels let the
+// orientation be reconstructed locally.
+func TestToGraph(t *testing.T) {
+	t.Parallel()
+	p := figure14Picture()
+	g := p.ToGraph()
+	if g.N() != 12 {
+		t.Fatalf("graph nodes = %d", g.N())
+	}
+	// Structural degree bound: grid degree ≤ 4 plus label length 4.
+	if props.Acyclic(g) {
+		t.Fatal("grids with both dimensions > 1 contain cycles")
+	}
+	// Corner pixel (2,3) is last row and last column: label suffix "11".
+	label := g.Label(2*p.Cols + 3)
+	if label[len(label)-2:] != "11" {
+		t.Fatalf("corner label = %q", label)
+	}
+	inner := g.Label(0)
+	if inner[len(inner)-2:] != "00" {
+		t.Fatalf("top-left label = %q", inner)
+	}
+	// Cell bits are the label prefix.
+	if label[:2] != "01" {
+		t.Fatalf("corner cell bits = %q", label[:2])
+	}
+}
+
+// TestToGraphDistinguishesTransposes: pictures and their transposes give
+// non-isomorphic labeled graphs when the content is asymmetric.
+func TestToGraphDistinguishesOrientation(t *testing.T) {
+	t.Parallel()
+	p := MustNew(1, [][]string{{"1", "0"}})   // 1×2
+	q := MustNew(1, [][]string{{"1"}, {"0"}}) // 2×1
+	gp, gq := p.ToGraph(), q.ToGraph()
+	// Same underlying path topology, but labels differ (last-row/last-col
+	// bits), so the labeled graphs are distinguishable.
+	same := gp.N() == gq.N()
+	if !same {
+		t.Fatal("sizes should match")
+	}
+	labelsEqual := true
+	for u := 0; u < gp.N(); u++ {
+		if gp.Label(u) != gq.Label(u) {
+			labelsEqual = false
+		}
+	}
+	if labelsEqual {
+		t.Fatal("orientation lost in encoding")
+	}
+}

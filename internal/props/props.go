@@ -1,0 +1,285 @@
+// Package props provides exact centralized deciders for the graph
+// properties studied in the paper. They serve as ground truths ("oracles")
+// against which the distributed machines, reductions, games and logical
+// formulas of the other packages are validated. Several are exponential-time
+// backtracking procedures; they are meant for the small instances used in
+// tests, experiments and benchmarks.
+package props
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sat"
+)
+
+// AllSelected reports the all-selected property of Section 5.2: every node
+// is labeled with the bit string "1".
+func AllSelected(g *graph.Graph) bool {
+	for u := 0; u < g.N(); u++ {
+		if g.Label(u) != "1" {
+			return false
+		}
+	}
+	return true
+}
+
+// NotAllSelected is the complement of AllSelected.
+func NotAllSelected(g *graph.Graph) bool { return !AllSelected(g) }
+
+// OneSelected reports the one-selected property of Example 8: exactly one
+// node is labeled "1".
+func OneSelected(g *graph.Graph) bool {
+	count := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Label(u) == "1" {
+			count++
+		}
+	}
+	return count == 1
+}
+
+// Eulerian reports whether g contains an Eulerian cycle. By Euler's theorem
+// (used in the proof of Proposition 18), a connected graph is Eulerian if
+// and only if all its nodes have even degree.
+func Eulerian(g *graph.Graph) bool {
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u)%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonEulerian is the complement of Eulerian.
+func NonEulerian(g *graph.Graph) bool { return !Eulerian(g) }
+
+// Hamiltonian reports whether g contains a Hamiltonian cycle (a cycle
+// passing through each node exactly once). Graphs with fewer than three
+// nodes are not Hamiltonian. Exponential backtracking.
+func Hamiltonian(g *graph.Graph) bool {
+	n := g.N()
+	if n < 3 {
+		return false
+	}
+	// A Hamiltonian cycle needs every degree >= 2; this prunes the pendant
+	// gadgets of Proposition 19 instantly.
+	for u := 0; u < n; u++ {
+		if g.Degree(u) < 2 {
+			return false
+		}
+	}
+	visited := make([]bool, n)
+	visited[0] = true
+	// prune reports whether the partial path ending at endpoint can still
+	// be extended to a Hamiltonian cycle: every unvisited node needs at
+	// least two usable connections (unvisited neighbors, the current
+	// endpoint, or the start node 0), and the unvisited region together
+	// with the endpoint and start must stay connected.
+	prune := func(endpoint int) bool {
+		for w := 0; w < n; w++ {
+			if visited[w] {
+				continue
+			}
+			usable := 0
+			for _, x := range g.Neighbors(w) {
+				if !visited[x] || x == endpoint || x == 0 {
+					usable++
+				}
+			}
+			if usable < 2 {
+				return true
+			}
+		}
+		// Connectivity of {unvisited} ∪ {endpoint}: BFS from endpoint
+		// through unvisited nodes must reach every unvisited node.
+		seen := make([]bool, n)
+		stack := []int{endpoint}
+		seen[endpoint] = true
+		reached := 0
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range g.Neighbors(x) {
+				if !seen[y] && !visited[y] {
+					seen[y] = true
+					reached++
+					stack = append(stack, y)
+				}
+			}
+		}
+		unvisited := 0
+		for w := 0; w < n; w++ {
+			if !visited[w] {
+				unvisited++
+			}
+		}
+		return reached != unvisited
+	}
+	var dfs func(u, count int) bool
+	dfs = func(u, count int) bool {
+		if count == n {
+			return g.HasEdge(u, 0)
+		}
+		if prune(u) {
+			return false
+		}
+		for _, v := range g.Neighbors(u) {
+			if !visited[v] {
+				visited[v] = true
+				if dfs(v, count+1) {
+					return true
+				}
+				visited[v] = false
+			}
+		}
+		return false
+	}
+	return dfs(0, 1)
+}
+
+// NonHamiltonian is the complement of Hamiltonian.
+func NonHamiltonian(g *graph.Graph) bool { return !Hamiltonian(g) }
+
+// KColorable reports whether g has a proper k-coloring. Backtracking with
+// first-fail ordering; exact.
+func KColorable(g *graph.Graph, k int) bool {
+	_, ok := KColoring(g, k)
+	return ok
+}
+
+// KColoring returns a proper k-coloring of g if one exists.
+func KColoring(g *graph.Graph, k int) ([]int, bool) {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		if u == n {
+			return true
+		}
+		for c := 0; c < k; c++ {
+			ok := true
+			for _, v := range g.Neighbors(u) {
+				if colors[v] == c {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			colors[u] = c
+			if dfs(u + 1) {
+				return true
+			}
+			colors[u] = -1
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil, false
+	}
+	return colors, true
+}
+
+// TwoColorable reports bipartiteness via BFS 2-coloring (linear time).
+func TwoColorable(g *graph.Graph) bool {
+	side := make([]int, g.N())
+	for i := range side {
+		side[i] = -1
+	}
+	side[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if side[v] < 0 {
+				side[v] = 1 - side[u]
+				queue = append(queue, v)
+			} else if side[v] == side[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NonTwoColorable is the complement of TwoColorable; equivalently, g
+// contains an odd cycle (used in Section 5.2).
+func NonTwoColorable(g *graph.Graph) bool { return !TwoColorable(g) }
+
+// ThreeColorable reports 3-colorability.
+func ThreeColorable(g *graph.Graph) bool { return KColorable(g, 3) }
+
+// NonThreeColorable is the complement of ThreeColorable.
+func NonThreeColorable(g *graph.Graph) bool { return !ThreeColorable(g) }
+
+// Acyclic reports whether g contains no cycles. Since our graphs are
+// connected, this holds precisely when g is a tree (|E| = |V|-1).
+func Acyclic(g *graph.Graph) bool { return g.NumEdges() == g.N()-1 }
+
+// Odd reports whether g has an odd number of nodes (Section 5.2).
+func Odd(g *graph.Graph) bool { return g.N()%2 == 1 }
+
+// SatGraph decides the sat-graph property of Section 8: the node labels
+// decode to Boolean formulas and there exist per-node valuations, each
+// satisfying its node's formula, that are consistent across every edge on
+// shared variables. Labels that do not decode to formulas make the graph a
+// no-instance.
+func SatGraph(g *graph.Graph) bool {
+	bg, err := sat.DecodeBooleanGraph(g)
+	if err != nil {
+		return false
+	}
+	return bg.Satisfiable()
+}
+
+// Automorphic reports whether g has a nontrivial automorphism (a
+// label-preserving adjacency-preserving permutation other than the
+// identity). Used in the Figure 7 discussion. Exponential backtracking.
+func Automorphic(g *graph.Graph) bool {
+	n := g.N()
+	phi := make([]int, n)
+	used := make([]bool, n)
+	for i := range phi {
+		phi[i] = -1
+	}
+	identity := true
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		if u == n {
+			return !identity
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || g.Label(u) != g.Label(v) || g.Degree(u) != g.Degree(v) {
+				continue
+			}
+			ok := true
+			for w := 0; w < u; w++ {
+				if g.HasEdge(u, w) != g.HasEdge(v, phi[w]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			wasIdentity := identity
+			if u != v {
+				identity = false
+			}
+			phi[u] = v
+			used[v] = true
+			if dfs(u + 1) {
+				return true
+			}
+			phi[u] = -1
+			used[v] = false
+			identity = wasIdentity
+		}
+		return false
+	}
+	return dfs(0)
+}

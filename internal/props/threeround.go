@@ -1,0 +1,81 @@
+package props
+
+import "repro/internal/graph"
+
+// ThreeRoundThreeColorable decides the 3-round 3-colorability game of
+// Example 1 (after Ajtai, Fagin, and Stockmeyer): first Eve chooses the
+// colors of all degree-1 nodes, then Adam chooses the colors of all
+// degree-2 nodes, and finally Eve chooses the colors of all remaining
+// nodes. The graph has the property iff Eve can always force a proper
+// 3-coloring. Exhaustive minimax over the three color blocks.
+func ThreeRoundThreeColorable(g *graph.Graph) bool {
+	n := g.N()
+	var deg1, deg2, rest []int
+	for u := 0; u < n; u++ {
+		switch g.Degree(u) {
+		case 1:
+			deg1 = append(deg1, u)
+		case 2:
+			deg2 = append(deg2, u)
+		default:
+			rest = append(rest, u)
+		}
+	}
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+
+	properSoFar := func(nodes []int) bool {
+		for _, u := range nodes {
+			for _, v := range g.Neighbors(u) {
+				if colors[v] >= 0 && colors[v] == colors[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// forEachColoring enumerates all 3^len(nodes) colorings of nodes and
+	// calls f for each; it stops early when f returns true and reports
+	// whether any call returned true.
+	var forEachColoring func(nodes []int, i int, f func() bool) bool
+	forEachColoring = func(nodes []int, i int, f func() bool) bool {
+		if i == len(nodes) {
+			return f()
+		}
+		for c := 0; c < 3; c++ {
+			colors[nodes[i]] = c
+			if forEachColoring(nodes, i+1, f) {
+				for j := i; j < len(nodes); j++ {
+					colors[nodes[j]] = -1
+				}
+				return true
+			}
+		}
+		for j := i; j < len(nodes); j++ {
+			colors[nodes[j]] = -1
+		}
+		return false
+	}
+
+	// Eve's final move: does some coloring of rest complete a proper
+	// 3-coloring?
+	eveFinishes := func() bool {
+		return forEachColoring(rest, 0, func() bool {
+			return properSoFar(rest) && properSoFar(deg1) && properSoFar(deg2)
+		})
+	}
+	// Adam's move: he wins if some coloring of deg2 leaves Eve stuck.
+	adamStuck := func() bool {
+		adamWins := forEachColoring(deg2, 0, func() bool {
+			return !eveFinishes()
+		})
+		return adamWins
+	}
+	// Eve's first move: some coloring of deg1 from which Adam cannot win.
+	return forEachColoring(deg1, 0, func() bool {
+		return !adamStuck()
+	})
+}

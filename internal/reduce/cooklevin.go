@@ -1,0 +1,194 @@
+package reduce
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/sat"
+	"repro/internal/structure"
+)
+
+// This file implements the heart of the distributed Cook–Levin theorem
+// (Theorem 22): the translation τ of the proof, which converts a
+// Σ^lfo_1-sentence ∃R1…∃Rn ∀x φ(x) over structural representations into a
+// Boolean graph. Node u's Boolean formula φ^G_u asserts φ at the element
+// representing u and at all elements representing u's labeling bits, with
+// atoms R(a1,…,ak) replaced by propositional variables P_R(a1,…,ak).
+// The resulting Boolean graph is satisfiable iff $G satisfies the
+// sentence — which is how sat-graph is shown NLP-hard.
+
+// FormulaToBooleanGraph applies the τ-translation to graph g for the
+// Σ^lfo_1-sentence whose second-order prefix binds soVars (names only; the
+// translation works for any arities) and whose first-order core is
+// ∀x body with body ∈ BF.
+//
+// Propositional variables are named R_a1_a2...; the paper derives such
+// names from locally unique identifiers (its G″ construction), while we
+// use element indices directly — the difference is immaterial for
+// equisatisfiability and keeps the output readable.
+func FormulaToBooleanGraph(g *graph.Graph, sentence logic.Formula) (*sat.BooleanGraph, error) {
+	// Strip the second-order prefix.
+	core := sentence
+	soVars := make(map[string]bool)
+	for {
+		so, ok := core.(logic.SO)
+		if !ok {
+			break
+		}
+		if !so.Existential {
+			return nil, fmt.Errorf("reduce: sentence is not Σ^lfo_1 (universal second-order quantifier %s)", so.R)
+		}
+		soVars[so.R] = true
+		core = so.F
+	}
+	fa, ok := core.(logic.Forall)
+	if !ok {
+		return nil, fmt.Errorf("reduce: first-order core must be ∀x φ")
+	}
+	if !logic.IsBF(fa.F) {
+		return nil, fmt.Errorf("reduce: core body is not in the bounded fragment")
+	}
+
+	rep := structure.NewRep(g)
+	tr := &tau{rep: rep, soVars: soVars}
+	formulas := make([]sat.Formula, g.N())
+	for u := 0; u < g.N(); u++ {
+		conj := sat.And{}
+		elems := append([]int{rep.NodeElem(u)}, rep.BitElems(u)...)
+		for _, a := range elems {
+			f, err := tr.translate(fa.F, map[logic.Var]int{fa.X: a})
+			if err != nil {
+				return nil, err
+			}
+			conj = append(conj, f)
+		}
+		// Fold the truth constants produced by evaluating the
+		// first-order part on the concrete structure; without this the
+		// downstream Tseytin and gadget constructions blow up.
+		formulas[u] = sat.Simplify(conj)
+	}
+	return sat.NewBooleanGraph(g, formulas)
+}
+
+type tau struct {
+	rep    *structure.Rep
+	soVars map[string]bool
+}
+
+func boolConst(b bool) sat.Formula { return sat.Const(b) }
+
+func (t *tau) translate(f logic.Formula, sigma map[logic.Var]int) (sat.Formula, error) {
+	s := t.rep.Structure
+	lookup := func(v logic.Var) (int, error) {
+		a, ok := sigma[v]
+		if !ok {
+			return 0, fmt.Errorf("reduce: unbound variable %s in τ-translation", v)
+		}
+		return a, nil
+	}
+	switch g := f.(type) {
+	case logic.Truth:
+		return boolConst(bool(g)), nil
+	case logic.Unary:
+		a, err := lookup(g.X)
+		if err != nil {
+			return nil, err
+		}
+		return boolConst(s.InUnary(g.I, a)), nil
+	case logic.Edge:
+		a, err := lookup(g.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lookup(g.Y)
+		if err != nil {
+			return nil, err
+		}
+		return boolConst(s.InBinary(g.I, a, b)), nil
+	case logic.Eq:
+		a, err := lookup(g.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lookup(g.Y)
+		if err != nil {
+			return nil, err
+		}
+		return boolConst(a == b), nil
+	case logic.Atom:
+		if !t.soVars[g.R] {
+			return nil, fmt.Errorf("reduce: atom %s is not an existentially quantified relation", g.R)
+		}
+		name := g.R
+		for _, v := range g.Args {
+			a, err := lookup(v)
+			if err != nil {
+				return nil, err
+			}
+			name += "_" + strconv.Itoa(a)
+		}
+		return sat.Var(name), nil
+	case logic.Not:
+		sub, err := t.translate(g.F, sigma)
+		if err != nil {
+			return nil, err
+		}
+		return sat.Not{F: sub}, nil
+	case logic.Or:
+		l, err := t.translate(g.L, sigma)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.translate(g.R, sigma)
+		if err != nil {
+			return nil, err
+		}
+		return sat.Or{l, r}, nil
+	case logic.And:
+		l, err := t.translate(g.L, sigma)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.translate(g.R, sigma)
+		if err != nil {
+			return nil, err
+		}
+		return sat.And{l, r}, nil
+	case logic.ExistsB:
+		y, err := lookup(g.Y)
+		if err != nil {
+			return nil, err
+		}
+		out := sat.Or{}
+		for _, a := range s.Connected(y) {
+			sigma[g.X] = a
+			sub, err := t.translate(g.F, sigma)
+			delete(sigma, g.X)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub)
+		}
+		return out, nil
+	case logic.ForallB:
+		y, err := lookup(g.Y)
+		if err != nil {
+			return nil, err
+		}
+		out := sat.And{}
+		for _, a := range s.Connected(y) {
+			sigma[g.X] = a
+			sub, err := t.translate(g.F, sigma)
+			delete(sigma, g.X)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("reduce: %T is not a BF construct", f)
+	}
+}

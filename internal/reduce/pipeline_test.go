@@ -1,0 +1,45 @@
+package reduce
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/props"
+	"repro/internal/sat"
+)
+
+// TestSingleNodePipelineGroundTruth runs the Theorem 22 pipeline on a
+// single-node source through each stage: the τ Boolean graph must be
+// satisfiable, the 3-CNF stage must preserve that, and the final gadget
+// graph must be 3-colorable.
+func TestSingleNodePipelineGroundTruth(t *testing.T) {
+	t.Parallel()
+	g := graph.Single("1")
+	bg, err := FormulaToBooleanGraph(g, logic.KColorable(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bg.Satisfiable() {
+		t.Fatalf("tau Boolean graph unsatisfiable: %v", bg.Formulas[0])
+	}
+	mid, err := SatGraphTo3SatGraph().Apply(bg.G, graph.IDAssignment{"0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbg, err := sat.DecodeBooleanGraph(mid.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mbg.Satisfiable() {
+		t.Fatalf("3-CNF stage lost satisfiability: %v", mbg.Formulas[0])
+	}
+	res, err := ThreeSatGraphToThreeColorable().Apply(mid.Out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gadget: %d nodes %d edges", res.Out.N(), res.Out.NumEdges())
+	if !props.ThreeColorable(res.Out) {
+		t.Fatal("gadget graph is not 3-colorable although the source is satisfiable")
+	}
+}

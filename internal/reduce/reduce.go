@@ -1,0 +1,293 @@
+// Package reduce implements the locally polynomial reductions of Section 8
+// of the paper: graph transformations computable by a locally polynomial
+// machine in which every node of the input graph emits a cluster of the
+// output graph, with inter-cluster edges only between clusters of adjacent
+// nodes.
+//
+// Each reduction here is written so that node u's cluster depends only on
+// u's 1-neighborhood (its own label/identifier, its degree, and its
+// neighbors' labels/identifiers) — exactly the information a constant-round
+// machine gathers — which makes local computability manifest even though
+// the driver loop is sequential.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Result is the output of a reduction: the new graph together with the
+// cluster map assigning each output node to the input node whose cluster
+// it belongs to (Section 8, "clusters and implementable functions").
+type Result struct {
+	Out *graph.Graph
+	// ClusterOf[v] is the input node represented by output node v.
+	ClusterOf []int
+}
+
+// Validate checks the cluster-map conditions: every output node belongs to
+// a cluster of an input node, and edges run within a cluster or between
+// clusters of adjacent input nodes.
+func (r *Result) Validate(in *graph.Graph) error {
+	if len(r.ClusterOf) != r.Out.N() {
+		return fmt.Errorf("reduce: cluster map covers %d of %d nodes", len(r.ClusterOf), r.Out.N())
+	}
+	for _, c := range r.ClusterOf {
+		if c < 0 || c >= in.N() {
+			return fmt.Errorf("reduce: cluster target %d out of range", c)
+		}
+	}
+	for _, e := range r.Out.Edges() {
+		cu, cv := r.ClusterOf[e.U], r.ClusterOf[e.V]
+		if cu != cv && !in.HasEdge(cu, cv) {
+			return fmt.Errorf("reduce: edge {%d,%d} crosses non-adjacent clusters %d,%d", e.U, e.V, cu, cv)
+		}
+	}
+	return nil
+}
+
+// ClusterSizes returns the number of output nodes per input node.
+func (r *Result) ClusterSizes(in *graph.Graph) []int {
+	sizes := make([]int, in.N())
+	for _, c := range r.ClusterOf {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Reduction is a locally polynomial reduction from one graph property to
+// another.
+type Reduction struct {
+	Name string
+	// Apply transforms the input graph. The identifier assignment must be
+	// RadiusID-locally unique; reductions that do not use identifiers
+	// accept nil.
+	Apply func(g *graph.Graph, id graph.IDAssignment) (*Result, error)
+	// RadiusID is the identifier locality the reduction requires (0 when
+	// identifiers are unused).
+	RadiusID int
+}
+
+// ErrNeedIdentifiers is returned when a reduction requiring identifiers is
+// invoked without them.
+var ErrNeedIdentifiers = errors.New("reduce: reduction requires a locally unique identifier assignment")
+
+// builder incrementally constructs an output graph with a cluster map.
+type builder struct {
+	edges     []graph.Edge
+	labels    []string
+	clusterOf []int
+}
+
+// node adds a node to the given cluster and returns its index.
+func (b *builder) node(cluster int, label string) int {
+	id := len(b.labels)
+	b.labels = append(b.labels, label)
+	b.clusterOf = append(b.clusterOf, cluster)
+	return id
+}
+
+func (b *builder) edge(u, v int) {
+	b.edges = append(b.edges, graph.Edge{U: u, V: v})
+}
+
+func (b *builder) result() (*Result, error) {
+	out, err := graph.New(len(b.labels), b.edges, b.labels)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: output graph invalid: %w", err)
+	}
+	return &Result{Out: out, ClusterOf: b.clusterOf}, nil
+}
+
+// AllSelectedToEulerian is the reduction of Proposition 18 (Figure 9):
+// the output graph has all degrees even — and is hence Eulerian — exactly
+// when every input label is "1". Each input node is represented by two
+// copies joined to the four copies of each incident edge; unselected nodes
+// get an extra edge between their two copies, making both degrees odd.
+//
+// Single-node graphs are treated as the special case the proof mentions: a
+// selected singleton maps to a (trivially Eulerian) singleton, an
+// unselected one to a two-node path (both degrees odd).
+func AllSelectedToEulerian() Reduction {
+	return Reduction{
+		Name: "all-selected ≤lp eulerian",
+		Apply: func(g *graph.Graph, _ graph.IDAssignment) (*Result, error) {
+			b := &builder{}
+			if g.N() == 1 {
+				if g.Label(0) == "1" {
+					b.node(0, "")
+				} else {
+					a := b.node(0, "")
+					c := b.node(0, "")
+					b.edge(a, c)
+				}
+				return b.result()
+			}
+			copy0 := make([]int, g.N())
+			copy1 := make([]int, g.N())
+			for u := 0; u < g.N(); u++ {
+				copy0[u] = b.node(u, "")
+				copy1[u] = b.node(u, "")
+				if g.Label(u) != "1" {
+					b.edge(copy0[u], copy1[u])
+				}
+			}
+			for _, e := range g.Edges() {
+				b.edge(copy0[e.U], copy0[e.V])
+				b.edge(copy0[e.U], copy1[e.V])
+				b.edge(copy1[e.U], copy0[e.V])
+				b.edge(copy1[e.U], copy1[e.V])
+			}
+			return b.result()
+		},
+	}
+}
+
+// portIndex returns, for each node u, the cluster-local port pair indices
+// used by the Hamiltonian constructions: ports 2i ("go to v_i") and 2i+1
+// ("come from v_i") for the i-th neighbor in ascending index order.
+func neighborRank(g *graph.Graph, u, v int) int {
+	for i, w := range g.Neighbors(u) {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllSelectedToHamiltonian is the reduction of Proposition 19 (Figures 3
+// and 10): each input node becomes a cycle of ports (two per incident
+// edge, padded to length ≥ 3 with dummies); the four port edges per input
+// edge let a Hamiltonian cycle of the output simulate an Euler tour of a
+// spanning tree of the input. Unselected nodes grow a pendant node that no
+// Hamiltonian cycle can visit.
+func AllSelectedToHamiltonian() Reduction {
+	return Reduction{
+		Name: "all-selected ≤lp hamiltonian",
+		Apply: func(g *graph.Graph, _ graph.IDAssignment) (*Result, error) {
+			b := &builder{}
+			// goPort[u][i], comePort[u][i] for the i-th neighbor of u.
+			goPort := make([][]int, g.N())
+			comePort := make([][]int, g.N())
+			for u := 0; u < g.N(); u++ {
+				d := g.Degree(u)
+				var cycle []int
+				goPort[u] = make([]int, d)
+				comePort[u] = make([]int, d)
+				for i := 0; i < d; i++ {
+					goPort[u][i] = b.node(u, "")
+					comePort[u][i] = b.node(u, "")
+					cycle = append(cycle, goPort[u][i], comePort[u][i])
+				}
+				// Pad with dummies to reach cycle length >= 3.
+				for len(cycle) < 3 {
+					cycle = append(cycle, b.node(u, ""))
+				}
+				for i := range cycle {
+					b.edge(cycle[i], cycle[(i+1)%len(cycle)])
+				}
+				if g.Label(u) != "1" {
+					bad := b.node(u, "")
+					b.edge(bad, cycle[0])
+				}
+			}
+			for _, e := range g.Edges() {
+				i := neighborRank(g, e.U, e.V)
+				j := neighborRank(g, e.V, e.U)
+				// {u→v, v←u} and {u←v, v→u}.
+				b.edge(goPort[e.U][i], comePort[e.V][j])
+				b.edge(comePort[e.U][i], goPort[e.V][j])
+			}
+			return b.result()
+		},
+	}
+}
+
+// NotAllSelectedToHamiltonian is the reduction of Proposition 20
+// (Figure 11): two stacked copies of the Proposition 19 construction (a
+// "top" and a "bottom" cycle per node, each padded with three extra
+// nodes), connected by a "middle rung" at every node and an extra rung at
+// unselected nodes. The output is Hamiltonian iff some input node is
+// unselected.
+func NotAllSelectedToHamiltonian() Reduction {
+	return Reduction{
+		Name: "not-all-selected ≤lp hamiltonian",
+		Apply: func(g *graph.Graph, _ graph.IDAssignment) (*Result, error) {
+			b := &builder{}
+			type layer struct {
+				goPort, comePort []int
+				extra            [3]int
+			}
+			mk := func(u int) layer {
+				d := g.Degree(u)
+				var l layer
+				var cycle []int
+				l.goPort = make([]int, d)
+				l.comePort = make([]int, d)
+				for i := 0; i < d; i++ {
+					l.goPort[i] = b.node(u, "")
+					l.comePort[i] = b.node(u, "")
+					cycle = append(cycle, l.goPort[i], l.comePort[i])
+				}
+				for i := range l.extra {
+					l.extra[i] = b.node(u, "")
+					cycle = append(cycle, l.extra[i])
+				}
+				for i := range cycle {
+					b.edge(cycle[i], cycle[(i+1)%len(cycle)])
+				}
+				return l
+			}
+			top := make([]layer, g.N())
+			bot := make([]layer, g.N())
+			for u := 0; u < g.N(); u++ {
+				top[u] = mk(u)
+				bot[u] = mk(u)
+				// The middle rung keeps the output connected.
+				b.edge(top[u].extra[1], bot[u].extra[1])
+				if g.Label(u) != "1" {
+					// The unselected rung lets a Hamiltonian cycle switch
+					// between the two layers.
+					b.edge(top[u].extra[0], bot[u].extra[0])
+				}
+			}
+			for _, e := range g.Edges() {
+				i := neighborRank(g, e.U, e.V)
+				j := neighborRank(g, e.V, e.U)
+				for _, l := range []struct{ a, b []layer }{{top, top}, {bot, bot}} {
+					b.edge(l.a[e.U].goPort[i], l.b[e.V].comePort[j])
+					b.edge(l.a[e.U].comePort[i], l.b[e.V].goPort[j])
+				}
+			}
+			return b.result()
+		},
+	}
+}
+
+// Compose chains two reductions (the identifier assignment is forwarded
+// only to the first; the second receives fresh globally unique identifiers
+// of the intermediate graph, which are in particular locally unique).
+func Compose(r1, r2 Reduction) Reduction {
+	return Reduction{
+		Name:     r1.Name + " ∘ " + r2.Name,
+		RadiusID: r1.RadiusID,
+		Apply: func(g *graph.Graph, id graph.IDAssignment) (*Result, error) {
+			mid, err := r1.Apply(g, id)
+			if err != nil {
+				return nil, err
+			}
+			midID := graph.GloballyUnique(mid.Out)
+			out, err := r2.Apply(mid.Out, midID)
+			if err != nil {
+				return nil, err
+			}
+			composed := make([]int, out.Out.N())
+			for v, c := range out.ClusterOf {
+				composed[v] = mid.ClusterOf[c]
+			}
+			return &Result{Out: out.Out, ClusterOf: composed}, nil
+		},
+	}
+}

@@ -1,0 +1,328 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/props"
+	"repro/internal/sat"
+)
+
+func apply(t *testing.T, r Reduction, g *graph.Graph, id graph.IDAssignment) *Result {
+	t.Helper()
+	res, err := r.Apply(g, id)
+	if err != nil {
+		t.Fatalf("%s on %v: %v", r.Name, g, err)
+	}
+	if err := res.Validate(g); err != nil {
+		t.Fatalf("%s: invalid cluster map: %v", r.Name, err)
+	}
+	return res
+}
+
+func forEachLabeling(g *graph.Graph, f func(*graph.Graph)) {
+	for mask := uint(0); mask < 1<<uint(g.N()); mask++ {
+		f(g.MustWithLabels(graph.BitLabels(g.N(), mask)))
+	}
+}
+
+// TestEulerianReduction: Proposition 18 / Figure 9 — G ∈ all-selected iff
+// G′ ∈ eulerian, on exhaustive labelings of several topologies including
+// the single-node special case.
+func TestEulerianReduction(t *testing.T) {
+	t.Parallel()
+	r := AllSelectedToEulerian()
+	bases := []*graph.Graph{
+		graph.Single(""), graph.Path(2), graph.Path(4),
+		graph.Cycle(4), graph.Star(4), graph.Complete(4),
+	}
+	for _, base := range bases {
+		forEachLabeling(base, func(g *graph.Graph) {
+			res := apply(t, r, g, nil)
+			want := props.AllSelected(g)
+			if got := props.Eulerian(res.Out); got != want {
+				t.Fatalf("%v: eulerian(G') = %v, want %v", g, got, want)
+			}
+		})
+	}
+}
+
+// TestEulerianReductionClusterSizes: every input node owns exactly two
+// output nodes (multi-node case).
+func TestEulerianReductionClusterSizes(t *testing.T) {
+	t.Parallel()
+	g := graph.Cycle(4).MustWithLabels([]string{"1", "0", "1", "1"})
+	res := apply(t, AllSelectedToEulerian(), g, nil)
+	for u, sz := range res.ClusterSizes(g) {
+		if sz != 2 {
+			t.Fatalf("cluster of %d has %d nodes", u, sz)
+		}
+	}
+}
+
+// TestHamiltonianReduction: Proposition 19 / Figures 3, 10.
+func TestHamiltonianReduction(t *testing.T) {
+	t.Parallel()
+	r := AllSelectedToHamiltonian()
+	bases := []*graph.Graph{
+		graph.Single(""), graph.Path(2), graph.Path(3),
+		graph.Cycle(3), graph.Cycle(4), graph.Star(4),
+	}
+	for _, base := range bases {
+		forEachLabeling(base, func(g *graph.Graph) {
+			res := apply(t, r, g, nil)
+			want := props.AllSelected(g)
+			if got := props.Hamiltonian(res.Out); got != want {
+				t.Fatalf("%v: hamiltonian(G') = %v, want %v", g, got, want)
+			}
+		})
+	}
+}
+
+// TestHamiltonianReductionFigure3: the concrete 4-node example of
+// Figure 3: u2 is unselected, so G' is not Hamiltonian; flipping u2's
+// label makes it Hamiltonian.
+func TestHamiltonianReductionFigure3(t *testing.T) {
+	t.Parallel()
+	// The Figure 3 graph: u1-u2, u1-u3, u2-u4, u3-u4 (a 4-cycle).
+	base := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}, nil)
+	r := AllSelectedToHamiltonian()
+
+	no := apply(t, r, base.MustWithLabels([]string{"1", "0", "1", "1"}), nil)
+	if props.Hamiltonian(no.Out) {
+		t.Fatal("Figure 3 no-instance should not be Hamiltonian")
+	}
+	yes := apply(t, r, base.MustWithLabels([]string{"1", "1", "1", "1"}), nil)
+	if !props.Hamiltonian(yes.Out) {
+		t.Fatal("Figure 3 yes-instance should be Hamiltonian")
+	}
+}
+
+// TestCoHamiltonianReduction: Proposition 20 / Figure 11 — G has an
+// unselected node iff G′ is Hamiltonian. Instances are kept tiny because
+// the negative case explores a 2-regular-ish graph exhaustively.
+func TestCoHamiltonianReduction(t *testing.T) {
+	t.Parallel()
+	r := NotAllSelectedToHamiltonian()
+	bases := []*graph.Graph{graph.Single(""), graph.Path(2)}
+	for _, base := range bases {
+		forEachLabeling(base, func(g *graph.Graph) {
+			res := apply(t, r, g, nil)
+			want := props.NotAllSelected(g)
+			if got := props.Hamiltonian(res.Out); got != want {
+				t.Fatalf("%v: hamiltonian(G') = %v, want %v", g, got, want)
+			}
+		})
+	}
+	// A slightly larger positive instance.
+	g := graph.Path(3).MustWithLabels([]string{"1", "0", "1"})
+	res := apply(t, r, g, nil)
+	if !props.Hamiltonian(res.Out) {
+		t.Fatal("unselected middle node should make G' Hamiltonian")
+	}
+}
+
+func mkBoolGraph(t *testing.T, topo *graph.Graph, formulas ...string) *graph.Graph {
+	t.Helper()
+	fs := make([]sat.Formula, len(formulas))
+	for i, s := range formulas {
+		fs[i] = sat.MustParse(s)
+	}
+	bg, err := sat.NewBooleanGraph(topo, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bg.G
+}
+
+// TestSatGraphTo3SatGraph: Tseytin per node preserves graph
+// satisfiability; output formulas are 3-CNF.
+func TestSatGraphTo3SatGraph(t *testing.T) {
+	t.Parallel()
+	r := SatGraphTo3SatGraph()
+	cases := []*graph.Graph{
+		mkBoolGraph(t, graph.Path(2), "P1|~P2|~P3", "P3|P4|~P5"),
+		mkBoolGraph(t, graph.Path(2), "P", "~P"),
+		mkBoolGraph(t, graph.Cycle(3), "A&(B|C)", "~B|A", "C&A"),
+		mkBoolGraph(t, graph.Single(""), "(A|B)&(~A|B)&(A|~B)&(~A|~B)"),
+	}
+	for _, g := range cases {
+		id := graph.SmallLocallyUnique(g, 1)
+		res := apply(t, r, g, id)
+		if got, want := props.SatGraph(res.Out), props.SatGraph(g); got != want {
+			t.Fatalf("%v: satisfiability changed: got %v, want %v", g, got, want)
+		}
+		// Every output formula must be 3-CNF.
+		bg, err := sat.DecodeBooleanGraph(res.Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, f := range bg.Formulas {
+			clauses, err := cnfClauses(f)
+			if err != nil {
+				t.Fatalf("node %d: output not CNF: %v", u, err)
+			}
+			for _, cl := range clauses {
+				if len(cl) > 3 {
+					t.Fatalf("node %d: clause of width %d", u, len(cl))
+				}
+			}
+		}
+	}
+}
+
+// TestSatGraphTo3SatRequiresIDs: the reduction must reject missing or
+// non-locally-unique identifier assignments.
+func TestSatGraphTo3SatRequiresIDs(t *testing.T) {
+	t.Parallel()
+	g := mkBoolGraph(t, graph.Path(2), "P", "P")
+	if _, err := SatGraphTo3SatGraph().Apply(g, nil); err == nil {
+		t.Fatal("nil identifiers accepted")
+	}
+	if _, err := SatGraphTo3SatGraph().Apply(g, graph.IDAssignment{"0", "0"}); err == nil {
+		t.Fatal("clashing identifiers accepted")
+	}
+}
+
+// TestThreeSatTo3Colorable: Theorem 23 / Figures 4, 12 — equisatisfiability
+// with 3-colorability on a spread of Boolean graphs.
+func TestThreeSatTo3Colorable(t *testing.T) {
+	t.Parallel()
+	r := ThreeSatGraphToThreeColorable()
+	cases := []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{mkBoolGraph(t, graph.Path(2), "P1|~P2|~P3", "P3|P4|~P5"), true},
+		{mkBoolGraph(t, graph.Path(2), "P", "~P"), false},
+		{mkBoolGraph(t, graph.Single(""), "(A|B)&(~A|B)&(A|~B)&(~A|~B)"), false},
+		{mkBoolGraph(t, graph.Single(""), "(A|B)&(~A|B)"), true},
+		{mkBoolGraph(t, graph.Cycle(3), "A", "A&B", "~B"), false},
+		{mkBoolGraph(t, graph.Cycle(3), "A", "A&B", "B"), true},
+	}
+	for _, tt := range cases {
+		res := apply(t, r, tt.g, nil)
+		if got := props.ThreeColorable(res.Out); got != tt.want {
+			t.Fatalf("%v: 3-colorable(G') = %v, want %v", tt.g, got, tt.want)
+		}
+		if got := props.SatGraph(tt.g); got != tt.want {
+			t.Fatal("test case ground truth is off")
+		}
+	}
+}
+
+// TestFullCookLevinChain: the composed reduction sat-graph → 3-sat-graph →
+// 3-colorable on random Boolean graphs, validated against ground truth.
+func TestFullCookLevinChain(t *testing.T) {
+	t.Parallel()
+	chain := Compose(SatGraphTo3SatGraph(), ThreeSatGraphToThreeColorable())
+	rng := rand.New(rand.NewSource(99))
+	vars := []string{"A", "B"}
+	// Single short clauses keep the gadget graphs small enough for the
+	// exponential ground-truth oracles below; shared-variable conflicts
+	// still produce unsatisfiable instances.
+	randFormula := func() sat.Formula {
+		var or sat.Or
+		for j := 0; j <= rng.Intn(2); j++ {
+			var lit sat.Formula = sat.Var(vars[rng.Intn(len(vars))])
+			if rng.Intn(2) == 0 {
+				lit = sat.Not{F: lit}
+			}
+			or = append(or, lit)
+		}
+		return or
+	}
+	for trial := 0; trial < 8; trial++ {
+		n := 2
+		topo := graph.RandomConnected(n, 0.6, rng)
+		fs := make([]sat.Formula, n)
+		for i := range fs {
+			fs[i] = randFormula()
+		}
+		bg, err := sat.NewBooleanGraph(topo, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := graph.SmallLocallyUnique(bg.G, 1)
+		res := apply(t, chain, bg.G, id)
+		want := props.SatGraph(bg.G)
+		// Pick the oracle by polarity: the backtracking colorer finds
+		// witnesses on satisfiable gadget graphs quickly, while the DPLL
+		// encoding refutes the (small) unsatisfiable ones quickly; each
+		// is exponential in the opposite direction.
+		var got bool
+		if want {
+			got = props.ThreeColorable(res.Out)
+		} else {
+			got = props.KColorableSAT(res.Out, 3)
+		}
+		if got != want {
+			t.Fatalf("trial %d: 3-colorable = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestRunMachineToAllSelected: Remark 17 — executing a decider reduces its
+// property to all-selected, preserving topology.
+func TestRunMachineToAllSelected(t *testing.T) {
+	t.Parallel()
+	evenDegree := func(g *graph.Graph, _ graph.IDAssignment) ([]string, error) {
+		out := make([]string, g.N())
+		for u := range out {
+			if g.Degree(u)%2 == 0 {
+				out[u] = "1"
+			} else {
+				out[u] = "0"
+			}
+		}
+		return out, nil
+	}
+	r := RunMachineToAllSelected("eulerian", evenDegree, 1)
+	for _, g := range []*graph.Graph{graph.Cycle(4), graph.Path(3), graph.Star(4)} {
+		res := apply(t, r, g, graph.SmallLocallyUnique(g, 1))
+		if res.Out.N() != g.N() || res.Out.NumEdges() != g.NumEdges() {
+			t.Fatal("topology not preserved")
+		}
+		if props.AllSelected(res.Out) != props.Eulerian(g) {
+			t.Fatalf("%v: reduction incorrect", g)
+		}
+	}
+}
+
+func TestValidateRejectsCrossClusterEdges(t *testing.T) {
+	t.Parallel()
+	in := graph.Path(3) // nodes 0 and 2 are not adjacent
+	out := graph.Path(2)
+	bad := &Result{Out: out, ClusterOf: []int{0, 2}}
+	if err := bad.Validate(in); err == nil {
+		t.Fatal("edge between clusters of non-adjacent nodes accepted")
+	}
+	ok := &Result{Out: out, ClusterOf: []int{0, 1}}
+	if err := ok.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCnfClauses(t *testing.T) {
+	t.Parallel()
+	f := sat.MustParse("(A|~B|C)&(~A|B)&C")
+	clauses, err := cnfClauses(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 3 {
+		t.Fatalf("got %d clauses", len(clauses))
+	}
+	if _, err := cnfClauses(sat.MustParse("~(A&B)")); err == nil {
+		t.Fatal("non-CNF accepted")
+	}
+	// Constants.
+	if cls, err := cnfClauses(sat.Const(true)); err != nil || len(cls) != 0 {
+		t.Fatal("⊤ should contribute no clauses")
+	}
+	cls, err := cnfClauses(sat.Const(false))
+	if err != nil || len(cls) != 2 {
+		t.Fatal("⊥ should contribute an unsatisfiable pair")
+	}
+}

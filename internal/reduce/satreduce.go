@@ -1,0 +1,252 @@
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sat"
+)
+
+// SatGraphTo3SatGraph is the first reduction in the proof of Theorem 23:
+// every node's Boolean formula is replaced by an equisatisfiable 3-CNF
+// formula via the Tseytin transformation. The auxiliary variables are
+// prefixed with the node's locally unique identifier so that adjacent
+// nodes never share them (the paper requires an (r+1)-locally unique
+// assignment; radius 1 suffices here because formulas only ever constrain
+// adjacent nodes).
+func SatGraphTo3SatGraph() Reduction {
+	return Reduction{
+		Name:     "sat-graph ≤lp 3-sat-graph",
+		RadiusID: 1,
+		Apply: func(g *graph.Graph, id graph.IDAssignment) (*Result, error) {
+			if id == nil || !id.IsLocallyUnique(g, 1) {
+				return nil, ErrNeedIdentifiers
+			}
+			bg, err := sat.DecodeBooleanGraph(g)
+			if err != nil {
+				return nil, fmt.Errorf("reduce: input is not a Boolean graph: %w", err)
+			}
+			labels := make([]string, g.N())
+			for u, f := range bg.Formulas {
+				prefix := fmt.Sprintf("t%s_", id[u])
+				cnf := sat.To3CNF(sat.Tseytin(f, prefix), prefix+"w")
+				labels[u] = sat.EncodeLabel(cnf.Formula())
+			}
+			out, err := g.WithLabels(labels)
+			if err != nil {
+				return nil, err
+			}
+			clusterOf := make([]int, g.N())
+			for u := range clusterOf {
+				clusterOf[u] = u
+			}
+			return &Result{Out: out, ClusterOf: clusterOf}, nil
+		},
+	}
+}
+
+// ThreeSatGraphToThreeColorable is the second reduction in the proof of
+// Theorem 23 (Figures 4 and 12): each node's 3-CNF formula becomes a
+// formula gadget (the classical 3-SAT → 3-colorability construction), and
+// connector gadgets across each input edge force the special false/ground
+// nodes and all shared literal nodes of adjacent clusters to the same
+// color. The output graph is 3-colorable iff the Boolean graph is
+// satisfiable.
+//
+// Gadget conventions (colors are a posteriori: 0 = false, 1 = true,
+// 2 = ground):
+//
+//   - per cluster: an edge false—ground;
+//   - per variable P of the cluster's formula: a triangle P, ¬P, ground,
+//     so that P and ¬P take complementary truth colors;
+//   - per clause (l1 ∨ l2 ∨ l3): two chained OR-gadgets whose output is
+//     wired to false and ground, forcing the clause to evaluate true. An
+//     OR-gadget or(a,b) ↦ o consists of fresh x, y with edges a—x, b—y,
+//     x—y, x—o, y—o: if a and b are both false, o is forced false;
+//     otherwise o can be true.
+//   - connector(w_u, w_v): fresh m1 (in u's cluster) and m2 (in v's
+//     cluster) with edges m1—m2, w_u—m1, w_u—m2, w_v—m1, w_v—m2: any
+//     proper 3-coloring gives w_u and w_v the same color.
+func ThreeSatGraphToThreeColorable() Reduction {
+	return Reduction{
+		Name: "3-sat-graph ≤lp 3-colorable",
+		Apply: func(g *graph.Graph, _ graph.IDAssignment) (*Result, error) {
+			bg, err := sat.DecodeBooleanGraph(g)
+			if err != nil {
+				return nil, fmt.Errorf("reduce: input is not a Boolean graph: %w", err)
+			}
+			b := &builder{}
+			falseNode := make([]int, g.N())
+			groundNode := make([]int, g.N())
+			// litNode[u][literal string] = node index.
+			litNode := make([]map[string]int, g.N())
+
+			for u := 0; u < g.N(); u++ {
+				falseNode[u] = b.node(u, "")
+				groundNode[u] = b.node(u, "")
+				b.edge(falseNode[u], groundNode[u])
+				litNode[u] = make(map[string]int)
+				addVar := func(v string) {
+					if _, ok := litNode[u][v]; ok {
+						return
+					}
+					pos := b.node(u, "")
+					neg := b.node(u, "")
+					litNode[u][v] = pos
+					litNode[u]["~"+v] = neg
+					b.edge(pos, neg)
+					b.edge(pos, groundNode[u])
+					b.edge(neg, groundNode[u])
+				}
+				for _, v := range sat.Vars(bg.Formulas[u]) {
+					addVar(v)
+				}
+				// Clause gadgets. The formulas arriving here are CNFs
+				// (possibly produced by SatGraphTo3SatGraph); clause
+				// structure is recovered syntactically.
+				clauses, cerr := cnfClauses(bg.Formulas[u])
+				if cerr != nil {
+					return nil, fmt.Errorf("reduce: node %d: %w", u, cerr)
+				}
+				orGadget := func(a, c int) int {
+					x := b.node(u, "")
+					y := b.node(u, "")
+					o := b.node(u, "")
+					b.edge(a, x)
+					b.edge(c, y)
+					b.edge(x, y)
+					b.edge(x, o)
+					b.edge(y, o)
+					return o
+				}
+				for _, cl := range clauses {
+					if len(cl) == 0 {
+						cl = sat.Clause{{Name: "_false"}} // empty clause: unsatisfiable
+					}
+					lits := make([]int, 0, 3)
+					for _, l := range cl {
+						addVar(l.Name) // covers gadget-private variables like _false
+						name := l.Name
+						if l.Neg {
+							name = "~" + name
+						}
+						lits = append(lits, litNode[u][name])
+					}
+					for len(lits) < 3 {
+						lits = append(lits, lits[len(lits)-1]) // pad by repetition
+					}
+					o1 := orGadget(lits[0], lits[1])
+					o2 := orGadget(o1, lits[2])
+					b.edge(o2, falseNode[u])
+					b.edge(o2, groundNode[u])
+				}
+			}
+
+			connector := func(u, v, wu, wv int) {
+				m1 := b.node(u, "")
+				m2 := b.node(v, "")
+				b.edge(m1, m2)
+				b.edge(wu, m1)
+				b.edge(wu, m2)
+				b.edge(wv, m1)
+				b.edge(wv, m2)
+			}
+			for _, e := range g.Edges() {
+				connector(e.U, e.V, falseNode[e.U], falseNode[e.V])
+				connector(e.U, e.V, groundNode[e.U], groundNode[e.V])
+				for _, v := range sat.Vars(bg.Formulas[e.U]) {
+					if _, shared := litNode[e.V][v]; shared {
+						connector(e.U, e.V, litNode[e.U][v], litNode[e.V][v])
+					}
+				}
+			}
+			return b.result()
+		},
+	}
+}
+
+// cnfClauses extracts the clause structure from a CNF-shaped formula:
+// a conjunction of disjunctions of literals (single literals and single
+// clauses are accepted at any level).
+func cnfClauses(f sat.Formula) ([]sat.Clause, error) {
+	switch g := f.(type) {
+	case sat.And:
+		var out []sat.Clause
+		for _, sub := range g {
+			cls, err := cnfClauses(sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cls...)
+		}
+		return out, nil
+	case sat.Or, sat.Var, sat.Not:
+		cl, err := clauseLits(f)
+		if err != nil {
+			return nil, err
+		}
+		return []sat.Clause{cl}, nil
+	case sat.Const:
+		if bool(g) {
+			return nil, nil // ⊤ contributes no clause
+		}
+		// ⊥: an unsatisfiable clause gadget — encode as (P ∧ ¬P) clauses
+		// over a fresh private variable name.
+		return []sat.Clause{
+			{sat.Literal{Name: "_false"}},
+			{sat.Literal{Name: "_false", Neg: true}},
+		}, nil
+	default:
+		return nil, fmt.Errorf("formula %v is not in CNF", f)
+	}
+}
+
+func clauseLits(f sat.Formula) (sat.Clause, error) {
+	switch g := f.(type) {
+	case sat.Or:
+		var out sat.Clause
+		for _, sub := range g {
+			lits, err := clauseLits(sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lits...)
+		}
+		return out, nil
+	case sat.Var:
+		return sat.Clause{{Name: string(g)}}, nil
+	case sat.Not:
+		v, ok := g.F.(sat.Var)
+		if !ok {
+			return nil, fmt.Errorf("negation of non-variable in clause: %v", f)
+		}
+		return sat.Clause{{Name: string(v), Neg: true}}, nil
+	default:
+		return nil, fmt.Errorf("non-literal %v in clause", f)
+	}
+}
+
+// RunMachineToAllSelected is the reduction of Remark 17: executing any
+// LP-decider M relabels each node with its verdict, reducing the property
+// decided by M to all-selected while preserving the topology.
+func RunMachineToAllSelected(name string, decide func(g *graph.Graph, id graph.IDAssignment) ([]string, error), radiusID int) Reduction {
+	return Reduction{
+		Name:     name + " ≤lp all-selected",
+		RadiusID: radiusID,
+		Apply: func(g *graph.Graph, id graph.IDAssignment) (*Result, error) {
+			verdicts, err := decide(g, id)
+			if err != nil {
+				return nil, err
+			}
+			out, err := g.WithLabels(verdicts)
+			if err != nil {
+				return nil, err
+			}
+			clusterOf := make([]int, g.N())
+			for u := range clusterOf {
+				clusterOf[u] = u
+			}
+			return &Result{Out: out, ClusterOf: clusterOf}, nil
+		},
+	}
+}

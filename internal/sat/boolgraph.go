@@ -1,0 +1,143 @@
+package sat
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// BooleanGraph pairs a labeled graph with the decoded Boolean formula of
+// each node (Section 8: "a Boolean graph is a graph whose nodes are labeled
+// with (encodings of) Boolean formulas").
+type BooleanGraph struct {
+	G        *graph.Graph
+	Formulas []Formula
+}
+
+// NewBooleanGraph builds a Boolean graph from per-node formulas on the
+// topology of g. The labels of the returned graph's underlying Graph are
+// the bit-string encodings of the formulas.
+func NewBooleanGraph(g *graph.Graph, formulas []Formula) (*BooleanGraph, error) {
+	if len(formulas) != g.N() {
+		return nil, fmt.Errorf("sat: %d formulas for %d nodes", len(formulas), g.N())
+	}
+	labels := make([]string, g.N())
+	for u, f := range formulas {
+		labels[u] = EncodeLabel(f)
+	}
+	lg, err := g.WithLabels(labels)
+	if err != nil {
+		return nil, err
+	}
+	return &BooleanGraph{G: lg, Formulas: append([]Formula(nil), formulas...)}, nil
+}
+
+// DecodeBooleanGraph decodes the labels of g into formulas.
+func DecodeBooleanGraph(g *graph.Graph) (*BooleanGraph, error) {
+	formulas := make([]Formula, g.N())
+	for u := 0; u < g.N(); u++ {
+		f, err := DecodeLabel(g.Label(u))
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", u, err)
+		}
+		formulas[u] = f
+	}
+	return &BooleanGraph{G: g, Formulas: formulas}, nil
+}
+
+// nodeVar gives the joint-CNF name of Boolean variable name at node u.
+func nodeVar(u int, name string) string {
+	return "n" + strconv.Itoa(u) + "_" + name
+}
+
+// JointCNF builds a single CNF that is satisfiable if and only if the
+// Boolean graph is satisfiable per Section 8: there is a per-node valuation
+// val(u) satisfying each node's formula such that adjacent nodes agree on
+// every variable they share.
+//
+// Variables are instantiated per node; equivalence clauses tie shared
+// variables of adjacent nodes together. Tseytin auxiliaries are per-node
+// and never shared.
+func (bg *BooleanGraph) JointCNF() CNF {
+	var out CNF
+	vars := make([]map[string]bool, bg.G.N())
+	for u, f := range bg.Formulas {
+		vars[u] = make(map[string]bool)
+		f.CollectVars(vars[u])
+		cnf := Tseytin(f, fmt.Sprintf("_aux%d_", u))
+		for _, cl := range cnf {
+			ncl := make(Clause, len(cl))
+			for i, l := range cl {
+				name := l.Name
+				if vars[u][name] {
+					name = nodeVar(u, name)
+				}
+				ncl[i] = Literal{Name: name, Neg: l.Neg}
+			}
+			out = append(out, ncl)
+		}
+	}
+	for _, e := range bg.G.Edges() {
+		for name := range vars[e.U] {
+			if !vars[e.V][name] {
+				continue
+			}
+			a := Literal{Name: nodeVar(e.U, name)}
+			b := Literal{Name: nodeVar(e.V, name)}
+			out = append(out,
+				Clause{Literal{Name: a.Name, Neg: true}, b},
+				Clause{a, Literal{Name: b.Name, Neg: true}})
+		}
+	}
+	return out
+}
+
+// Satisfiable decides the sat-graph property for the Boolean graph.
+func (bg *BooleanGraph) Satisfiable() bool {
+	return Solve(bg.JointCNF())
+}
+
+// Valuations returns per-node satisfying valuations (restricted to each
+// node's own variables) if the Boolean graph is satisfiable.
+func (bg *BooleanGraph) Valuations() ([]map[string]bool, bool) {
+	model, ok := SolveModel(bg.JointCNF())
+	if !ok {
+		return nil, false
+	}
+	out := make([]map[string]bool, bg.G.N())
+	for u, f := range bg.Formulas {
+		out[u] = make(map[string]bool)
+		for _, v := range Vars(f) {
+			out[u][v] = model[nodeVar(u, v)]
+		}
+	}
+	return out, true
+}
+
+// CheckValuations verifies the Section 8 conditions for a candidate family
+// of per-node valuations: each valuation satisfies its node's formula, and
+// adjacent nodes agree on shared variables. It is the specification against
+// which Valuations and the distributed verifier are tested.
+func (bg *BooleanGraph) CheckValuations(vals []map[string]bool) bool {
+	if len(vals) != bg.G.N() {
+		return false
+	}
+	for u, f := range bg.Formulas {
+		if !f.Eval(vals[u]) {
+			return false
+		}
+	}
+	for _, e := range bg.G.Edges() {
+		uVars := make(map[string]bool)
+		bg.Formulas[e.U].CollectVars(uVars)
+		vVars := make(map[string]bool)
+		bg.Formulas[e.V].CollectVars(vVars)
+		for name := range uVars {
+			if vVars[name] && vals[e.U][name] != vals[e.V][name] {
+				return false
+			}
+		}
+	}
+	return true
+}

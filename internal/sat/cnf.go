@@ -1,0 +1,342 @@
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Literal is a possibly negated variable.
+type Literal struct {
+	Name string
+	Neg  bool
+}
+
+// String renders the literal, e.g. "~P1".
+func (l Literal) String() string {
+	if l.Neg {
+		return "~" + l.Name
+	}
+	return l.Name
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses.
+type CNF []Clause
+
+// Formula converts the CNF back into a Formula value.
+func (c CNF) Formula() Formula {
+	and := make(And, 0, len(c))
+	for _, cl := range c {
+		or := make(Or, 0, len(cl))
+		for _, l := range cl {
+			if l.Neg {
+				or = append(or, Not{F: Var(l.Name)})
+			} else {
+				or = append(or, Var(l.Name))
+			}
+		}
+		and = append(and, or)
+	}
+	return and
+}
+
+// Vars returns the sorted variable names of the CNF.
+func (c CNF) Vars() []string {
+	set := make(map[string]bool)
+	for _, cl := range c {
+		for _, l := range cl {
+			set[l.Name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates the CNF under a valuation (missing variables are false).
+func (c CNF) Eval(val map[string]bool) bool {
+	for _, cl := range c {
+		sat := false
+		for _, l := range cl {
+			if val[l.Name] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxClauseWidth returns the size of the largest clause (0 for empty CNF).
+func (c CNF) MaxClauseWidth() int {
+	w := 0
+	for _, cl := range c {
+		if len(cl) > w {
+			w = len(cl)
+		}
+	}
+	return w
+}
+
+// Tseytin converts an arbitrary formula into an equisatisfiable CNF using
+// the Tseytin transformation. Auxiliary variables are named
+// auxPrefix + "0", auxPrefix + "1", ... and must not clash with the
+// formula's own variables (the caller chooses a fresh prefix; in the
+// sat-graph → 3-sat-graph reduction of Theorem 23, the prefix embeds the
+// node's locally unique identifier).
+//
+// Every satisfying valuation of f extends to one of the CNF, and every
+// satisfying valuation of the CNF restricts to one of f.
+func Tseytin(f Formula, auxPrefix string) CNF {
+	t := &tseytin{prefix: auxPrefix}
+	root := t.lit(f)
+	t.cnf = append(t.cnf, Clause{root})
+	return t.cnf
+}
+
+type tseytin struct {
+	prefix string
+	next   int
+	cnf    CNF
+}
+
+func (t *tseytin) fresh() string {
+	name := fmt.Sprintf("%s%d", t.prefix, t.next)
+	t.next++
+	return name
+}
+
+// lit returns a literal equivalent to f, adding defining clauses.
+func (t *tseytin) lit(f Formula) Literal {
+	switch g := f.(type) {
+	case Var:
+		return Literal{Name: string(g)}
+	case Const:
+		// Represent constants with a fresh forced variable.
+		v := t.fresh()
+		t.cnf = append(t.cnf, Clause{Literal{Name: v, Neg: !bool(g)}})
+		return Literal{Name: v}
+	case Not:
+		l := t.lit(g.F)
+		return Literal{Name: l.Name, Neg: !l.Neg}
+	case And:
+		if len(g) == 0 {
+			return t.lit(Const(true))
+		}
+		lits := make([]Literal, len(g))
+		for i, sub := range g {
+			lits[i] = t.lit(sub)
+		}
+		v := t.fresh()
+		pos := Literal{Name: v}
+		neg := Literal{Name: v, Neg: true}
+		// v -> each lit ; all lits -> v.
+		back := Clause{pos}
+		for _, l := range lits {
+			t.cnf = append(t.cnf, Clause{neg, l})
+			back = append(back, Literal{Name: l.Name, Neg: !l.Neg})
+		}
+		t.cnf = append(t.cnf, back)
+		return pos
+	case Or:
+		if len(g) == 0 {
+			return t.lit(Const(false))
+		}
+		lits := make([]Literal, len(g))
+		for i, sub := range g {
+			lits[i] = t.lit(sub)
+		}
+		v := t.fresh()
+		pos := Literal{Name: v}
+		neg := Literal{Name: v, Neg: true}
+		// v -> some lit ; each lit -> v.
+		fwd := Clause{neg}
+		for _, l := range lits {
+			fwd = append(fwd, l)
+			t.cnf = append(t.cnf, Clause{pos, Literal{Name: l.Name, Neg: !l.Neg}})
+		}
+		t.cnf = append(t.cnf, fwd)
+		return pos
+	default:
+		panic(fmt.Sprintf("sat: unknown formula type %T", f))
+	}
+}
+
+// To3CNF splits clauses wider than 3 using chained auxiliary variables
+// (auxPrefix + "s0", ...), yielding an equisatisfiable CNF whose clauses
+// have at most three literals.
+func To3CNF(c CNF, auxPrefix string) CNF {
+	var out CNF
+	next := 0
+	fresh := func() Literal {
+		l := Literal{Name: fmt.Sprintf("%ss%d", auxPrefix, next)}
+		next++
+		return l
+	}
+	for _, cl := range c {
+		for len(cl) > 3 {
+			s := fresh()
+			out = append(out, Clause{cl[0], cl[1], s})
+			rest := make(Clause, 0, len(cl)-1)
+			rest = append(rest, Literal{Name: s.Name, Neg: true})
+			rest = append(rest, cl[2:]...)
+			cl = rest
+		}
+		out = append(out, append(Clause(nil), cl...))
+	}
+	return out
+}
+
+// Solve reports whether the CNF is satisfiable, using DPLL with unit
+// propagation and pure-literal elimination.
+func Solve(c CNF) bool {
+	_, ok := SolveModel(c)
+	return ok
+}
+
+// SolveModel returns a satisfying valuation if one exists.
+func SolveModel(c CNF) (map[string]bool, bool) {
+	names := c.Vars()
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	clauses := make([][]int, 0, len(c))
+	for _, cl := range c {
+		ints := make([]int, 0, len(cl))
+		for _, l := range cl {
+			v := index[l.Name] + 1
+			if l.Neg {
+				v = -v
+			}
+			ints = append(ints, v)
+		}
+		clauses = append(clauses, ints)
+	}
+	asn := make([]int8, len(names)+1) // 0 unknown, 1 true, -1 false
+	if !dpll(clauses, asn) {
+		return nil, false
+	}
+	model := make(map[string]bool, len(names))
+	for i, n := range names {
+		model[n] = asn[i+1] == 1
+	}
+	return model, true
+}
+
+func dpll(clauses [][]int, asn []int8) bool {
+	// Unit propagation loop. After it settles, `branch` holds a variable
+	// from a shortest unsatisfied clause — branching there maximizes the
+	// chance of immediate further propagation.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			asn[v] = 0
+		}
+	}
+	branch := 0
+	for {
+		unit := 0
+		allSat := true
+		branch = 0
+		best := int(^uint(0) >> 1)
+		for _, cl := range clauses {
+			sat := false
+			unassigned := 0
+			var last int
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				switch {
+				case asn[v] == 0:
+					unassigned++
+					last = l
+				case (asn[v] == 1) == (l > 0):
+					sat = true
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			allSat = false
+			if unassigned == 0 {
+				undo()
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+				break
+			}
+			if unassigned < best {
+				best = unassigned
+				branch = last // keep the sign: the first branch satisfies this clause
+			}
+		}
+		if allSat {
+			return true
+		}
+		if unit == 0 {
+			break
+		}
+		v := unit
+		val := int8(1)
+		if v < 0 {
+			v = -v
+			val = -1
+		}
+		asn[v] = val
+		trail = append(trail, v)
+	}
+	if branch == 0 {
+		// All assigned but not all clauses satisfied: conflict.
+		undo()
+		return false
+	}
+	v := branch
+	first := int8(1)
+	if v < 0 {
+		v = -v
+		first = -1
+	}
+	for _, val := range []int8{first, -first} {
+		asn[v] = val
+		if dpll(clauses, asn) {
+			return true
+		}
+		asn[v] = 0
+	}
+	undo()
+	return false
+}
+
+// Satisfiable reports whether the formula f is satisfiable.
+func Satisfiable(f Formula) bool {
+	return Solve(Tseytin(f, "_t"))
+}
+
+// SatisfiableModel returns a satisfying valuation of f restricted to f's
+// own variables, if one exists.
+func SatisfiableModel(f Formula) (map[string]bool, bool) {
+	model, ok := SolveModel(Tseytin(f, "_t"))
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]bool)
+	for _, v := range Vars(f) {
+		out[v] = model[v]
+	}
+	return out, true
+}

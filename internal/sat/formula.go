@@ -1,0 +1,319 @@
+// Package sat implements Boolean formulas, a DPLL satisfiability solver,
+// the Tseytin 3-CNF transformation, and the Boolean graphs of Section 8 of
+// the paper (the sat-graph property generalizing SAT to the LOCAL setting).
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a Boolean formula over named variables.
+type Formula interface {
+	// Eval evaluates the formula under the given valuation; variables
+	// absent from the map are treated as false.
+	Eval(val map[string]bool) bool
+	// CollectVars adds the variable names occurring in the formula to set.
+	CollectVars(set map[string]bool)
+	fmt.Stringer
+}
+
+// Var is a propositional variable.
+type Var string
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+// And is a conjunction (empty = true).
+type And []Formula
+
+// Or is a disjunction (empty = false).
+type Or []Formula
+
+// Const is a truth constant.
+type Const bool
+
+// Eval implements Formula.
+func (v Var) Eval(val map[string]bool) bool { return val[string(v)] }
+
+// Eval implements Formula.
+func (n Not) Eval(val map[string]bool) bool { return !n.F.Eval(val) }
+
+// Eval implements Formula.
+func (a And) Eval(val map[string]bool) bool {
+	for _, f := range a {
+		if !f.Eval(val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval implements Formula.
+func (o Or) Eval(val map[string]bool) bool {
+	for _, f := range o {
+		if f.Eval(val) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements Formula.
+func (c Const) Eval(map[string]bool) bool { return bool(c) }
+
+// CollectVars implements Formula.
+func (v Var) CollectVars(set map[string]bool) { set[string(v)] = true }
+
+// CollectVars implements Formula.
+func (n Not) CollectVars(set map[string]bool) { n.F.CollectVars(set) }
+
+// CollectVars implements Formula.
+func (a And) CollectVars(set map[string]bool) {
+	for _, f := range a {
+		f.CollectVars(set)
+	}
+}
+
+// CollectVars implements Formula.
+func (o Or) CollectVars(set map[string]bool) {
+	for _, f := range o {
+		f.CollectVars(set)
+	}
+}
+
+// CollectVars implements Formula.
+func (c Const) CollectVars(map[string]bool) {}
+
+func (v Var) String() string { return string(v) }
+func (n Not) String() string { return "~" + parenthesize(n.F) }
+func (a And) String() string {
+	if len(a) == 0 {
+		return "T"
+	}
+	parts := make([]string, len(a))
+	for i, f := range a {
+		parts[i] = parenthesize(f)
+	}
+	return strings.Join(parts, "&")
+}
+func (o Or) String() string {
+	if len(o) == 0 {
+		return "F"
+	}
+	parts := make([]string, len(o))
+	for i, f := range o {
+		parts[i] = parenthesize(f)
+	}
+	return strings.Join(parts, "|")
+}
+func (c Const) String() string {
+	if c {
+		return "T"
+	}
+	return "F"
+}
+
+func parenthesize(f Formula) string {
+	switch f.(type) {
+	case Var, Const, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Vars returns the sorted variable names occurring in f.
+func Vars(f Formula) []string {
+	set := make(map[string]bool)
+	f.CollectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrParse is returned for malformed formula text.
+var ErrParse = errors.New("sat: parse error")
+
+// Parse parses a formula in the syntax
+//
+//	formula := or
+//	or      := and ('|' and)*
+//	and     := unary ('&' unary)*
+//	unary   := '~' unary | '(' formula ')' | 'T' | 'F' | variable
+//	variable: [A-Za-z_][A-Za-z0-9_]* except the reserved T and F
+//
+// Whitespace is ignored.
+func Parse(s string) (Formula, error) {
+	p := &parser{in: s}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("%w: trailing input at %d in %q", ErrParse, p.pos, s)
+	}
+	return f, nil
+}
+
+// MustParse is Parse but panics on error; for fixtures.
+func MustParse(s string) Formula {
+	f, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{f}
+	for p.peek() == '|' {
+		p.pos++
+		g, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, g)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Or(parts), nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{f}
+	for p.peek() == '&' {
+		p.pos++
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, g)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return And(parts), nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch c := p.peek(); {
+	case c == '~':
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case c == '(':
+		p.pos++
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("%w: missing ')' at %d in %q", ErrParse, p.pos, p.in)
+		}
+		p.pos++
+		return f, nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.in) && isIdentPart(p.in[p.pos]) {
+			p.pos++
+		}
+		name := p.in[start:p.pos]
+		switch name {
+		case "T":
+			return Const(true), nil
+		case "F":
+			return Const(false), nil
+		}
+		return Var(name), nil
+	default:
+		return nil, fmt.Errorf("%w: unexpected %q at %d in %q", ErrParse, string(c), p.pos, p.in)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// EncodeLabel encodes a formula's text as a bit string (8 bits per ASCII
+// byte, MSB first), suitable for use as a node label of a Boolean graph.
+func EncodeLabel(f Formula) string {
+	text := f.String()
+	var b strings.Builder
+	b.Grow(8 * len(text))
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		for bit := 7; bit >= 0; bit-- {
+			if c&(1<<uint(bit)) != 0 {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	return b.String()
+}
+
+// DecodeLabel decodes a bit-string node label back into a formula.
+func DecodeLabel(label string) (Formula, error) {
+	if len(label)%8 != 0 {
+		return nil, fmt.Errorf("%w: label length %d not a multiple of 8", ErrParse, len(label))
+	}
+	text := make([]byte, 0, len(label)/8)
+	for i := 0; i < len(label); i += 8 {
+		var c byte
+		for j := 0; j < 8; j++ {
+			c <<= 1
+			switch label[i+j] {
+			case '1':
+				c |= 1
+			case '0':
+			default:
+				return nil, fmt.Errorf("%w: label is not a bit string", ErrParse)
+			}
+		}
+		text = append(text, c)
+	}
+	return Parse(string(text))
+}

@@ -1,0 +1,413 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	inputs := []string{
+		"P1",
+		"~P1",
+		"P1|~P2|~P3",
+		"(P1|P2)&(~P1|P3)",
+		"T",
+		"F",
+		"~(A&B)|C",
+	}
+	for _, in := range inputs {
+		f, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("reparse(%q from %q): %v", f.String(), in, err)
+		}
+		// Semantic round trip over all valuations of <= 3 vars.
+		vars := Vars(f)
+		if len(vars) > 5 {
+			t.Fatal("test formula too wide")
+		}
+		forAllValuations(vars, func(val map[string]bool) {
+			if f.Eval(val) != g.Eval(val) {
+				t.Fatalf("round trip changed semantics of %q at %v", in, val)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+	for _, in := range []string{"", "P1|", "(P1", "P1)", "1P", "P1 P2", "&P"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func forAllValuations(vars []string, f func(map[string]bool)) {
+	n := len(vars)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		val := make(map[string]bool, n)
+		for i, v := range vars {
+			val[v] = mask&(1<<uint(i)) != 0
+		}
+		f(val)
+	}
+}
+
+func TestEncodeDecodeLabel(t *testing.T) {
+	t.Parallel()
+	f := MustParse("(P1|~P2)&P3")
+	label := EncodeLabel(f)
+	if !graph.IsBitString(label) {
+		t.Fatal("label is not a bit string")
+	}
+	g, err := DecodeLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != f.String() {
+		t.Fatalf("decode mismatch: %q vs %q", g.String(), f.String())
+	}
+}
+
+func TestDecodeLabelErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := DecodeLabel("0101010"); err == nil {
+		t.Fatal("odd-length label accepted")
+	}
+}
+
+func TestTseytinEquisatisfiable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"P1", true},
+		{"P1&~P1", false},
+		{"(P1|P2)&(~P1|P2)&(P1|~P2)&(~P1|~P2)", false},
+		{"(P1|P2)&(~P1|P2)", true},
+		{"F", false},
+		{"T", true},
+		{"~(A|B)&A", false},
+		{"~(A&B)|(A&B)", true},
+	}
+	for _, tt := range cases {
+		cnf := Tseytin(MustParse(tt.in), "x_")
+		if got := Solve(cnf); got != tt.want {
+			t.Errorf("Solve(Tseytin(%q)) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestTseytinAgainstBruteForce checks equisatisfiability on random formulas.
+func TestTseytinAgainstBruteForce(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFormula(rng, 3, 4)
+		want := bruteForceSat(f)
+		if got := Satisfiable(f); got != want {
+			t.Fatalf("Satisfiable(%v) = %v, want %v", f, got, want)
+		}
+		if model, ok := SatisfiableModel(f); ok {
+			if !f.Eval(model) {
+				t.Fatalf("model %v does not satisfy %v", model, f)
+			}
+		} else if want {
+			t.Fatalf("no model for satisfiable %v", f)
+		}
+	}
+}
+
+func bruteForceSat(f Formula) bool {
+	sat := false
+	forAllValuations(Vars(f), func(val map[string]bool) {
+		if f.Eval(val) {
+			sat = true
+		}
+	})
+	return sat
+}
+
+func randomFormula(rng *rand.Rand, depth, nvars int) Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		v := Var("P" + string(rune('0'+rng.Intn(nvars))))
+		if rng.Intn(2) == 0 {
+			return Not{F: v}
+		}
+		return v
+	}
+	k := 1 + rng.Intn(3)
+	parts := make([]Formula, k)
+	for i := range parts {
+		parts[i] = randomFormula(rng, depth-1, nvars)
+	}
+	if rng.Intn(2) == 0 {
+		return And(parts)
+	}
+	return Or(parts)
+}
+
+func TestTo3CNF(t *testing.T) {
+	t.Parallel()
+	wide := CNF{{
+		{Name: "A"}, {Name: "B"}, {Name: "C"}, {Name: "D"}, {Name: "E"},
+	}}
+	three := To3CNF(wide, "y_")
+	if three.MaxClauseWidth() > 3 {
+		t.Fatalf("To3CNF left a clause of width %d", three.MaxClauseWidth())
+	}
+	if Solve(wide) != Solve(three) {
+		t.Fatal("To3CNF changed satisfiability")
+	}
+	// Unsatisfiable wide case: a wide clause of a single repeated variable
+	// negated elsewhere.
+	c := CNF{
+		{{Name: "A"}, {Name: "A"}, {Name: "A"}, {Name: "A"}},
+		{{Name: "A", Neg: true}},
+	}
+	if Solve(To3CNF(c, "z_")) != false {
+		t.Fatal("To3CNF lost unsatisfiability")
+	}
+}
+
+func TestTo3CNFRandomEquisat(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		f := randomFormula(rng, 3, 5)
+		cnf := Tseytin(f, "t_")
+		three := To3CNF(cnf, "u_")
+		if three.MaxClauseWidth() > 3 {
+			t.Fatal("clause too wide")
+		}
+		if Solve(cnf) != Solve(three) {
+			t.Fatalf("3-CNF conversion changed satisfiability for %v", f)
+		}
+	}
+}
+
+func TestDPLLProperty(t *testing.T) {
+	t.Parallel()
+	// Property: for random small CNFs, DPLL agrees with brute force.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cnf CNF
+		nv := 1 + rng.Intn(4)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			var cl Clause
+			for j := 0; j <= rng.Intn(3); j++ {
+				cl = append(cl, Literal{
+					Name: "V" + string(rune('0'+rng.Intn(nv))),
+					Neg:  rng.Intn(2) == 0,
+				})
+			}
+			cnf = append(cnf, cl)
+		}
+		want := false
+		forAllValuations(cnf.Vars(), func(val map[string]bool) {
+			if cnf.Eval(val) {
+				want = true
+			}
+		})
+		return Solve(cnf) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBooleanGraphPaperExample(t *testing.T) {
+	t.Parallel()
+	// The Figure 4 example: u labeled P1|~P2|~P3, v labeled P3|P4|~P5,
+	// adjacent. Shared variable P3 must agree; the graph is satisfiable.
+	g := graph.Path(2)
+	bg, err := NewBooleanGraph(g, []Formula{
+		MustParse("P1|~P2|~P3"),
+		MustParse("P3|P4|~P5"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bg.Satisfiable() {
+		t.Fatal("Figure 4 Boolean graph should be satisfiable")
+	}
+	vals, ok := bg.Valuations()
+	if !ok || !bg.CheckValuations(vals) {
+		t.Fatal("returned valuations are invalid")
+	}
+}
+
+func TestBooleanGraphSharedVariableConflict(t *testing.T) {
+	t.Parallel()
+	// u forces P true, v forces P false; adjacency makes it unsatisfiable.
+	g := graph.Path(2)
+	bg, err := NewBooleanGraph(g, []Formula{MustParse("P"), MustParse("~P")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.Satisfiable() {
+		t.Fatal("conflicting shared variable should be unsatisfiable")
+	}
+	// On a path of length 3 with the conflicting nodes NOT adjacent but
+	// linked through a middle node that also mentions P, consistency
+	// propagates and it stays unsatisfiable.
+	g3 := graph.Path(3)
+	bg3, err := NewBooleanGraph(g3, []Formula{
+		MustParse("P"), MustParse("P|~P"), MustParse("~P"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg3.Satisfiable() {
+		t.Fatal("conflict through middle node sharing P should propagate")
+	}
+	// But if the middle node does not mention P, the endpoints may
+	// disagree: consistency is only required between adjacent nodes.
+	bgFree, err := NewBooleanGraph(g3, []Formula{
+		MustParse("P"), MustParse("Q|~Q"), MustParse("~P"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bgFree.Satisfiable() {
+		t.Fatal("non-adjacent nodes need not agree on P")
+	}
+}
+
+func TestBooleanGraphDecode(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(2)
+	orig, err := NewBooleanGraph(g, []Formula{MustParse("A&B"), MustParse("~A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBooleanGraph(orig.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range dec.Formulas {
+		if dec.Formulas[u].String() != orig.Formulas[u].String() {
+			t.Fatal("decode mismatch")
+		}
+	}
+	if dec.Satisfiable() {
+		t.Fatal("A&B with adjacent ~A is unsatisfiable")
+	}
+}
+
+func TestBooleanGraphRandomAgainstBruteForce(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		g := graph.RandomConnected(n, 0.5, rng)
+		formulas := make([]Formula, n)
+		for u := range formulas {
+			formulas[u] = randomFormula(rng, 2, 3)
+		}
+		bg, err := NewBooleanGraph(g, formulas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceBooleanGraph(bg)
+		if got := bg.Satisfiable(); got != want {
+			t.Fatalf("trial %d: Satisfiable = %v, want %v (graph %v)", trial, got, want, g)
+		}
+	}
+}
+
+// bruteForceBooleanGraph enumerates all per-node valuations.
+func bruteForceBooleanGraph(bg *BooleanGraph) bool {
+	n := bg.G.N()
+	varsOf := make([][]string, n)
+	total := 0
+	for u, f := range bg.Formulas {
+		varsOf[u] = Vars(f)
+		total += len(varsOf[u])
+	}
+	vals := make([]map[string]bool, n)
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == n {
+			return bg.CheckValuations(vals)
+		}
+		ok := false
+		forAllValuations(varsOf[u], func(val map[string]bool) {
+			if ok {
+				return
+			}
+			vals[u] = val
+			if rec(u + 1) {
+				ok = true
+			}
+		})
+		return ok
+	}
+	return rec(0)
+}
+
+func TestCNFFormulaRoundTrip(t *testing.T) {
+	t.Parallel()
+	cnf := CNF{
+		{{Name: "A"}, {Name: "B", Neg: true}},
+		{{Name: "C"}},
+	}
+	f := cnf.Formula()
+	forAllValuations([]string{"A", "B", "C"}, func(val map[string]bool) {
+		if cnf.Eval(val) != f.Eval(val) {
+			t.Fatal("CNF.Formula changed semantics")
+		}
+	})
+	if !strings.Contains(f.String(), "~B") {
+		t.Fatal("negation lost in Formula()")
+	}
+}
+
+// TestSimplifyPreservesSemantics: constant folding must be an equivalence.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(41))
+	mix := func(f Formula) Formula {
+		// Inject constants at random positions.
+		switch g := f.(type) {
+		case And:
+			return And(append(append(Or{}, g...), Const(true)))
+		case Or:
+			return Or(append(append(Or{}, g...), Const(false)))
+		default:
+			return f
+		}
+	}
+	for trial := 0; trial < 150; trial++ {
+		f := mix(randomFormula(rng, 3, 3))
+		s := Simplify(f)
+		forAllValuations(Vars(f), func(val map[string]bool) {
+			if f.Eval(val) != s.Eval(val) {
+				t.Fatalf("Simplify changed semantics of %v -> %v at %v", f, s, val)
+			}
+		})
+	}
+	// Folding identities.
+	if Simplify(And{Const(true), Const(true)}).String() != "T" {
+		t.Fatal("⊤∧⊤ should fold")
+	}
+	if Simplify(Or{Const(false), Var("A")}).String() != "A" {
+		t.Fatal("⊥∨A should fold to A")
+	}
+	if Simplify(Not{F: Not{F: Var("A")}}).String() != "A" {
+		t.Fatal("double negation should fold")
+	}
+	if Simplify(And{Var("A"), Const(false)}).String() != "F" {
+		t.Fatal("A∧⊥ should fold to ⊥")
+	}
+}

@@ -1,0 +1,74 @@
+package sat
+
+// Simplify performs constant folding and flattening on a formula:
+// ⊤/⊥ are propagated through ¬, ∧, ∨; nested conjunctions/disjunctions
+// are flattened; empty connectives collapse to their units. The result is
+// logically equivalent to the input.
+//
+// The τ-translation of Theorem 22 (package reduce) produces formulas in
+// which most atoms are truth constants (the first-order part of the
+// sentence evaluated on the concrete structure); folding them keeps the
+// downstream Tseytin/gadget constructions small.
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case Var, Const:
+		return g
+	case Not:
+		sub := Simplify(g.F)
+		if c, ok := sub.(Const); ok {
+			return Const(!bool(c))
+		}
+		if n, ok := sub.(Not); ok {
+			return n.F // double negation
+		}
+		return Not{F: sub}
+	case And:
+		var parts []Formula
+		for _, sub := range g {
+			s := Simplify(sub)
+			switch t := s.(type) {
+			case Const:
+				if !bool(t) {
+					return Const(false)
+				}
+				// drop ⊤
+			case And:
+				parts = append(parts, t...)
+			default:
+				parts = append(parts, s)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return Const(true)
+		case 1:
+			return parts[0]
+		}
+		return And(parts)
+	case Or:
+		var parts []Formula
+		for _, sub := range g {
+			s := Simplify(sub)
+			switch t := s.(type) {
+			case Const:
+				if bool(t) {
+					return Const(true)
+				}
+				// drop ⊥
+			case Or:
+				parts = append(parts, t...)
+			default:
+				parts = append(parts, s)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return Const(false)
+		case 1:
+			return parts[0]
+		}
+		return Or(parts)
+	default:
+		return f
+	}
+}

@@ -1,0 +1,295 @@
+// Package structure implements the relational structures of Section 3 of
+// the paper and the structural representation $G of labeled graphs
+// (Figure 5), on which the logical formulas of Section 5 are evaluated.
+//
+// A structure S = (D, ⊙_1..⊙_m, ⇀_1..⇀_n) has a finite nonempty domain of
+// elements, m unary relations, and n binary relations. Elements are dense
+// integer indices 0..|D|-1.
+package structure
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Structure is a finite relational structure. Elements are 0..N-1.
+type Structure struct {
+	n      int
+	unary  [][]bool    // unary[i][a]: a ∈ ⊙_{i+1}
+	binary []([][]int) // binary[i][a]: sorted successors b with a ⇀_{i+1} b
+	// connected[a] caches the symmetric closure of all binary relations
+	// (the −⇀↽− relation of the paper), sorted, deduplicated.
+	connected [][]int
+}
+
+// Signature returns (m, n): the number of unary and binary relations.
+func (s *Structure) Signature() (m, n int) { return len(s.unary), len(s.binary) }
+
+// Card returns the cardinality card(S) of the domain.
+func (s *Structure) Card() int { return s.n }
+
+// InUnary reports whether element a belongs to ⊙_i (1-based i).
+func (s *Structure) InUnary(i, a int) bool { return s.unary[i-1][a] }
+
+// InBinary reports whether a ⇀_i b (1-based i).
+func (s *Structure) InBinary(i, a, b int) bool {
+	for _, x := range s.binary[i-1][a] {
+		if x == b {
+			return true
+		}
+		if x > b {
+			return false
+		}
+	}
+	return false
+}
+
+// Successors returns the elements b with a ⇀_i b, sorted ascending.
+func (s *Structure) Successors(i, a int) []int { return s.binary[i-1][a] }
+
+// Connected returns all elements b with a −⇀↽− b (a related to b by some
+// binary relation or its inverse), sorted ascending, without duplicates.
+func (s *Structure) Connected(a int) []int { return s.connected[a] }
+
+// IsConnected reports a −⇀↽− b.
+func (s *Structure) IsConnected(a, b int) bool {
+	for _, x := range s.connected[a] {
+		if x == b {
+			return true
+		}
+		if x > b {
+			return false
+		}
+	}
+	return false
+}
+
+// Degree returns the structural degree of element a: the number of elements
+// connected to a by −⇀↽− (Section 9, "structural degree").
+func (s *Structure) Degree(a int) int { return len(s.connected[a]) }
+
+// MaxDegree returns the maximum structural degree over all elements.
+func (s *Structure) MaxDegree() int {
+	d := 0
+	for a := 0; a < s.n; a++ {
+		if len(s.connected[a]) > d {
+			d = len(s.connected[a])
+		}
+	}
+	return d
+}
+
+// Builder incrementally constructs a Structure.
+type Builder struct {
+	n      int
+	unary  [][]bool
+	binary []map[int]map[int]bool // binary[i][a] = set of b
+}
+
+// NewBuilder creates a builder for a structure with the given domain size
+// and signature (m unary, n binary relations).
+func NewBuilder(domain, m, n int) *Builder {
+	b := &Builder{n: domain}
+	b.unary = make([][]bool, m)
+	for i := range b.unary {
+		b.unary[i] = make([]bool, domain)
+	}
+	b.binary = make([]map[int]map[int]bool, n)
+	for i := range b.binary {
+		b.binary[i] = make(map[int]map[int]bool)
+	}
+	return b
+}
+
+// AddUnary puts element a into ⊙_i (1-based).
+func (b *Builder) AddUnary(i, a int) *Builder {
+	b.unary[i-1][a] = true
+	return b
+}
+
+// AddBinary adds the pair a ⇀_i b (1-based).
+func (b *Builder) AddBinary(i, a, bb int) *Builder {
+	m := b.binary[i-1]
+	if m[a] == nil {
+		m[a] = make(map[int]bool)
+	}
+	m[a][bb] = true
+	return b
+}
+
+// Build finalizes the structure.
+func (b *Builder) Build() *Structure {
+	s := &Structure{n: b.n, unary: b.unary}
+	s.binary = make([][][]int, len(b.binary))
+	conn := make([]map[int]bool, b.n)
+	for a := range conn {
+		conn[a] = make(map[int]bool)
+	}
+	for i, rel := range b.binary {
+		s.binary[i] = make([][]int, b.n)
+		for a, set := range rel {
+			for x := range set {
+				s.binary[i][a] = append(s.binary[i][a], x)
+				conn[a][x] = true
+				conn[x][a] = true
+			}
+		}
+		for a := range s.binary[i] {
+			sortInts(s.binary[i][a])
+		}
+	}
+	s.connected = make([][]int, b.n)
+	for a, set := range conn {
+		for x := range set {
+			s.connected[a] = append(s.connected[a], x)
+		}
+		sortInts(s.connected[a])
+	}
+	return s
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Rep is the structural representation $G of a labeled graph G: one element
+// per node and one element per labeling bit. Signature (1, 2):
+//
+//	⊙_1  = labeling bits with value 1
+//	⇀_1  = graph edges (symmetric) and the successor relation on each
+//	       node's labeling bits
+//	⇀_2  = node-owns-bit
+type Rep struct {
+	*Structure
+
+	g *graph.Graph
+	// nodeElem[u] is the element index of node u; bitElem[u][i] of its
+	// (i+1)-th labeling bit.
+	nodeElem []int
+	bitElem  [][]int
+	// owner[a] = node index whose element or labeling bit a is.
+	owner []int
+	// isNode[a] reports whether element a represents a node.
+	isNode []bool
+}
+
+// NewRep builds the structural representation $G of g.
+func NewRep(g *graph.Graph) *Rep {
+	n := g.N()
+	nodeElem := make([]int, n)
+	bitElem := make([][]int, n)
+	next := 0
+	for u := 0; u < n; u++ {
+		nodeElem[u] = next
+		next++
+	}
+	for u := 0; u < n; u++ {
+		l := g.Label(u)
+		bitElem[u] = make([]int, len(l))
+		for i := range l {
+			bitElem[u][i] = next
+			next++
+		}
+	}
+	b := NewBuilder(next, 1, 2)
+	for _, e := range g.Edges() {
+		// ⇀_1 represents undirected edges symmetrically.
+		b.AddBinary(1, nodeElem[e.U], nodeElem[e.V])
+		b.AddBinary(1, nodeElem[e.V], nodeElem[e.U])
+	}
+	owner := make([]int, next)
+	isNode := make([]bool, next)
+	for u := 0; u < n; u++ {
+		owner[nodeElem[u]] = u
+		isNode[nodeElem[u]] = true
+		l := g.Label(u)
+		for i := range l {
+			a := bitElem[u][i]
+			owner[a] = u
+			if l[i] == '1' {
+				b.AddUnary(1, a)
+			}
+			if i+1 < len(l) {
+				b.AddBinary(1, a, bitElem[u][i+1]) // bit successor
+			}
+			b.AddBinary(2, nodeElem[u], a) // ownership
+		}
+	}
+	return &Rep{
+		Structure: b.Build(),
+		g:         g,
+		nodeElem:  nodeElem,
+		bitElem:   bitElem,
+		owner:     owner,
+		isNode:    isNode,
+	}
+}
+
+// Graph returns the underlying labeled graph.
+func (r *Rep) Graph() *graph.Graph { return r.g }
+
+// NodeElem returns the element representing node u.
+func (r *Rep) NodeElem(u int) int { return r.nodeElem[u] }
+
+// NodeElems returns the elements representing nodes, in node order.
+func (r *Rep) NodeElems() []int { return append([]int(nil), r.nodeElem...) }
+
+// BitElem returns the element representing the (i+1)-th labeling bit of u
+// (0-based i here).
+func (r *Rep) BitElem(u, i int) int { return r.bitElem[u][i] }
+
+// BitElems returns the elements of all labeling bits of u, in order.
+func (r *Rep) BitElems(u int) []int { return r.bitElem[u] }
+
+// Owner returns the node that element a represents or whose labeling bit
+// a is.
+func (r *Rep) Owner(a int) int { return r.owner[a] }
+
+// IsNodeElem reports whether element a represents a node (rather than a
+// labeling bit).
+func (r *Rep) IsNodeElem(a int) bool { return r.isNode[a] }
+
+// NeighborhoodCard returns card(N^{$G}_r(u)): the number of elements of the
+// structural representation of u's r-neighborhood, i.e. the number of nodes
+// and labeling bits within graph distance r of u (Section 3).
+func (r *Rep) NeighborhoodCard(u, radius int) int {
+	total := 0
+	for _, v := range r.g.Ball(u, radius) {
+		total += 1 + len(r.g.Label(v))
+	}
+	return total
+}
+
+// ElementDistance computes single-source distances from element a inside
+// the structural representation, following −⇀↽− edges. Used by the bounded
+// quantifier semantics of the logic package.
+func (s *Structure) ElementDistance(a int) []int {
+	dist := make([]int, s.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []int{a}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range s.connected[x] {
+			if dist[y] < 0 {
+				dist[y] = dist[x] + 1
+				queue = append(queue, y)
+			}
+		}
+	}
+	return dist
+}
+
+// String gives a short description for debugging.
+func (s *Structure) String() string {
+	m, n := s.Signature()
+	return fmt.Sprintf("S{card=%d, sig=(%d,%d)}", s.n, m, n)
+}
