@@ -1,0 +1,26 @@
+# Single verify entry point: `make check` runs formatting, vet, build,
+# and the full race-enabled test suite (see DESIGN.md).
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,8 +1,10 @@
 // Package repro's root benchmark harness: one benchmark per reproduced
-// figure/example of the paper, as indexed in DESIGN.md and EXPERIMENTS.md.
-// The paper reports no absolute performance numbers (it is a theory
-// paper); these benchmarks document the cost of regenerating each
-// machine-checked experiment and the scaling shape of the core machinery.
+// figure/example of the paper, as indexed in DESIGN.md. The paper
+// reports no absolute performance numbers (it is a theory paper); these
+// benchmarks document the cost of regenerating each machine-checked
+// experiment, the scaling shape of the core machinery, and — through the
+// *Engines pairs — the sequential-vs-parallel behavior of the
+// internal/search evaluation engine.
 package repro
 
 import (
@@ -20,9 +22,23 @@ import (
 	"repro/internal/props"
 	"repro/internal/reduce"
 	"repro/internal/sat"
+	"repro/internal/search"
 	"repro/internal/simulate"
 	"repro/internal/structure"
 )
+
+// engines is the sequential/parallel pair every *Engines benchmark runs:
+// identical inputs, identical results, only the search engine differs.
+// On a single-CPU host the two coincide (the parallel engine degrades to
+// one worker); the speedup is measured, not asserted, so compare the
+// sub-benchmarks on the target hardware.
+var engines = []struct {
+	name string
+	opts search.Options
+}{
+	{"sequential", search.Sequential()},
+	{"parallel", search.Parallel(0)},
+}
 
 // BenchmarkFig1ThreeRoundColoring regenerates Figure 1: the minimax
 // evaluation of the 3-round 3-colorability game on both instances.
@@ -280,6 +296,86 @@ func BenchmarkCertificateGame(b *testing.B) {
 		if err != nil || !ok {
 			b.Fatal("game broke")
 		}
+	}
+}
+
+// BenchmarkThreeRoundColoringEngines is the Example 1 minimax under
+// both engines on a spider of 8 length-2 legs: Eve's opening block is
+// 3^8 leaf colorings, large enough that the parallel engine splits it
+// across the pool (the Figure 1 instances themselves are below the
+// engine's small-space threshold, where both engines coincide — see
+// BenchmarkFig1ThreeRoundColoring for their absolute cost).
+func BenchmarkThreeRoundColoringEngines(b *testing.B) {
+	g := spiderGraph(8)
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if props.ThreeRoundThreeColorableOpt(g, e.opts) {
+					b.Fatal("Adam lost the spider game")
+				}
+			}
+		})
+	}
+}
+
+// spiderGraph is a star of k length-2 legs: k degree-1 leaves (Eve's
+// opening block), k degree-2 mid nodes (Adam's), one center (Eve's
+// closing block). Adam wins by mirroring a leaf color, so the opening
+// space is explored exhaustively.
+func spiderGraph(k int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		mid, leaf := 2*i+1, 2*i+2
+		edges = append(edges, graph.Edge{U: 0, V: mid}, graph.Edge{U: mid, V: leaf})
+	}
+	return graph.MustNew(2*k+1, edges, nil)
+}
+
+// BenchmarkFig2SeparationsEngines runs the ground-level separations with
+// the machine executions fanned out across the pool vs. strictly in
+// sequence.
+func BenchmarkFig2SeparationsEngines(b *testing.B) {
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !experiments.Figure2SeparationsOpt(e.opts).OK() {
+					b.Fatal("separation experiment failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNonColorableGameEngines evaluates the Example 7 complement
+// game on K4 with k=3: the graph is not 3-colorable, so the outermost
+// universal quantifier over all 2^12 color-set proposals runs to
+// exhaustion — the workload the prefix-split pool is built for.
+func BenchmarkNonColorableGameEngines(b *testing.B) {
+	g := graph.Complete(4)
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !games.EveWinsNonKColorableOpt(g, 3, e.opts) {
+					b.Fatal("K4 became 3-colorable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpanningForestGameEngines is the Example 6 game on an
+// all-selected C9, where Eve has no winning forest and the engine must
+// refute every one of the 3^9 parent assignments.
+func BenchmarkSpanningForestGameEngines(b *testing.B) {
+	g := graph.Cycle(9).MustWithLabels(graph.AllSelectedLabels(9))
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if games.EveWinsPointsToOpt(g, games.IsUnselected, e.opts) {
+					b.Fatal("game value changed")
+				}
+			}
+		})
 	}
 }
 

@@ -5,22 +5,33 @@
 //
 // Usage:
 //
-//	lph decide <property>  < graph.json
+//	lph [-workers N] decide <property>  < graph.json
 //	    property: all-selected | eulerian | all-equal
-//	lph verify <property>  < graph.json
+//	lph [-workers N] verify <property>  < graph.json
 //	    property: 2-colorable | 3-colorable | 4-colorable | sat-graph |
 //	              hamiltonian | not-all-selected | one-selected
 //	    (plays the certificate game with Eve's strategy from the paper)
-//	lph reduce <reduction> < graph.json   (prints the output graph JSON)
+//	lph [-workers N] reduce <reduction> < graph.json   (prints the output graph JSON)
 //	    reduction: eulerian | hamiltonian | co-hamiltonian | 3color
-//	lph game figure1       (plays the 3-round 3-colorability game)
+//	lph [-workers N] game figure1       (plays the 3-round 3-colorability game)
+//
+// -workers N sets the worker-pool size for exhaustive game evaluation
+// (0, the default, uses every CPU; 1 forces the sequential engine). It
+// currently drives the game subcommand; decide/verify/reduce accept it
+// for forward compatibility but run the arbiter machinery, which does
+// not yet sit on the search engine (see ROADMAP.md). Note the engine
+// skips the pool on spaces too small to be worth splitting — the
+// Figure 1 instances are in that regime, so both engines cost the same
+// there.
 //
 // Exit status: 0 = property holds / reduction succeeded, 1 = property does
 // not hold, 2 = usage or input error.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/arbiters"
@@ -31,6 +42,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/props"
 	"repro/internal/reduce"
+	"repro/internal/search"
 	"repro/internal/simulate"
 )
 
@@ -39,10 +51,20 @@ func main() {
 }
 
 func run(args []string) int {
-	if len(args) < 1 {
+	fs := flag.NewFlagSet("lph", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // usage() prints our own message
+	workers := fs.Int("workers", 0,
+		"worker-pool size for exhaustive game evaluation (0 = all CPUs, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
 		usage()
 		return 2
 	}
+	args = fs.Args()
+	if len(args) < 1 || *workers < 0 {
+		usage()
+		return 2
+	}
+	engine := search.Parallel(*workers)
 	switch args[0] {
 	case "decide":
 		return decide(args[1:])
@@ -51,7 +73,7 @@ func run(args []string) int {
 	case "reduce":
 		return reduction(args[1:])
 	case "game":
-		return game(args[1:])
+		return game(args[1:], engine)
 	default:
 		usage()
 		return 2
@@ -59,7 +81,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lph {decide|verify|reduce|game} <name> < graph.json")
+	fmt.Fprintln(os.Stderr, "usage: lph [-workers N] {decide|verify|reduce|game} <name> < graph.json")
 }
 
 func readGraph() (*graph.Graph, bool) {
@@ -196,7 +218,7 @@ func reduction(args []string) int {
 	return 0
 }
 
-func game(args []string) int {
+func game(args []string, engine search.Options) int {
 	if len(args) != 1 || args[0] != "figure1" {
 		usage()
 		return 2
@@ -209,7 +231,7 @@ func game(args []string) int {
 		{"Figure 1b", graph.Figure1YesInstance()},
 	} {
 		fmt.Printf("%s: 3-colorable=%v, 3-round 3-colorable=%v\n",
-			tt.name, props.ThreeColorable(tt.g), props.ThreeRoundThreeColorable(tt.g))
+			tt.name, props.ThreeColorable(tt.g), props.ThreeRoundThreeColorableOpt(tt.g, engine))
 	}
 	return 0
 }

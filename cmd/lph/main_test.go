@@ -81,10 +81,49 @@ func TestGameCommand(t *testing.T) {
 	}
 }
 
+// TestBadInput pins the doc-comment promise that malformed graph JSON
+// exits with status 2 (not 0 or 1) on every graph-reading subcommand,
+// including JSON whose first object parses but is followed by garbage.
 func TestBadInput(t *testing.T) {
-	withStdin(t, `not json`, func() {
-		if code := run([]string{"decide", "all-selected"}); code != 2 {
-			t.Fatal("bad input must exit 2")
+	malformed := []string{
+		`not json`,
+		`{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]} trailing`,
+		`{"n":3,"edges":[[0,1],[1,2],[2,0]]}{"n":1}`,
+	}
+	commands := [][]string{
+		{"decide", "all-selected"},
+		{"verify", "3-colorable"},
+		{"reduce", "hamiltonian"},
+	}
+	for _, in := range malformed {
+		for _, cmd := range commands {
+			withStdin(t, in, func() {
+				if code := run(cmd); code != 2 {
+					t.Fatalf("%v on %q: exit %d, want 2", cmd, in, code)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersFlag covers the -workers engine selector: both engines must
+// run the figure1 game successfully, and a negative pool is a usage
+// error.
+func TestWorkersFlag(t *testing.T) {
+	if code := run([]string{"-workers", "1", "game", "figure1"}); code != 0 {
+		t.Fatal("sequential figure1 game failed")
+	}
+	if code := run([]string{"-workers", "4", "game", "figure1"}); code != 0 {
+		t.Fatal("parallel figure1 game failed")
+	}
+	if code := run([]string{"-workers", "-3", "game", "figure1"}); code != 2 {
+		t.Fatal("negative workers must exit 2")
+	}
+	withStdin(t, `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]}`, func() {
+		// decide does not use the search engine yet; the flag must still
+		// parse cleanly in front of it.
+		if code := run([]string{"-workers", "2", "decide", "all-selected"}); code != 0 {
+			t.Fatal("-workers must parse in front of decide")
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/arbiters"
 	"repro/internal/graph"
 	"repro/internal/props"
+	"repro/internal/search"
 	"repro/internal/simulate"
 )
 
@@ -139,6 +140,13 @@ func bipartiteEdgeSet(edges map[string]bool) bool {
 // although 2-colorability differs — so none of them (and provably no LP
 // machine) decides 2-colorability.
 func Proposition24(n int, machines []*simulate.Machine) (*Report, error) {
+	return Proposition24Opt(n, machines, search.Default())
+}
+
+// Proposition24Opt is Proposition24 with the machine runs fanned out
+// across the search engine's worker pool (each machine's pair of runs is
+// one independent task; the report rows keep the machine order).
+func Proposition24Opt(n int, machines []*simulate.Machine, o search.Options) (*Report, error) {
 	if n%2 == 0 {
 		return nil, fmt.Errorf("experiments: n must be odd, got %d", n)
 	}
@@ -151,14 +159,19 @@ func Proposition24(n int, machines []*simulate.Machine) (*Report, error) {
 		row("2-colorable differs", true, props.TwoColorable(even) != props.TwoColorable(odd)),
 		row("duplicated ids locally unique", true, idEven.IsLocallyUnique(even, (n-1)/2)),
 	)
-	for _, m := range machines {
+	type verdict struct {
+		same bool
+		err  error
+	}
+	verdicts := search.Map(o, len(machines), func(i int) verdict {
+		m := machines[i]
 		a, err := simulate.Run(m, odd, idOdd, nil, simulate.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s on C%d: %w", m.Name, n, err)
+			return verdict{err: fmt.Errorf("%s on C%d: %w", m.Name, n, err)}
 		}
 		b, err := simulate.Run(m, even, idEven, nil, simulate.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s on glued C%d: %w", m.Name, 2*n, err)
+			return verdict{err: fmt.Errorf("%s on glued C%d: %w", m.Name, 2*n, err)}
 		}
 		same := true
 		for u := 0; u < n; u++ {
@@ -166,7 +179,13 @@ func Proposition24(n int, machines []*simulate.Machine) (*Report, error) {
 				same = false
 			}
 		}
-		r.Rows = append(r.Rows, row(m.Name+" verdicts identical", true, same))
+		return verdict{same: same}
+	})
+	for i, v := range verdicts {
+		if v.err != nil {
+			return nil, v.err
+		}
+		r.Rows = append(r.Rows, row(machines[i].Name+" verdicts identical", true, v.same))
 	}
 	return r, nil
 }
@@ -330,26 +349,47 @@ func lcm(a, b int) int {
 	return a / g * b
 }
 
-// Figure2Separations bundles the two ground-level separation experiments.
+// Figure2Separations bundles the two ground-level separation experiments,
+// run concurrently on the package default engine (parallel across all
+// CPUs); Figure2SeparationsOpt selects the engine.
 func Figure2Separations() *Report {
+	return Figure2SeparationsOpt(search.Default())
+}
+
+// Figure2SeparationsOpt is Figure2Separations under explicit search
+// options: the two propositions are independent tasks, and Proposition
+// 24's machine runs fan out through a nested Map of their own. Each Map
+// spawns its own goroutines, so a parallel engine briefly runs up to
+// pool()+1 tasks — a deliberate trade: these are a handful of
+// coarse-grained runs, and GOMAXPROCS still bounds the running threads.
+// The report is assembled in the fixed sequential order regardless of
+// the engine.
+func Figure2SeparationsOpt(o search.Options) *Report {
 	out := &Report{ID: "Figure 2", Title: "hierarchy separations at ground level"}
-	p24, err := Proposition24(9, []*simulate.Machine{
-		arbiters.Eulerian(),
-		arbiters.AllEqual(),
-		edgeGatherer(1),
-		edgeGatherer(3),
-		edgeGatherer(10), // even "full diameter" gathering is fooled
-	})
-	if err != nil {
-		out.Rows = append(out.Rows, row("Prop 24", "no error", err))
-	} else {
-		out.Rows = append(out.Rows, p24.Rows...)
+	type result struct {
+		r   *Report
+		err error
 	}
-	p26, err := Proposition26(24, 4, 3)
-	if err != nil {
-		out.Rows = append(out.Rows, row("Prop 26", "no error", err))
-	} else {
-		out.Rows = append(out.Rows, p26.Rows...)
+	results := search.Map(o, 2, func(i int) result {
+		if i == 0 {
+			r, err := Proposition24Opt(9, []*simulate.Machine{
+				arbiters.Eulerian(),
+				arbiters.AllEqual(),
+				edgeGatherer(1),
+				edgeGatherer(3),
+				edgeGatherer(10), // even "full diameter" gathering is fooled
+			}, o)
+			return result{r: r, err: err}
+		}
+		r, err := Proposition26(24, 4, 3)
+		return result{r: r, err: err}
+	})
+	for i, name := range []string{"Prop 24", "Prop 26"} {
+		if results[i].err != nil {
+			out.Rows = append(out.Rows, row(name, "no error", results[i].err))
+		} else {
+			out.Rows = append(out.Rows, results[i].r.Rows...)
+		}
 	}
 	return out
 }

@@ -1,6 +1,9 @@
 package games
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/search"
+)
 
 // This file implements Example 7: the complementation technique that
 // turns the Σ^lfo_1 property 3-colorable into the Π^lfo_4 property
@@ -19,28 +22,34 @@ import "repro/internal/graph"
 // which is all the formula inspects).
 type ColorSets [][]bool
 
+// colorSetsSpace is the search space of all (2^k)^n color-set
+// assignments: one binary position per (node, color) pair.
+func colorSetsSpace(n, k int) search.Space { return search.Binary(n * k) }
+
+// decodeColorSets writes the assignment encoded by a colorSetsSpace
+// assignment into cs.
+func decodeColorSets(asm []int, k int, cs ColorSets) {
+	for pos, b := range asm {
+		cs[pos/k][pos%k] = b == 1
+	}
+}
+
+// newColorSets allocates an n-node, k-color ColorSets.
+func newColorSets(n, k int) ColorSets {
+	cs := make(ColorSets, n)
+	for u := range cs {
+		cs[u] = make([]bool, k)
+	}
+	return cs
+}
+
 // ForEachColorSets enumerates all (2^k)^n color-set assignments.
 func ForEachColorSets(n, k int, yield func(ColorSets) bool) bool {
-	cur := make(ColorSets, n)
-	for u := range cur {
-		cur[u] = make([]bool, k)
-	}
-	var rec func(pos int) bool
-	rec = func(pos int) bool {
-		if pos == n*k {
-			return yield(cur)
-		}
-		u, c := pos/k, pos%k
-		cur[u][c] = false
-		if !rec(pos + 1) {
-			return false
-		}
-		cur[u][c] = true
-		ok := rec(pos + 1)
-		cur[u][c] = false
-		return ok
-	}
-	return rec(0)
+	cur := newColorSets(n, k)
+	return search.ForEach(colorSetsSpace(n, k), func(asm []int) bool {
+		decodeColorSets(asm, k, cur)
+		return yield(cur)
+	})
 }
 
 // badlyColored reports whether node u violates WellColored under the
@@ -72,9 +81,26 @@ func badlyColored(g *graph.Graph, cs ColorSets, u int) bool {
 // anchor a refutation forest there. The value is true iff g is not
 // k-colorable.
 func EveWinsNonKColorable(g *graph.Graph, k int) bool {
-	allHandled := ForEachColorSets(g.N(), k, func(cs ColorSets) bool {
+	return EveWinsNonKColorableOpt(g, k, search.Default())
+}
+
+// EveWinsNonKColorableOpt is EveWinsNonKColorable under explicit search
+// options: Adam's outermost color-set proposals are searched by the
+// chosen engine, while each PointsTo sub-game runs sequentially inside
+// its worker (parallelizing the outermost universal quantifier is what
+// splits the (2^k)^n-sized space; nesting pools would only oversubscribe
+// the CPUs). Do not set Options.Ctx here — see EveWinsPointsToOpt.
+func EveWinsNonKColorableOpt(g *graph.Graph, k int, o search.Options) bool {
+	n := g.N()
+	inner := o
+	inner.Workers = 1
+	scratch := search.NewScratch(func() ColorSets { return newColorSets(n, k) })
+	allHandled, _ := search.ForAll(o, colorSetsSpace(n, k), func(asm []int) bool {
+		cs, put := scratch.Get()
+		defer put()
+		decodeColorSets(asm, k, cs)
 		target := func(g *graph.Graph, u int) bool { return badlyColored(g, cs, u) }
-		return EveWinsPointsTo(g, target)
+		return EveWinsPointsToOpt(g, target, inner)
 	})
 	return allHandled
 }

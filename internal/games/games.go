@@ -17,6 +17,7 @@ package games
 
 import (
 	"repro/internal/graph"
+	"repro/internal/search"
 )
 
 // Target is a locally checkable node predicate ϑ(x) (it may inspect the
@@ -86,30 +87,43 @@ func (p Parents) HasNonRootCycle() bool {
 	return false
 }
 
+// parentsSpace is the search space of all parent assignments of g: one
+// position per node, choice 0 meaning "root" (point to self) and choice
+// i > 0 meaning the node's (i-1)-th neighbor. Every assignment in the
+// space satisfies UniqueParent by construction.
+func parentsSpace(g *graph.Graph) search.Space {
+	degs := g.Degrees()
+	return search.Space{Len: g.N(), Size: func(u int) int { return 1 + degs[u] }}
+}
+
+// decodeParentsAsm writes the parent assignment encoded by a parentsSpace
+// assignment into p.
+func decodeParentsAsm(g *graph.Graph, asm []int, p Parents) {
+	for u, c := range asm {
+		if c == 0 {
+			p[u] = u
+		} else {
+			p[u] = g.Neighbors(u)[c-1]
+		}
+	}
+}
+
+// newParentsScratch pools Parents buffers so the exponentially many
+// predicate calls of a parallel game evaluation reuse a handful of
+// per-worker buffers instead of allocating one per assignment.
+func newParentsScratch(n int) *search.Scratch[Parents] {
+	return search.NewScratch(func() Parents { return make(Parents, n) })
+}
+
 // ForEachParents enumerates all parent assignments of g (each node points
 // to itself or to one of its neighbors), invoking yield for each; stops
 // early when yield returns false.
 func ForEachParents(g *graph.Graph, yield func(Parents) bool) bool {
-	n := g.N()
-	cur := make(Parents, n)
-	var rec func(u int) bool
-	rec = func(u int) bool {
-		if u == n {
-			return yield(cur)
-		}
-		cur[u] = u
-		if !rec(u + 1) {
-			return false
-		}
-		for _, v := range g.Neighbors(u) {
-			cur[u] = v
-			if !rec(u + 1) {
-				return false
-			}
-		}
-		return true
-	}
-	return rec(0)
+	p := make(Parents, g.N())
+	return search.ForEach(parentsSpace(g), func(asm []int) bool {
+		decodeParentsAsm(g, asm, p)
+		return yield(p)
+	})
 }
 
 // Challenge is Adam's move: the set X of challenged nodes.
@@ -118,21 +132,12 @@ type Challenge []bool
 // ForEachChallenge enumerates all 2^n challenge sets.
 func ForEachChallenge(n int, yield func(Challenge) bool) bool {
 	cur := make(Challenge, n)
-	var rec func(u int) bool
-	rec = func(u int) bool {
-		if u == n {
-			return yield(cur)
+	return search.ForEach(search.Binary(n), func(asm []int) bool {
+		for u, b := range asm {
+			cur[u] = b == 1
 		}
-		cur[u] = false
-		if !rec(u + 1) {
-			return false
-		}
-		cur[u] = true
-		ok := rec(u + 1)
-		cur[u] = false
-		return ok
-	}
-	return rec(0)
+		return yield(cur)
+	})
 }
 
 // SolveCharges computes Eve's charge response Y to Adam's challenge X:
@@ -190,31 +195,46 @@ func SolveCharges(p Parents, x Challenge) ([]bool, bool) {
 //
 // Adam's challenges are enumerated exhaustively; Eve's charge responses
 // come from SolveCharges (which finds a response whenever one exists).
+// Eve's parent assignments are searched by the package default engine
+// (parallel across all CPUs); EveWinsPointsToOpt selects the engine.
 func EveWinsPointsTo(g *graph.Graph, target Target) bool {
-	won := false
-	ForEachParents(g, func(p Parents) bool {
-		// RootCase: all roots must satisfy the target.
-		for _, r := range p.Roots() {
-			if !target(g, r) {
-				return true // try next P
-			}
+	return EveWinsPointsToOpt(g, target, search.Default())
+}
+
+// EveWinsPointsToOpt is EveWinsPointsTo under explicit search options.
+// The target must be safe for concurrent calls when the engine is
+// parallel (the paper's targets inspect only labels and degrees). Do
+// not set Options.Ctx here: on cancellation the Boolean returned is
+// meaningless, and this wrapper discards the error that would flag it —
+// callers needing cancellation should drive search.Exists directly.
+func EveWinsPointsToOpt(g *graph.Graph, target Target, o search.Options) bool {
+	scratch := newParentsScratch(g.N())
+	won, _ := search.Exists(o, parentsSpace(g), func(asm []int) bool {
+		p, put := scratch.Get()
+		defer put()
+		decodeParentsAsm(g, asm, p)
+		return parentsWinPointsTo(g, p, target)
+	})
+	return won
+}
+
+// parentsWinPointsTo reports whether Eve's parent assignment p survives
+// RootCase[target] and every challenge of Adam.
+func parentsWinPointsTo(g *graph.Graph, p Parents, target Target) bool {
+	for _, r := range p.Roots() {
+		if !target(g, r) {
+			return false
 		}
-		// Adam tries every challenge.
-		adamBreaks := false
-		ForEachChallenge(g.N(), func(x Challenge) bool {
-			if _, ok := SolveCharges(p, x); !ok {
-				adamBreaks = true
-				return false
-			}
-			return true
-		})
-		if !adamBreaks {
-			won = true
+	}
+	adamBreaks := false
+	ForEachChallenge(g.N(), func(x Challenge) bool {
+		if _, ok := SolveCharges(p, x); !ok {
+			adamBreaks = true
 			return false
 		}
 		return true
 	})
-	return won
+	return !adamBreaks
 }
 
 // SolveUniqueness computes Eve's Z response in the PointsToUnique game of
@@ -244,30 +264,24 @@ func SolveUniqueness(g *graph.Graph, target Target, x Challenge) (bool, bool) {
 // uniqueness of the target node. Eve wins iff exactly one node satisfies
 // the target (and she can then produce a spanning tree rooted there).
 func EveWinsPointsToUnique(g *graph.Graph, target Target) bool {
-	won := false
-	ForEachParents(g, func(p Parents) bool {
+	return EveWinsPointsToUniqueOpt(g, target, search.Default())
+}
+
+// EveWinsPointsToUniqueOpt is EveWinsPointsToUnique under explicit
+// search options (same concurrency and Ctx caveats as
+// EveWinsPointsToOpt).
+func EveWinsPointsToUniqueOpt(g *graph.Graph, target Target, o search.Options) bool {
+	scratch := newParentsScratch(g.N())
+	won, _ := search.Exists(o, parentsSpace(g), func(asm []int) bool {
+		p, put := scratch.Get()
+		defer put()
+		decodeParentsAsm(g, asm, p)
 		for _, r := range p.Roots() {
 			if !target(g, r) {
-				return true
-			}
-		}
-		adamBreaks := false
-		ForEachChallenge(g.N(), func(x Challenge) bool {
-			if _, ok := SolveCharges(p, x); !ok {
-				adamBreaks = true
 				return false
 			}
-			if _, ok := SolveUniqueness(g, target, x); !ok {
-				adamBreaks = true
-				return false
-			}
-			return true
-		})
-		if !adamBreaks {
-			won = true
-			return false
 		}
-		return true
+		return !adamDefeats(g, p, target)
 	})
 	return won
 }
@@ -277,16 +291,25 @@ func EveWinsPointsToUnique(g *graph.Graph, target Target) bool {
 // (unique root via PointsToUnique[Root], at most one child per node) whose
 // root is adjacent to the unique leaf without being its parent.
 func EveWinsHamiltonian(g *graph.Graph) bool {
+	return EveWinsHamiltonianOpt(g, search.Default())
+}
+
+// EveWinsHamiltonianOpt is EveWinsHamiltonian under explicit search
+// options (same Ctx caveat as EveWinsPointsToOpt).
+func EveWinsHamiltonianOpt(g *graph.Graph, o search.Options) bool {
 	n := g.N()
-	won := false
-	ForEachParents(g, func(p Parents) bool {
+	scratch := newParentsScratch(n)
+	won, _ := search.Exists(o, parentsSpace(g), func(asm []int) bool {
+		p, put := scratch.Get()
+		defer put()
+		decodeParentsAsm(g, asm, p)
 		// MaxOneChild: each node has at most one child.
 		children := make([]int, n)
 		for u, v := range p {
 			if u != v {
 				children[v]++
 				if children[v] > 1 {
-					return true
+					return false
 				}
 			}
 		}
@@ -301,28 +324,12 @@ func EveWinsHamiltonian(g *graph.Graph) bool {
 				}
 			}
 			if !ok {
-				return true
+				return false
 			}
 		}
 		// The Root target: roots are exactly the self-pointing nodes.
 		rootTarget := func(_ *graph.Graph, u int) bool { return p[u] == u }
-		adamBreaks := false
-		ForEachChallenge(n, func(x Challenge) bool {
-			if _, ok := SolveCharges(p, x); !ok {
-				adamBreaks = true
-				return false
-			}
-			if _, ok := SolveUniqueness(g, rootTarget, x); !ok {
-				adamBreaks = true
-				return false
-			}
-			return true
-		})
-		if !adamBreaks {
-			won = true
-			return false
-		}
-		return true
+		return !adamDefeats(g, p, rootTarget)
 	})
 	return won
 }

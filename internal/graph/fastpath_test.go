@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestHasEdgeBitsetAgreesWithLists cross-checks the bitset fast path of
+// HasEdge against the adjacency lists on every node pair of assorted
+// generators and relabelings.
+func TestHasEdgeBitsetAgreesWithLists(t *testing.T) {
+	gs := []*Graph{
+		Cycle(3), Cycle(9), Path(5), Complete(6),
+		Figure1NoInstance(), Figure1YesInstance(),
+		GluedDoubleCycle(5),
+		Cycle(4).MustWithLabels([]string{"1", "0", "1", "0"}),
+		Complete(4).Clone(),
+	}
+	for gi, g := range gs {
+		if g.bits == nil {
+			t.Fatalf("graph %d: bitset not built for n=%d", gi, g.N())
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				a := g.adj[u]
+				i := sort.SearchInts(a, v)
+				want := u != v && i < len(a) && a[i] == v
+				if got := g.HasEdge(u, v); got != want {
+					t.Fatalf("graph %d: HasEdge(%d,%d) = %v, want %v", gi, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDegreesCached checks the cached degree array against Degree on all
+// construction paths (New, WithLabels, Clone).
+func TestDegreesCached(t *testing.T) {
+	for _, g := range []*Graph{
+		Complete(5),
+		Complete(5).MustWithLabels(BitLabels(5, 0b10101)),
+		Complete(5).Clone(),
+		Path(4),
+	} {
+		ds := g.Degrees()
+		if len(ds) != g.N() {
+			t.Fatalf("Degrees length %d, want %d", len(ds), g.N())
+		}
+		for u := 0; u < g.N(); u++ {
+			if ds[u] != g.Degree(u) {
+				t.Fatalf("Degrees()[%d] = %d, want %d", u, ds[u], g.Degree(u))
+			}
+		}
+	}
+}

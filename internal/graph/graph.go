@@ -43,6 +43,40 @@ func (e Edge) Normalize() Edge {
 type Graph struct {
 	adj    [][]int  // adjacency lists, each sorted ascending
 	labels []string // labels[u] is the bit-string label of node u
+
+	// Derived read-only fast paths shared by all relabelings of the same
+	// edge set: a packed adjacency bitset (row u occupies words
+	// [u*stride, (u+1)*stride), bit v set iff {u,v} is an edge) giving
+	// O(1) HasEdge, and the cached degree array behind Degrees. For
+	// graphs above bitsetMaxNodes the bitset is skipped (quadratic
+	// memory) and HasEdge falls back to binary search.
+	bits    []uint64
+	stride  int
+	degrees []int
+}
+
+// bitsetMaxNodes bounds the O(n²/8) adjacency bitset; beyond it HasEdge
+// falls back to binary-searching the adjacency list.
+const bitsetMaxNodes = 1 << 12
+
+// buildFastPaths computes the derived structures from g.adj.
+func (g *Graph) buildFastPaths() {
+	n := len(g.adj)
+	g.degrees = make([]int, n)
+	for u := range g.adj {
+		g.degrees[u] = len(g.adj[u])
+	}
+	if n > bitsetMaxNodes {
+		return
+	}
+	g.stride = (n + 63) / 64
+	g.bits = make([]uint64, n*g.stride)
+	for u := range g.adj {
+		row := g.bits[u*g.stride : (u+1)*g.stride]
+		for _, v := range g.adj[u] {
+			row[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
 }
 
 // New constructs a labeled graph with n nodes, the given undirected edges,
@@ -87,6 +121,7 @@ func New(n int, edges []Edge, labels []string) (*Graph, error) {
 	if !g.isConnected() {
 		return nil, ErrNotConnected
 	}
+	g.buildFastPaths()
 	return g, nil
 }
 
@@ -115,6 +150,10 @@ func (g *Graph) N() int { return len(g.adj) }
 // Degree returns the degree of node u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
+// Degrees returns the cached degree array, indexed by node. The returned
+// slice must not be modified.
+func (g *Graph) Degrees() []int { return g.degrees }
+
 // Neighbors returns the neighbors of u in ascending index order.
 // The returned slice must not be modified.
 func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
@@ -125,10 +164,15 @@ func (g *Graph) Label(u int) string { return g.labels[u] }
 // Labels returns a copy of all node labels.
 func (g *Graph) Labels() []string { return append([]string(nil), g.labels...) }
 
-// HasEdge reports whether {u,v} is an edge of g.
+// HasEdge reports whether {u,v} is an edge of g. With the adjacency
+// bitset built (every graph up to bitsetMaxNodes nodes) this is a single
+// word probe; larger graphs binary-search the adjacency list.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
+	}
+	if g.bits != nil {
+		return g.bits[u*g.stride+v>>6]&(1<<(uint(v)&63)) != 0
 	}
 	a := g.adj[u]
 	i := sort.SearchInts(a, v)
@@ -167,7 +211,8 @@ func (g *Graph) WithLabels(labels []string) (*Graph, error) {
 			return nil, fmt.Errorf("node %d label %q: %w", u, l, ErrInvalidLabel)
 		}
 	}
-	return &Graph{adj: g.adj, labels: append([]string(nil), labels...)}, nil
+	return &Graph{adj: g.adj, labels: append([]string(nil), labels...),
+		bits: g.bits, stride: g.stride, degrees: g.degrees}, nil
 }
 
 // MustWithLabels is WithLabels but panics on error.
@@ -185,7 +230,9 @@ func (g *Graph) Clone() *Graph {
 	for u := range g.adj {
 		adj[u] = append([]int(nil), g.adj[u]...)
 	}
-	return &Graph{adj: adj, labels: append([]string(nil), g.labels...)}
+	h := &Graph{adj: adj, labels: append([]string(nil), g.labels...)}
+	h.buildFastPaths()
+	return h
 }
 
 func (g *Graph) isConnected() bool {

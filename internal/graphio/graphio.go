@@ -32,11 +32,22 @@ func Encode(w io.Writer, g *graph.Graph) error {
 	return enc.Encode(out)
 }
 
-// Decode reads a graph from r.
+// Decode reads a graph from r. The input must be exactly one JSON graph
+// object: trailing data after it is rejected, so malformed files fail
+// loudly instead of being silently truncated.
 func Decode(r io.Reader) (*graph.Graph, error) {
 	var in JSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	switch _, err := dec.Token(); {
+	case err == io.EOF:
+		// Exactly one object, as required.
+	case err == nil:
+		return nil, fmt.Errorf("graphio: trailing data after graph JSON")
+	default:
+		return nil, fmt.Errorf("graphio: trailing data after graph JSON: %w", err)
 	}
 	edges := make([]graph.Edge, len(in.Edges))
 	for i, e := range in.Edges {

@@ -32,6 +32,8 @@ func TestDecodeValidation(t *testing.T) {
 		`{"n":2,"edges":[[0,1]],"labels":["2",""]}`, // bad label
 		`{"n":2,"edges":[[0,5]]}`,                   // out of range
 		`not json`,
+		`{"n":2,"edges":[[0,1]]} trailing garbage`, // data after the object
+		`{"n":2,"edges":[[0,1]]}{"n":1}`,           // second object
 	}
 	for _, in := range cases {
 		if _, err := Decode(strings.NewReader(in)); err == nil {
