@@ -1,11 +1,12 @@
 # Single verify entry point: `make check` runs formatting, vet, build,
-# and the full race-enabled test suite (see DESIGN.md).
+# the full race-enabled test suite, and a short fuzz smoke of the graph
+# JSON decoder (see DESIGN.md). `make help` lists the targets.
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test fuzz bench help
 
-check: fmt vet build test
+check: fmt vet build test fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,5 +23,19 @@ build:
 test:
 	$(GO) test -race ./...
 
+# fuzz smoke-runs FuzzReadGraph for 5s against the malformed-JSON corpus
+# (trailing data, truncated arrays): no panics, error-or-valid-graph.
+fuzz:
+	$(GO) test -run=- -fuzz=Fuzz -fuzztime=5s ./internal/graphio
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+help:
+	@echo "make check  - fmt + vet + build + race tests + graphio fuzz smoke (the verify entry point)"
+	@echo "make fmt    - fail if gofmt would change any file"
+	@echo "make vet    - go vet ./..."
+	@echo "make build  - go build ./..."
+	@echo "make test   - go test -race ./..."
+	@echo "make fuzz   - go test -run=- -fuzz=Fuzz -fuzztime=5s ./internal/graphio"
+	@echo "make bench  - smoke-run every benchmark once"

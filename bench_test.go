@@ -379,6 +379,99 @@ func BenchmarkSpanningForestGameEngines(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreGameEngines evaluates a full three-alternation certificate
+// game (Σ^lp_3: ∃κ1∀κ2∃κ3) under both engines. The machine accepts iff
+// the three certificates are single bits whose parity matches the label;
+// Adam's invalid κ2 plays defeat every κ1, so the outer existential level
+// — 3^4 = 81 assignments, split across the pool — runs to exhaustion and
+// every branch exercises the sequential levels below it against one
+// shared simulate.Prepared instance.
+func BenchmarkCoreGameEngines(b *testing.B) {
+	g := graph.Path(4).MustWithLabels([]string{"0", "1", "1", "0"})
+	id := graph.GloballyUnique(g)
+	type st struct{ ok bool }
+	m := &simulate.Machine{
+		Name: "bench:triple-parity",
+		Init: func(in simulate.Input) any {
+			ok := len(in.Certs) == 3 && len(in.Label) == 1
+			for _, c := range in.Certs {
+				if len(c) != 1 {
+					ok = false
+				}
+			}
+			if ok {
+				ok = (in.Certs[0][0] ^ in.Certs[1][0] ^ in.Certs[2][0] ^ in.Label[0]) == 0
+			}
+			return &st{ok: ok}
+		},
+		Round:  func(any, int, []string) ([]string, bool) { return nil, true },
+		Output: func(s any) string { return map[bool]string{true: "1", false: "0"}[s.(*st).ok] },
+	}
+	arb := &core.Arbiter{Machine: m, Level: core.Sigma(3),
+		RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{8}}}
+	domains := []cert.Domain{
+		cert.UniformDomain(4, 1), cert.UniformDomain(4, 1), cert.UniformDomain(4, 1),
+	}
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := arb.GameValueOpt(g, id, domains, e.opts)
+				if err != nil || ok {
+					b.Fatal("Σ3 game value changed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSimulate runs 2^10 certificate assignments of the
+// 2-colorability verifier against one prepared C10 through the batch
+// scheduler, sequential pool vs parallel pool — the amortized-setup
+// workload behind the core game leaves and the experiment sweeps.
+func BenchmarkBatchSimulate(b *testing.B) {
+	g := graph.Cycle(10)
+	id := graph.SmallLocallyUnique(g, 1)
+	prep, err := simulate.Prepare(g, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	jobs := make([]simulate.Job, 1<<uint(n))
+	for mask := range jobs {
+		certs := make([][]string, n)
+		for u := 0; u < n; u++ {
+			if mask&(1<<uint(u)) != 0 {
+				certs[u] = []string{"1"}
+			} else {
+				certs[u] = []string{"0"}
+			}
+		}
+		jobs[mask] = simulate.Job{Machine: arbiters.TwoColorable(), Certs: certs}
+	}
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			opt := simulate.BatchOptions{Workers: e.opts.Workers,
+				Run: simulate.Options{Sequential: true}}
+			for i := 0; i < b.N; i++ {
+				results, err := prep.Batch(jobs, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accepted := 0
+				for _, r := range results {
+					if r.Accepted() {
+						accepted++
+					}
+				}
+				// C10 has exactly two proper 2-colorings.
+				if accepted != 2 {
+					b.Fatalf("accepted %d certificate assignments, want 2", accepted)
+				}
+			}
+		})
+	}
+}
+
 func sizeName(n int) string {
 	switch {
 	case n < 10:

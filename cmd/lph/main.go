@@ -17,12 +17,11 @@
 //
 // -workers N sets the worker-pool size for exhaustive game evaluation
 // (0, the default, uses every CPU; 1 forces the sequential engine). It
-// currently drives the game subcommand; decide/verify/reduce accept it
-// for forward compatibility but run the arbiter machinery, which does
-// not yet sit on the search engine (see ROADMAP.md). Note the engine
-// skips the pool on spaces too small to be worth splitting — the
-// Figure 1 instances are in that regime, so both engines cost the same
-// there.
+// drives the game subcommand and the certificate games behind verify
+// (core.StrategyGameValueOpt: Adam's universal levels fan out across the
+// pool). Note the engine skips the pool on spaces too small to be worth
+// splitting — the Figure 1 instances are in that regime, so both
+// engines cost the same there.
 //
 // Exit status: 0 = property holds / reduction succeeded, 1 = property does
 // not hold, 2 = usage or input error.
@@ -69,7 +68,7 @@ func run(args []string) int {
 	case "decide":
 		return decide(args[1:])
 	case "verify":
-		return verify(args[1:])
+		return verify(args[1:], engine)
 	case "reduce":
 		return reduction(args[1:])
 	case "game":
@@ -124,7 +123,7 @@ func decide(args []string) int {
 	return 1
 }
 
-func verify(args []string) int {
+func verify(args []string, engine search.Options) int {
 	if len(args) != 1 {
 		usage()
 		return 2
@@ -143,25 +142,25 @@ func verify(args []string) int {
 		k := int(args[0][0] - '0')
 		arb := &core.Arbiter{Machine: arbiters.KColorable(k), Level: core.Sigma(1),
 			RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 2}}}
-		accepted, err = arb.StrategyGameValue(g, id,
-			[]core.Strategy{arbiters.ColoringStrategy(k)}, []cert.Domain{{}})
+		accepted, err = arb.StrategyGameValueOpt(g, id,
+			[]core.Strategy{arbiters.ColoringStrategy(k)}, []cert.Domain{{}}, engine)
 	case "sat-graph":
 		arb := &core.Arbiter{Machine: arbiters.SatGraph(), Level: core.Sigma(1),
 			RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 4}}}
-		accepted, err = arb.StrategyGameValue(g, id,
-			[]core.Strategy{arbiters.SatGraphStrategy()}, []cert.Domain{{}})
+		accepted, err = arb.StrategyGameValueOpt(g, id,
+			[]core.Strategy{arbiters.SatGraphStrategy()}, []cert.Domain{{}}, engine)
 	case "hamiltonian":
-		accepted, err = games.HamiltonianArbiter().StrategyGameValue(g, id,
+		accepted, err = games.HamiltonianArbiter().StrategyGameValueOpt(g, id,
 			[]core.Strategy{games.HamiltonianStrategy(), nil, games.RootChargeStrategy()},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
+			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, engine)
 	case "not-all-selected":
-		accepted, err = games.NotAllSelectedArbiter().StrategyGameValue(g, id,
+		accepted, err = games.NotAllSelectedArbiter().StrategyGameValueOpt(g, id,
 			[]core.Strategy{games.ForestStrategy(games.IsUnselected), nil, games.ChargeStrategy(nil)},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
+			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, engine)
 	case "one-selected":
-		accepted, err = games.OneSelectedArbiter().StrategyGameValue(g, id,
+		accepted, err = games.OneSelectedArbiter().StrategyGameValueOpt(g, id,
 			[]core.Strategy{games.ForestStrategy(games.IsSelected), nil, games.ChargeStrategy(games.IsSelected)},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
+			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, engine)
 	default:
 		fmt.Fprintf(os.Stderr, "lph: unknown verifiable property %q\n", args[0])
 		return 2

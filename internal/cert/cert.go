@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/search"
 )
 
 // Assignment is a certificate assignment κ: one bit string per node.
@@ -182,24 +183,57 @@ func stringsUpTo(maxLen int) []string {
 // The assignment passed to yield is reused between calls; copy it if it
 // must be retained.
 func (d Domain) ForEach(yield func(Assignment) bool) bool {
-	n := len(d.MaxLen)
-	options := make([][]string, n)
-	for u := 0; u < n; u++ {
-		options[u] = stringsUpTo(d.MaxLen[u])
-	}
-	cur := make(Assignment, n)
-	var rec func(u int) bool
-	rec = func(u int) bool {
-		if u == n {
-			return yield(cur)
-		}
-		for _, s := range options[u] {
-			cur[u] = s
-			if !rec(u + 1) {
-				return false
-			}
-		}
-		return true
-	}
-	return rec(0)
+	e := d.Enum()
+	cur := make(Assignment, len(d.MaxLen))
+	return search.ForEach(e.Space(), func(choices []int) bool {
+		e.Decode(choices, cur)
+		return yield(cur)
+	})
 }
+
+// Enum is a Domain compiled for the search engine: the per-node option
+// tables are materialized once, so enumeration and decoding share them
+// across the exponentially many assignments of a game evaluation. An Enum
+// is immutable after construction and safe for concurrent use.
+type Enum struct {
+	options [][]string
+}
+
+// Enum compiles the domain.
+func (d Domain) Enum() *Enum {
+	e := &Enum{options: make([][]string, len(d.MaxLen))}
+	for u, l := range d.MaxLen {
+		e.options[u] = stringsUpTo(l)
+	}
+	return e
+}
+
+// Len returns the number of node positions.
+func (e *Enum) Len() int { return len(e.options) }
+
+// Space exposes the compiled domain as a search.Space: one position per
+// node, node u offering its bit strings of length 0..MaxLen[u] in
+// stringsUpTo order (choice 0 is ""). Enumerating the space in
+// lexicographic order and decoding each assignment visits exactly the
+// assignments of Domain.ForEach in the same order, which the cert test
+// suite pins.
+func (e *Enum) Space() search.Space {
+	return search.Space{
+		Len:  len(e.options),
+		Size: func(u int) int { return len(e.options[u]) },
+	}
+}
+
+// Decode writes the assignment selected by choices into the reusable
+// buffer into; len(choices) and len(into) must both equal Len. Every
+// position is overwritten, so buffers pooled through search.Scratch can
+// be reused without clearing.
+func (e *Enum) Decode(choices []int, into Assignment) {
+	for u, c := range choices {
+		into[u] = e.options[u][c]
+	}
+}
+
+// Space is shorthand for Enum().Space(); callers that also decode should
+// compile the Enum once instead.
+func (d Domain) Space() search.Space { return d.Enum().Space() }

@@ -1,0 +1,137 @@
+package cert
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// referenceEnumerate lists the domain's assignments by the definitional
+// nested loops — node 0 outermost, each node walking its bit strings in
+// stringsUpTo order — independent of both Domain.ForEach and Enum.Space,
+// so the property tests pin the semantics rather than the implementation.
+func referenceEnumerate(d Domain) []string {
+	n := len(d.MaxLen)
+	options := make([][]string, n)
+	for u := 0; u < n; u++ {
+		options[u] = stringsUpTo(d.MaxLen[u])
+	}
+	var out []string
+	cur := make([]string, n)
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			out = append(out, strings.Join(cur, "|"))
+			return
+		}
+		for _, s := range options[u] {
+			cur[u] = s
+			rec(u + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// enumerateVia walks the domain through the given enumeration style and
+// returns the joined assignments in visitation order.
+func enumerateViaForEach(d Domain) []string {
+	var out []string
+	d.ForEach(func(a Assignment) bool {
+		out = append(out, strings.Join(a, "|"))
+		return true
+	})
+	return out
+}
+
+func enumerateViaSpace(d Domain) []string {
+	e := d.Enum()
+	buf := make(Assignment, e.Len())
+	var out []string
+	search.ForEach(e.Space(), func(choices []int) bool {
+		e.Decode(choices, buf)
+		out = append(out, strings.Join(buf, "|"))
+		return true
+	})
+	return out
+}
+
+func assertSameEnumeration(t *testing.T, name string, d Domain) {
+	t.Helper()
+	want := referenceEnumerate(d)
+	if got := enumerateViaForEach(d); !equalStrings(got, want) {
+		t.Fatalf("%s: ForEach order diverges from reference\n got %v\nwant %v", name, got, want)
+	}
+	if got := enumerateViaSpace(d); !equalStrings(got, want) {
+		t.Fatalf("%s: Space order diverges from reference\n got %v\nwant %v", name, got, want)
+	}
+	if d.Size() != len(want) {
+		t.Fatalf("%s: Size() = %d, enumerated %d", name, d.Size(), len(want))
+	}
+	seen := make(map[string]bool, len(want))
+	for _, a := range want {
+		if seen[a] {
+			t.Fatalf("%s: duplicate assignment %q", name, a)
+		}
+		seen[a] = true
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpaceMatchesForEachRandom: for random (n, per-node maxLen) domains,
+// the search-space view enumerates exactly the ForEach assignments — same
+// element set, same lexicographic order.
+func TestSpaceMatchesForEachRandom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(20240726))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4)
+		ml := make([]int, n)
+		for u := range ml {
+			ml[u] = rng.Intn(3)
+		}
+		assertSameEnumeration(t, "random domain", Domain{MaxLen: ml})
+	}
+}
+
+// TestSpaceMatchesForEachBounded covers domains derived from (r,p) bounds
+// on labeled graphs, the form game evaluations actually quantify over.
+func TestSpaceMatchesForEachBounded(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	bases := []*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Star(3)}
+	for trial := 0; trial < 20; trial++ {
+		base := bases[rng.Intn(len(bases))]
+		labels := make([]string, base.N())
+		for u := range labels {
+			labels[u] = []string{"", "0", "1"}[rng.Intn(3)]
+		}
+		g := base.MustWithLabels(labels)
+		id := graph.SmallLocallyUnique(g, 1)
+		b := Bound{R: 1, P: Polynomial{0, 1}}
+		cap := 1 + rng.Intn(2)
+		assertSameEnumeration(t, "bounded domain", BoundedDomain(g, id, b, cap))
+	}
+}
+
+// TestSpaceDegenerate pins the edge cases: the empty domain (one empty
+// assignment) and a zero-length node option list.
+func TestSpaceDegenerate(t *testing.T) {
+	t.Parallel()
+	assertSameEnumeration(t, "empty domain", Domain{})
+	assertSameEnumeration(t, "all-zero maxlen", UniformDomain(3, 0))
+}

@@ -24,9 +24,11 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/cert"
 	"repro/internal/graph"
+	"repro/internal/search"
 	"repro/internal/simulate"
 )
 
@@ -104,56 +106,174 @@ func (a *Arbiter) Run(g *graph.Graph, id graph.IDAssignment, assigns ...cert.Ass
 //	Q1 κ1 Q2 κ2 … : M(G, id, κ1·…·κℓ) ≡ accept
 //
 // with Q1 Q2 … the level's quantifier prefix.
+//
+// GameValue runs on the package default search engine (parallel across
+// all CPUs); GameValueOpt selects the engine.
 func (a *Arbiter) GameValue(g *graph.Graph, id graph.IDAssignment, domains []cert.Domain) (bool, error) {
+	return a.GameValueOpt(g, id, domains, search.Default())
+}
+
+// GameValueOpt is GameValue under explicit search options: the outermost
+// quantifier level whose space the engine considers worth splitting is
+// handed to the worker pool (short-circuit Exists for Eve, ForAll for
+// Adam), levels below it are enumerated sequentially within each worker,
+// and every game leaf runs against a single simulate.Prepared instance
+// so the per-(graph, id) setup is paid once for the whole game tree.
+// Quantifier values are independent of visitation order, so
+// GameValueOpt(…, Sequential()) and any parallel pool compute the same
+// value — the core parity tests assert this under the race detector.
+func (a *Arbiter) GameValueOpt(g *graph.Graph, id graph.IDAssignment, domains []cert.Domain, o search.Options) (bool, error) {
 	if len(domains) != a.Level.Alternations {
 		return false, fmt.Errorf("core: %d domains for level %v", len(domains), a.Level)
 	}
-	chosen := make([]cert.Assignment, 0, len(domains))
-	var rec func(i int) (bool, error)
-	rec = func(i int) (bool, error) {
-		if i > len(domains) {
-			return a.Run(g, id, chosen...)
-		}
-		existential := a.Level.ExistentialAt(i)
-		// Existential: succeed if some choice works. Universal: fail if
-		// some choice fails.
-		found := existential // value if enumeration exhausts: ¬∃ => false, ∀ => true
-		var innerErr error
-		complete := domains[i-1].ForEach(func(k cert.Assignment) bool {
-			cp := append(cert.Assignment(nil), k...)
-			chosen = append(chosen, cp)
-			v, err := rec(i + 1)
-			chosen = chosen[:len(chosen)-1]
-			if err != nil {
-				innerErr = err
-				return false
-			}
-			if existential && v {
-				found = true
-				return false // short-circuit ∃
-			}
-			if !existential && !v {
-				found = false
-				return false // short-circuit ∀
-			}
-			return true
-		})
-		if innerErr != nil {
-			return false, innerErr
-		}
-		if complete {
-			// Enumeration exhausted: ∃ failed, or ∀ succeeded.
-			return !existential, nil
-		}
-		return found, nil
+	prep, err := simulate.Prepare(g, id)
+	if err != nil {
+		return false, err
 	}
-	return rec(1)
+	ev := newGameEval(a, prep, domains)
+	if len(domains) == 0 {
+		return ev.leaf(nil)
+	}
+	chosen := make([]cert.Assignment, len(ev.enums))
+	for i, e := range ev.enums {
+		chosen[i] = make(cert.Assignment, e.Len())
+	}
+	return ev.eval(chosen, 1, o, true)
+}
+
+// gameEval carries the state shared by every worker of one game
+// evaluation: the prepared simulation instance, the compiled per-level
+// domains, and the first error raised by any leaf.
+type gameEval struct {
+	a       *Arbiter
+	prep    *simulate.Prepared
+	enums   []*cert.Enum
+	errOnce sync.Once
+	err     error
+}
+
+func newGameEval(a *Arbiter, prep *simulate.Prepared, domains []cert.Domain) *gameEval {
+	ev := &gameEval{a: a, prep: prep, enums: make([]*cert.Enum, len(domains))}
+	for i, d := range domains {
+		ev.enums[i] = d.Enum()
+	}
+	return ev
+}
+
+func (ev *gameEval) fail(err error) {
+	ev.errOnce.Do(func() { ev.err = err })
+}
+
+// leaf executes the arbiter's machine on fully chosen certificates. The
+// game levels are the unit of parallelism, so each leaf runs its nodes
+// sequentially (identical results either way; see simulate).
+func (ev *gameEval) leaf(chosen []cert.Assignment) (bool, error) {
+	res, err := ev.prep.Run(ev.a.Machine, cert.NodeLists(chosen...), simulate.Options{Sequential: true})
+	if err != nil {
+		return false, err
+	}
+	return res.Accepted(), nil
+}
+
+// eval evaluates quantifier levels i..ℓ; chosen holds one assignment
+// buffer per level, with chosen[0..i-2] the moves already decoded above.
+// par marks that no enclosing level has been fanned out yet, so the
+// first level the engine considers splittable claims the worker pool
+// (levels with tiny spaces pass the pool down to the bigger levels
+// beneath them); everything below a fan-out runs sequentially within
+// its worker.
+func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par bool) (bool, error) {
+	if i > len(ev.enums) {
+		return ev.leaf(chosen)
+	}
+	existential := ev.a.Level.ExistentialAt(i)
+	enum := ev.enums[i-1]
+	space := enum.Space()
+	if par && search.Splittable(o, space) {
+		// Fan this level out across the pool. chosen[0..i-2] are shared
+		// read-only (the enclosing sequential enumerators only decode
+		// again after the pool drains); each worker gets pooled buffers
+		// for this level and the ones below it.
+		prefix := chosen[:i-1]
+		scratch := search.NewScratch(func() []cert.Assignment {
+			suffix := make([]cert.Assignment, len(ev.enums)-(i-1))
+			for j := range suffix {
+				suffix[j] = make(cert.Assignment, ev.enums[i-1+j].Len())
+			}
+			return suffix
+		})
+		pred := func(choices []int) bool {
+			suffix, release := scratch.Get()
+			defer release()
+			child := make([]cert.Assignment, 0, len(ev.enums))
+			child = append(append(child, prefix...), suffix...)
+			enum.Decode(choices, child[i-1])
+			v, err := ev.eval(child, i+1, o, false)
+			if err != nil {
+				ev.fail(err)
+				// Short-circuit the enclosing quantifier so the pool
+				// drains: a witness for ∃, a counterexample for ∀.
+				return existential
+			}
+			return v
+		}
+		var val bool
+		var err error
+		if existential {
+			val, err = search.Exists(o, space, pred)
+		} else {
+			val, err = search.ForAll(o, space, pred)
+		}
+		if ev.err != nil {
+			return false, ev.err
+		}
+		if err != nil {
+			return false, err
+		}
+		return val, nil
+	}
+	// Existential: succeed if some choice works. Universal: fail if
+	// some choice fails.
+	found := existential // value if enumeration exhausts: ¬∃ => false, ∀ => true
+	var innerErr error
+	complete := search.ForEach(space, func(choices []int) bool {
+		enum.Decode(choices, chosen[i-1])
+		v, err := ev.eval(chosen, i+1, o, par)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if existential && v {
+			found = true
+			return false // short-circuit ∃
+		}
+		if !existential && !v {
+			found = false
+			return false // short-circuit ∀
+		}
+		return true
+	})
+	if innerErr != nil {
+		return false, innerErr
+	}
+	if complete {
+		// Enumeration exhausted: ∃ failed, or ∀ succeeded.
+		return !existential, nil
+	}
+	return found, nil
 }
 
 // Strategy produces a certificate assignment for a player given the
 // opponent's previous moves (moves[0] = κ1, …). Eve's constructive
 // strategies from the paper's proofs (spanning trees, charges, colorings)
 // implement this type.
+//
+// Implementations must be pure functions of their arguments: under a
+// parallel engine a strategy below Adam's fanned-out universal level is
+// invoked concurrently from several workers, and the moves entries may
+// alias pooled buffers that are overwritten once the call returns — so a
+// strategy must not share mutable state across calls and must not retain
+// moves or its entries.
 type Strategy func(g *graph.Graph, id graph.IDAssignment, moves []cert.Assignment) (cert.Assignment, error)
 
 // StrategyGameValue evaluates the game with Eve's moves produced by
@@ -166,56 +286,104 @@ type Strategy func(g *graph.Graph, id graph.IDAssignment, moves []cert.Assignmen
 // witnesses membership, since a winning strategy is in particular a
 // witness for each ∃. The converse (false ⇒ non-membership) holds only
 // when the strategies are optimal, as the paper's constructions are.
+//
+// StrategyGameValue runs on the package default search engine (parallel
+// across all CPUs); StrategyGameValueOpt selects the engine.
 func (a *Arbiter) StrategyGameValue(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, domains []cert.Domain) (bool, error) {
+	return a.StrategyGameValueOpt(g, id, strategies, domains, search.Default())
+}
+
+// StrategyGameValueOpt is StrategyGameValue under explicit search
+// options. Eve's strategy moves are deterministic, so the game tree only
+// branches at Adam's universal levels: the outermost universal level
+// whose domain the engine considers worth splitting is handed to the
+// worker pool (short-circuit ForAll), everything below it runs
+// sequentially within each worker, and all leaves share one
+// simulate.Prepared instance.
+func (a *Arbiter) StrategyGameValueOpt(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, domains []cert.Domain, o search.Options) (bool, error) {
 	l := a.Level.Alternations
 	if len(strategies) != l || len(domains) != l {
 		return false, fmt.Errorf("core: need %d strategy/domain slots", l)
 	}
-	chosen := make([]cert.Assignment, 0, l)
-	var rec func(i int) (bool, error)
-	rec = func(i int) (bool, error) {
-		if i > l {
-			return a.Run(g, id, chosen...)
+	prep, err := simulate.Prepare(g, id)
+	if err != nil {
+		return false, err
+	}
+	ev := newGameEval(a, prep, domains)
+	return ev.strategyRec(g, id, strategies, make([]cert.Assignment, 0, l), 1, o, true)
+}
+
+// strategyRec evaluates move i of the strategy-guided game with the
+// prefix chosen already played. par marks that no enclosing universal
+// level has been fanned out yet, so this one may claim the pool.
+func (ev *gameEval) strategyRec(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, chosen []cert.Assignment, i int, o search.Options, par bool) (bool, error) {
+	l := len(ev.enums)
+	if i > l {
+		return ev.leaf(chosen)
+	}
+	if ev.a.Level.ExistentialAt(i) {
+		if strategies[i-1] == nil {
+			return false, fmt.Errorf("core: move %d is existential but has no strategy", i)
 		}
-		if a.Level.ExistentialAt(i) {
-			if strategies[i-1] == nil {
-				return false, fmt.Errorf("core: move %d is existential but has no strategy", i)
-			}
-			k, err := strategies[i-1](g, id, append([]cert.Assignment(nil), chosen...))
-			if err != nil {
-				return false, err
-			}
-			chosen = append(chosen, k)
-			v, err := rec(i + 1)
-			chosen = chosen[:len(chosen)-1]
-			return v, err
+		k, err := strategies[i-1](g, id, append([]cert.Assignment(nil), chosen...))
+		if err != nil {
+			return false, err
 		}
-		if domains[i-1].MaxLen == nil {
-			return false, fmt.Errorf("core: move %d is universal but has no domain", i)
-		}
-		ok := true
-		var innerErr error
-		domains[i-1].ForEach(func(k cert.Assignment) bool {
-			cp := append(cert.Assignment(nil), k...)
-			chosen = append(chosen, cp)
-			v, err := rec(i + 1)
-			chosen = chosen[:len(chosen)-1]
-			if err != nil {
-				innerErr = err
-				return false
-			}
-			if !v {
-				ok = false
-				return false
-			}
-			return true
+		return ev.strategyRec(g, id, strategies, append(chosen, k), i+1, o, par)
+	}
+	if ev.enums[i-1].Len() == 0 {
+		return false, fmt.Errorf("core: move %d is universal but has no domain", i)
+	}
+	enum := ev.enums[i-1]
+	space := enum.Space()
+	if par && search.Splittable(o, space) {
+		// Fan this universal level out across the pool. Workers below it
+		// run sequentially, each on its own copy of the move prefix.
+		prefix := append([]cert.Assignment(nil), chosen...)
+		scratch := search.NewScratch(func() cert.Assignment {
+			return make(cert.Assignment, enum.Len())
 		})
-		if innerErr != nil {
-			return false, innerErr
+		ok, err := search.ForAll(o, space, func(choices []int) bool {
+			buf, release := scratch.Get()
+			defer release()
+			enum.Decode(choices, buf)
+			child := make([]cert.Assignment, 0, l)
+			child = append(append(child, prefix...), buf)
+			v, err := ev.strategyRec(g, id, strategies, child, i+1, o, false)
+			if err != nil {
+				ev.fail(err)
+				return false // a counterexample stops the ForAll
+			}
+			return v
+		})
+		if ev.err != nil {
+			return false, ev.err
+		}
+		if err != nil {
+			return false, err
 		}
 		return ok, nil
 	}
-	return rec(1)
+	buf := make(cert.Assignment, enum.Len())
+	ok := true
+	var innerErr error
+	search.ForEach(space, func(choices []int) bool {
+		enum.Decode(choices, buf)
+		v, err := ev.strategyRec(g, id, strategies, append(chosen, buf), i+1, o, par)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if !v {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if innerErr != nil {
+		return false, innerErr
+	}
+	return ok, nil
 }
 
 // encodeTuple/decodeTuple pack several machine messages into one (used by

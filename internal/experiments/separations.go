@@ -143,9 +143,11 @@ func Proposition24(n int, machines []*simulate.Machine) (*Report, error) {
 	return Proposition24Opt(n, machines, search.Default())
 }
 
-// Proposition24Opt is Proposition24 with the machine runs fanned out
-// across the search engine's worker pool (each machine's pair of runs is
-// one independent task; the report rows keep the machine order).
+// Proposition24Opt is Proposition24 with the machine runs batched
+// through the simulation scheduler: each cycle is prepared once (one
+// neighbor-order/slot-map computation per instance) and all machines run
+// against it across the engine's worker pool. The report rows keep the
+// machine order.
 func Proposition24Opt(n int, machines []*simulate.Machine, o search.Options) (*Report, error) {
 	if n%2 == 0 {
 		return nil, fmt.Errorf("experiments: n must be odd, got %d", n)
@@ -159,33 +161,37 @@ func Proposition24Opt(n int, machines []*simulate.Machine, o search.Options) (*R
 		row("2-colorable differs", true, props.TwoColorable(even) != props.TwoColorable(odd)),
 		row("duplicated ids locally unique", true, idEven.IsLocallyUnique(even, (n-1)/2)),
 	)
-	type verdict struct {
-		same bool
-		err  error
+	jobs := make([]simulate.Job, len(machines))
+	for i, m := range machines {
+		jobs[i] = simulate.Job{Machine: m}
 	}
-	verdicts := search.Map(o, len(machines), func(i int) verdict {
-		m := machines[i]
-		a, err := simulate.Run(m, odd, idOdd, nil, simulate.Options{})
-		if err != nil {
-			return verdict{err: fmt.Errorf("%s on C%d: %w", m.Name, n, err)}
-		}
-		b, err := simulate.Run(m, even, idEven, nil, simulate.Options{})
-		if err != nil {
-			return verdict{err: fmt.Errorf("%s on glued C%d: %w", m.Name, 2*n, err)}
-		}
+	bopt := simulate.BatchOptions{Workers: o.Workers, Ctx: o.Ctx,
+		Run: simulate.Options{Sequential: true}}
+	prepOdd, err := simulate.Prepare(odd, idOdd)
+	if err != nil {
+		return nil, err
+	}
+	resOdd, err := prepOdd.Batch(jobs, bopt)
+	if err != nil {
+		return nil, fmt.Errorf("on C%d: %w", n, err)
+	}
+	prepEven, err := simulate.Prepare(even, idEven)
+	if err != nil {
+		return nil, err
+	}
+	resEven, err := prepEven.Batch(jobs, bopt)
+	if err != nil {
+		return nil, fmt.Errorf("on glued C%d: %w", 2*n, err)
+	}
+	for i, m := range machines {
+		a, b := resOdd[i], resEven[i]
 		same := true
 		for u := 0; u < n; u++ {
 			if a.Outputs[u] != b.Outputs[u] || a.Outputs[u] != b.Outputs[n+u] {
 				same = false
 			}
 		}
-		return verdict{same: same}
-	})
-	for i, v := range verdicts {
-		if v.err != nil {
-			return nil, v.err
-		}
-		r.Rows = append(r.Rows, row(machines[i].Name+" verdicts identical", true, v.same))
+		r.Rows = append(r.Rows, row(m.Name+" verdicts identical", true, same))
 	}
 	return r, nil
 }

@@ -1,0 +1,57 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph fuzzes the JSON decoder with the malformed-input corpus
+// behind cmd/lph's exit-2 handling — trailing data after the object,
+// truncated arrays, second objects — plus well-formed graphs. The
+// invariant: Decode never panics, and either returns an error or a graph
+// that survives an encode/decode round trip unchanged.
+func FuzzReadGraph(f *testing.F) {
+	for _, seed := range []string{
+		`{"n":3,"edges":[[0,1],[1,2]],"labels":["1","0","1"]}`,
+		`{"n":1}`,
+		`{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`,
+		// The malformed corpus from the exit-2 fix:
+		`{"n":2,"edges":[[0,1]]} trailing garbage`,
+		`{"n":2,"edges":[[0,1]]}{"n":1}`,
+		`{"n":2,"edges":[[0,1]`,
+		`{"n":3,"edges":[[0,1],[1,`,
+		`{"n":2,"edges":[[0,1]],"labels":["1"`,
+		`{"n":2,"edges":[[0,5]]}`,
+		`{"n":0}`,
+		`not json`,
+		``,
+		`[[0,1]]`,
+		`{"n":-1,"edges":[[0,1]]}`,
+		`{"n":2,"edges":[[0,1]],"labels":["2",""]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if g != nil {
+				t.Fatalf("Decode returned both a graph and %v", err)
+			}
+			return
+		}
+		// Decoded graphs must be valid: re-encoding and re-decoding must
+		// succeed and reproduce the same graph.
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("decoded graph does not re-encode: %v", err)
+		}
+		h, err := Decode(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-encoded graph does not decode: %v\n%s", err, buf.String())
+		}
+		if !g.Equal(h) {
+			t.Fatalf("round trip changed the graph:\n%v\nvs\n%v", g, h)
+		}
+	})
+}

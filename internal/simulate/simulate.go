@@ -9,6 +9,12 @@
 // Rounds can be executed concurrently (one goroutine per node, barrier
 // between rounds) or sequentially; both modes are deterministic and
 // produce identical results, which the tests verify.
+//
+// The per-(graph, id) setup — identifier-sorted neighbor orders and the
+// outbox slot map — can be amortized across many executions through
+// Prepare; the Batch scheduler runs many (machine, certificates) jobs
+// against one Prepared instance over a worker pool with context
+// cancellation. See DESIGN.md for the lifecycle.
 package simulate
 
 import (
@@ -106,33 +112,69 @@ type Options struct {
 // ErrDidNotTerminate is returned when some node never halts.
 var ErrDidNotTerminate = errors.New("simulate: machine did not terminate")
 
-// Run executes m on g under the identifier assignment id and per-node
-// certificate lists certs (nil for none).
-func Run(m *Machine, g *graph.Graph, id graph.IDAssignment, certs [][]string, opt Options) (*Result, error) {
+// Prepared is a simulation instance with the per-(graph, id) setup —
+// identifier-sorted neighbor orders and the outbox slot map — computed
+// once, so that many executions (differing machines and certificate
+// lists) amortize it. A Prepared is immutable after Prepare and safe for
+// concurrent Run calls; game evaluations and the Batch scheduler run
+// thousands of executions against a single instance.
+type Prepared struct {
+	g  *graph.Graph
+	id graph.IDAssignment
+	// neighborOrder[u] lists u's neighbors sorted by identifier.
+	neighborOrder [][]int
+	// recvSlot[u][j] is u's slot in the outbox of its j-th neighbor
+	// (neighborOrder[u][j]), so incoming messages are located by pure
+	// slice indexing on the hot path.
+	recvSlot [][]int
+}
+
+// Prepare computes the reusable setup for executions of machines on
+// (g, id).
+func Prepare(g *graph.Graph, id graph.IDAssignment) (*Prepared, error) {
 	if len(id) != g.N() {
 		return nil, fmt.Errorf("simulate: %d identifiers for %d nodes", len(id), g.N())
 	}
+	n := g.N()
+	p := &Prepared{
+		g:             g,
+		id:            id,
+		neighborOrder: make([][]int, n),
+		recvSlot:      make([][]int, n),
+	}
+	// slotOf[v][w] is w's position in v's neighbor order.
+	slotOf := make([]map[int]int, n)
+	for u := 0; u < n; u++ {
+		p.neighborOrder[u] = id.SortByID(g.Neighbors(u))
+		slotOf[u] = make(map[int]int, len(p.neighborOrder[u]))
+		for j, w := range p.neighborOrder[u] {
+			slotOf[u][w] = j
+		}
+	}
+	for u := 0; u < n; u++ {
+		p.recvSlot[u] = make([]int, len(p.neighborOrder[u]))
+		for j, v := range p.neighborOrder[u] {
+			p.recvSlot[u][j] = slotOf[v][u]
+		}
+	}
+	return p, nil
+}
+
+// Graph returns the prepared graph.
+func (p *Prepared) Graph() *graph.Graph { return p.g }
+
+// ID returns the prepared identifier assignment.
+func (p *Prepared) ID() graph.IDAssignment { return p.id }
+
+// Run executes m against the prepared instance under the per-node
+// certificate lists certs (nil for none). It is equivalent to
+// Run(m, p.Graph(), p.ID(), certs, opt) and safe for concurrent use.
+func (p *Prepared) Run(m *Machine, certs [][]string, opt Options) (*Result, error) {
 	maxRounds := opt.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 64
 	}
-	n := g.N()
-	// neighborOrder[u] lists u's neighbors sorted by identifier.
-	neighborOrder := make([][]int, n)
-	// slotOf[u][v] is u's position in v's neighbor order, so that v's
-	// outgoing message for u can be located in O(1).
-	slotOf := make([]map[int]int, n)
-	for u := 0; u < n; u++ {
-		neighborOrder[u] = id.SortByID(g.Neighbors(u))
-		slotOf[u] = make(map[int]int, len(neighborOrder[u]))
-	}
-	for v := 0; v < n; v++ {
-		for j, w := range neighborOrder[v] {
-			// w sits at slot j of v's outbox.
-			slotOf[v][w] = j
-		}
-	}
-
+	n := p.g.N()
 	states := make([]any, n)
 	halted := make([]bool, n)
 	for u := 0; u < n; u++ {
@@ -142,9 +184,9 @@ func Run(m *Machine, g *graph.Graph, id graph.IDAssignment, certs [][]string, op
 		}
 		states[u] = m.Init(Input{
 			Node:   u,
-			Degree: g.Degree(u),
-			Label:  g.Label(u),
-			ID:     id[u],
+			Degree: p.g.Degree(u),
+			Label:  p.g.Label(u),
+			ID:     p.id[u],
 			Certs:  cs,
 		})
 	}
@@ -155,20 +197,20 @@ func Run(m *Machine, g *graph.Graph, id graph.IDAssignment, certs [][]string, op
 	}
 	outbox := make([][]string, n) // outbox[u][j]: message to j-th neighbor
 	for u := range outbox {
-		outbox[u] = make([]string, len(neighborOrder[u]))
+		outbox[u] = make([]string, len(p.neighborOrder[u]))
 	}
 
 	for round := 1; round <= maxRounds; round++ {
 		next := make([][]string, n)
 		runNode := func(u int) {
-			recv := make([]string, len(neighborOrder[u]))
+			recv := make([]string, len(p.neighborOrder[u]))
 			if round > 1 {
-				for j, v := range neighborOrder[u] {
-					recv[j] = outbox[v][slotOf[v][u]]
+				for j, v := range p.neighborOrder[u] {
+					recv[j] = outbox[v][p.recvSlot[u][j]]
 					res.RecvBits[u] += len(recv[j])
 				}
 			}
-			send := make([]string, len(neighborOrder[u]))
+			send := make([]string, len(p.neighborOrder[u]))
 			if !halted[u] {
 				out, halt := m.Round(states[u], round, recv)
 				for j := range out {
@@ -217,6 +259,16 @@ func Run(m *Machine, g *graph.Graph, id graph.IDAssignment, certs [][]string, op
 		}
 	}
 	return nil, fmt.Errorf("%w within %d rounds (%s)", ErrDidNotTerminate, maxRounds, m.Name)
+}
+
+// Run executes m on g under the identifier assignment id and per-node
+// certificate lists certs (nil for none).
+func Run(m *Machine, g *graph.Graph, id graph.IDAssignment, certs [][]string, opt Options) (*Result, error) {
+	p, err := Prepare(g, id)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(m, certs, opt)
 }
 
 // Decide runs m without certificates and reports unanimous acceptance.
