@@ -1,10 +1,11 @@
 # Single verify entry point: `make check` runs formatting, vet, build,
-# the full race-enabled test suite, and a short fuzz smoke of the graph
-# JSON decoder (see DESIGN.md). `make help` lists the targets.
+# the full race-enabled test suite, and short fuzz smokes of the graph
+# JSON decoder and the service request decoder (see DESIGN.md).
+# `make help` lists the targets.
 
 GO ?= go
 
-.PHONY: check fmt vet build test fuzz bench help
+.PHONY: check fmt vet build test fuzz bench serve-smoke help
 
 check: fmt vet build test fuzz
 
@@ -23,19 +24,52 @@ build:
 test:
 	$(GO) test -race ./...
 
-# fuzz smoke-runs FuzzReadGraph for 5s against the malformed-JSON corpus
-# (trailing data, truncated arrays): no panics, error-or-valid-graph.
+# fuzz smoke-runs the two JSON decoders for 5s each: FuzzReadGraph over
+# the malformed-graph corpus (trailing data, truncated arrays) and
+# FuzzDecodeRequest over service request bodies wrapping that corpus.
+# Invariant for both: no panics, error-or-valid-value.
 fuzz:
-	$(GO) test -run=- -fuzz=Fuzz -fuzztime=5s ./internal/graphio
+	$(GO) test -run=- -fuzz=FuzzReadGraph -fuzztime=5s ./internal/graphio
+	$(GO) test -run=- -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/service
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# serve-smoke boots lphd on a random port, curls one decide, one
+# verify, and the health endpoint, and asserts the exact bodies — the
+# end-to-end proof that the binary serves the documented API.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT INT TERM; \
+	$(GO) build -o $$tmp/lphd ./cmd/lphd; \
+	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -cache 8 >$$tmp/out 2>&1 & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/out); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "lphd never came up:"; cat $$tmp/out; exit 1; }; \
+	echo "lphd on $$addr"; \
+	body=$$(curl -sf http://$$addr/v1/healthz); \
+	[ "$$body" = '{"ok":true}' ] || { echo "healthz body: $$body"; exit 1; }; \
+	printf '{"graph":%s,"property":"all-selected"}' "$$(cat examples/graphs/triangle-selected.json)" >$$tmp/decide.json; \
+	body=$$(curl -sf -X POST --data-binary @$$tmp/decide.json http://$$addr/v1/decide); \
+	want='{"op":"decide","name":"all-selected","holds":true,"cached":false,"workers":2}'; \
+	[ "$$body" = "$$want" ] || { echo "decide body: $$body"; echo "want:        $$want"; exit 1; }; \
+	printf '{"graph":%s,"property":"3-colorable"}' "$$(cat examples/graphs/c5.json)" >$$tmp/verify.json; \
+	body=$$(curl -sf -X POST --data-binary @$$tmp/verify.json http://$$addr/v1/verify); \
+	want='{"op":"verify","name":"3-colorable","holds":true,"cached":false,"workers":2}'; \
+	[ "$$body" = "$$want" ] || { echo "verify body: $$body"; echo "want:        $$want"; exit 1; }; \
+	echo "serve-smoke OK"
+
 help:
-	@echo "make check  - fmt + vet + build + race tests + graphio fuzz smoke (the verify entry point)"
-	@echo "make fmt    - fail if gofmt would change any file"
-	@echo "make vet    - go vet ./..."
-	@echo "make build  - go build ./..."
-	@echo "make test   - go test -race ./..."
-	@echo "make fuzz   - go test -run=- -fuzz=Fuzz -fuzztime=5s ./internal/graphio"
-	@echo "make bench  - smoke-run every benchmark once"
+	@echo "make check       - fmt + vet + build + race tests + decoder fuzz smokes (the verify entry point)"
+	@echo "make fmt         - fail if gofmt would change any file"
+	@echo "make vet         - go vet ./..."
+	@echo "make build       - go build ./..."
+	@echo "make test        - go test -race ./..."
+	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph (graphio) + FuzzDecodeRequest (service)"
+	@echo "make bench       - smoke-run every benchmark once"
+	@echo "make serve-smoke - boot lphd on a random port and curl decide/verify/healthz"

@@ -15,11 +15,17 @@
 //	    reduction: eulerian | hamiltonian | co-hamiltonian | 3color
 //	lph [-workers N] game figure1       (plays the 3-round 3-colorability game)
 //
+// Every subcommand body lives in internal/service — the same operation
+// layer the lphd HTTP server routes to — so the CLI and the service run
+// identical code paths.
+//
 // -workers N sets the worker-pool size for exhaustive game evaluation
 // (0, the default, uses every CPU; 1 forces the sequential engine). It
-// drives the game subcommand and the certificate games behind verify
-// (core.StrategyGameValueOpt: Adam's universal levels fan out across the
-// pool). Note the engine skips the pool on spaces too small to be worth
+// is threaded through every subcommand: the game subcommand and the
+// certificate games behind verify fan out across the pool
+// (core.StrategyGameValuePrepared: Adam's universal levels split), and
+// decide runs its machine on the sequential node schedule when N is 1.
+// Note the engine skips the pool on spaces too small to be worth
 // splitting — the Figure 1 instances are in that regime, so both
 // engines cost the same there.
 //
@@ -28,209 +34,153 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"repro/internal/arbiters"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/games"
 	"repro/internal/graph"
 	"repro/internal/graphio"
-	"repro/internal/props"
-	"repro/internal/reduce"
 	"repro/internal/search"
+	"repro/internal/service"
 	"repro/internal/simulate"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// run executes one CLI invocation against explicit streams, so the test
+// suite asserts exit codes and output bytes without touching the
+// process's real stdin/stdout.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lph", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // usage() prints our own message
 	workers := fs.Int("workers", 0,
 		"worker-pool size for exhaustive game evaluation (0 = all CPUs, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
-		usage()
+		usage(stderr)
 		return 2
 	}
 	args = fs.Args()
 	if len(args) < 1 || *workers < 0 {
-		usage()
+		usage(stderr)
 		return 2
 	}
 	engine := search.Parallel(*workers)
 	switch args[0] {
 	case "decide":
-		return decide(args[1:])
+		return verdict(args[1:], engine, "LP property", service.HasDecide, service.Decide,
+			stdin, stdout, stderr)
 	case "verify":
-		return verify(args[1:], engine)
+		return verdict(args[1:], engine, "verifiable property", service.HasVerify, service.Verify,
+			stdin, stdout, stderr)
 	case "reduce":
-		return reduction(args[1:])
+		return reduction(args[1:], engine, stdin, stdout, stderr)
 	case "game":
-		return game(args[1:], engine)
+		return game(args[1:], engine, stdout, stderr)
 	default:
-		usage()
+		usage(stderr)
 		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lph [-workers N] {decide|verify|reduce|game} <name> < graph.json")
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, "usage: lph [-workers N] {decide|verify|reduce|game} <name> < graph.json")
 }
 
-func readGraph() (*graph.Graph, bool) {
-	g, err := graphio.Decode(os.Stdin)
+func readGraph(stdin io.Reader, stderr io.Writer) (*graph.Graph, bool) {
+	g, err := graphio.Decode(stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lph:", err)
+		fmt.Fprintln(stderr, "lph:", err)
 		return nil, false
 	}
 	return g, true
 }
 
-func decide(args []string) int {
+// fail prints an operation error and maps it to the exit code: catalog
+// misses are usage errors (2), everything else is an input/engine error
+// (also 2 — the 0/1 codes are reserved for verdicts).
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "lph:", err)
+	return 2
+}
+
+// verdict runs decide or verify — the two verdict-shaped operations —
+// through the shared service ops against a freshly prepared instance.
+// The catalog is consulted before stdin is touched, so an unknown name
+// fails immediately instead of waiting for graph JSON at a terminal.
+func verdict(args []string, engine search.Options, noun string,
+	has func(name string) bool,
+	eval func(prep *simulate.Prepared, name string, o search.Options) (bool, error),
+	stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		usage(stderr)
 		return 2
 	}
-	machines := map[string]*simulate.Machine{
-		"all-selected": arbiters.AllSelected(),
-		"eulerian":     arbiters.Eulerian(),
-		"all-equal":    arbiters.AllEqual(),
-	}
-	m, ok := machines[args[0]]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lph: unknown LP property %q\n", args[0])
+	if !has(args[0]) {
+		fmt.Fprintf(stderr, "lph: unknown %s %q\n", noun, args[0])
 		return 2
 	}
-	g, ok := readGraph()
+	g, ok := readGraph(stdin, stderr)
 	if !ok {
 		return 2
 	}
-	accepted, err := simulate.Decide(m, g, graph.SmallLocallyUnique(g, 1), simulate.Options{})
+	prep, err := service.Prepare(g)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lph:", err)
-		return 2
+		return fail(stderr, err)
 	}
-	fmt.Printf("%s: %v\n", args[0], accepted)
-	if accepted {
+	holds, err := eval(prep, args[0], engine)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "%s: %v\n", args[0], holds)
+	if holds {
 		return 0
 	}
 	return 1
 }
 
-func verify(args []string, engine search.Options) int {
+func reduction(args []string, engine search.Options, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		usage(stderr)
 		return 2
 	}
-	g, ok := readGraph()
+	if !service.HasReduce(args[0]) {
+		fmt.Fprintf(stderr, "lph: unknown reduction %q\n", args[0])
+		return 2
+	}
+	g, ok := readGraph(stdin, stderr)
 	if !ok {
 		return 2
 	}
-	id := graph.SmallLocallyUnique(g, 1)
-	var (
-		accepted bool
-		err      error
-	)
-	switch args[0] {
-	case "2-colorable", "3-colorable", "4-colorable":
-		k := int(args[0][0] - '0')
-		arb := &core.Arbiter{Machine: arbiters.KColorable(k), Level: core.Sigma(1),
-			RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 2}}}
-		accepted, err = arb.StrategyGameValueOpt(g, id,
-			[]core.Strategy{arbiters.ColoringStrategy(k)}, []cert.Domain{{}}, engine)
-	case "sat-graph":
-		arb := &core.Arbiter{Machine: arbiters.SatGraph(), Level: core.Sigma(1),
-			RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 4}}}
-		accepted, err = arb.StrategyGameValueOpt(g, id,
-			[]core.Strategy{arbiters.SatGraphStrategy()}, []cert.Domain{{}}, engine)
-	case "hamiltonian":
-		accepted, err = games.HamiltonianArbiter().StrategyGameValueOpt(g, id,
-			[]core.Strategy{games.HamiltonianStrategy(), nil, games.RootChargeStrategy()},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, engine)
-	case "not-all-selected":
-		accepted, err = games.NotAllSelectedArbiter().StrategyGameValueOpt(g, id,
-			[]core.Strategy{games.ForestStrategy(games.IsUnselected), nil, games.ChargeStrategy(nil)},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, engine)
-	case "one-selected":
-		accepted, err = games.OneSelectedArbiter().StrategyGameValueOpt(g, id,
-			[]core.Strategy{games.ForestStrategy(games.IsSelected), nil, games.ChargeStrategy(games.IsSelected)},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, engine)
-	default:
-		fmt.Fprintf(os.Stderr, "lph: unknown verifiable property %q\n", args[0])
-		return 2
-	}
+	res, err := service.Reduce(g, args[0], engine)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lph:", err)
-		return 2
+		return fail(stderr, err)
 	}
-	fmt.Printf("%s: %v\n", args[0], accepted)
-	if accepted {
-		return 0
-	}
-	return 1
-}
-
-func reduction(args []string) int {
-	if len(args) != 1 {
-		usage()
-		return 2
-	}
-	reductions := map[string]reduce.Reduction{
-		"eulerian":       reduce.AllSelectedToEulerian(),
-		"hamiltonian":    reduce.AllSelectedToHamiltonian(),
-		"co-hamiltonian": reduce.NotAllSelectedToHamiltonian(),
-		"3color": reduce.Compose(
-			reduce.SatGraphTo3SatGraph(), reduce.ThreeSatGraphToThreeColorable()),
-	}
-	r, ok := reductions[args[0]]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lph: unknown reduction %q\n", args[0])
-		return 2
-	}
-	g, ok := readGraph()
-	if !ok {
-		return 2
-	}
-	var id graph.IDAssignment
-	if r.RadiusID > 0 {
-		id = graph.SmallLocallyUnique(g, r.RadiusID)
-	}
-	res, err := r.Apply(g, id)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lph:", err)
-		return 2
-	}
-	if err := res.Validate(g); err != nil {
-		fmt.Fprintln(os.Stderr, "lph: cluster map invalid:", err)
-		return 2
-	}
-	if err := graphio.Encode(os.Stdout, res.Out); err != nil {
-		fmt.Fprintln(os.Stderr, "lph:", err)
-		return 2
+	if err := graphio.Encode(stdout, res.Out); err != nil {
+		return fail(stderr, err)
 	}
 	return 0
 }
 
-func game(args []string, engine search.Options) int {
-	if len(args) != 1 || args[0] != "figure1" {
-		usage()
+func game(args []string, engine search.Options, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		usage(stderr)
 		return 2
 	}
-	for _, tt := range []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"Figure 1a", graph.Figure1NoInstance()},
-		{"Figure 1b", graph.Figure1YesInstance()},
-	} {
-		fmt.Printf("%s: 3-colorable=%v, 3-round 3-colorable=%v\n",
-			tt.name, props.ThreeColorable(tt.g), props.ThreeRoundThreeColorableOpt(tt.g, engine))
+	results, err := service.Game(args[0], engine)
+	if err != nil {
+		if errors.Is(err, service.ErrUnknownName) {
+			usage(stderr)
+			return 2
+		}
+		return fail(stderr, err)
+	}
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%s: 3-colorable=%v, 3-round 3-colorable=%v\n",
+			r.Graph, r.ThreeColorable, r.ThreeRoundColorable)
 	}
 	return 0
 }

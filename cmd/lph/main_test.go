@@ -1,129 +1,233 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/graphio"
+	"repro/internal/search"
+	"repro/internal/service"
 )
 
-// withStdin redirects os.Stdin to the given content for one run call.
-func withStdin(t *testing.T, content string, f func()) {
+// example reads one of the committed example graphs the CLI table runs
+// against.
+func example(t *testing.T, name string) string {
 	t.Helper()
-	r, w, err := os.Pipe()
+	b, err := os.ReadFile(filepath.Join("..", "..", "examples", "graphs", name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := os.Stdin
-	os.Stdin = r
-	defer func() { os.Stdin = old }()
-	if _, err := w.WriteString(content); err != nil {
+	return string(b)
+}
+
+// runCLI invokes run with captured streams.
+func runCLI(args []string, stdin string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// reduceGolden computes the exact bytes `lph reduce` must print for the
+// given input: the graphio encoding of the shared ops-layer reduction.
+// The reductions' semantics are pinned in internal/reduce; here the
+// contract is that the CLI is a faithful shell over internal/service.
+func reduceGolden(t *testing.T, input, name string) string {
+	t.Helper()
+	g, err := graphio.Decode(strings.NewReader(input))
+	if err != nil {
 		t.Fatal(err)
 	}
-	w.Close()
-	f()
+	res, err := service.Reduce(g, name, search.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graphio.Encode(&buf, res.Out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }
 
-func TestRunUsage(t *testing.T) {
-	if run(nil) != 2 || run([]string{"bogus"}) != 2 {
-		t.Fatal("usage errors must exit 2")
+// TestCLITable pins exit code and stdout bytes for every decide /
+// verify / reduce / game subcommand against the examples/graphs corpus.
+func TestCLITable(t *testing.T) {
+	figure1Out := "Figure 1a: 3-colorable=true, 3-round 3-colorable=false\n" +
+		"Figure 1b: 3-colorable=true, 3-round 3-colorable=true\n"
+	cases := []struct {
+		name  string
+		args  []string
+		input string // example file; "" = no stdin content
+		code  int
+		out   string // exact stdout; "@reduce" = reduceGolden of args[1]
+	}{
+		// decide: all three LP properties, both verdicts.
+		{"decide/all-selected/yes", []string{"decide", "all-selected"}, "triangle-selected.json", 0, "all-selected: true\n"},
+		{"decide/all-selected/no", []string{"decide", "all-selected"}, "triangle-mixed.json", 1, "all-selected: false\n"},
+		{"decide/all-equal/yes", []string{"decide", "all-equal"}, "triangle-selected.json", 0, "all-equal: true\n"},
+		{"decide/all-equal/no", []string{"decide", "all-equal"}, "triangle-mixed.json", 1, "all-equal: false\n"},
+		{"decide/eulerian/yes", []string{"decide", "eulerian"}, "c5.json", 0, "eulerian: true\n"},
+		{"decide/eulerian/no", []string{"decide", "eulerian"}, "path4.json", 1, "eulerian: false\n"},
+		// verify: every property in the catalog, both verdicts where an
+		// example provides one.
+		{"verify/2-colorable/yes", []string{"verify", "2-colorable"}, "path4.json", 0, "2-colorable: true\n"},
+		{"verify/2-colorable/no", []string{"verify", "2-colorable"}, "c5.json", 1, "2-colorable: false\n"},
+		{"verify/3-colorable/yes", []string{"verify", "3-colorable"}, "c5.json", 0, "3-colorable: true\n"},
+		{"verify/3-colorable/no", []string{"verify", "3-colorable"}, "k4.json", 1, "3-colorable: false\n"},
+		{"verify/4-colorable/yes", []string{"verify", "4-colorable"}, "k4.json", 0, "4-colorable: true\n"},
+		{"verify/sat-graph/yes", []string{"verify", "sat-graph"}, "satgraph.json", 0, "sat-graph: true\n"},
+		{"verify/hamiltonian/yes", []string{"verify", "hamiltonian"}, "c5.json", 0, "hamiltonian: true\n"},
+		{"verify/hamiltonian/no", []string{"verify", "hamiltonian"}, "star4.json", 1, "hamiltonian: false\n"},
+		{"verify/not-all-selected/yes", []string{"verify", "not-all-selected"}, "triangle-mixed.json", 0, "not-all-selected: true\n"},
+		{"verify/not-all-selected/no", []string{"verify", "not-all-selected"}, "triangle-selected.json", 1, "not-all-selected: false\n"},
+		{"verify/one-selected/yes", []string{"verify", "one-selected"}, "star4.json", 0, "one-selected: true\n"},
+		{"verify/one-selected/no", []string{"verify", "one-selected"}, "triangle-selected.json", 1, "one-selected: false\n"},
+		// reduce: all four reductions; stdout must be byte-identical to
+		// the ops-layer result.
+		{"reduce/eulerian", []string{"reduce", "eulerian"}, "triangle-selected.json", 0, "@reduce"},
+		{"reduce/hamiltonian", []string{"reduce", "hamiltonian"}, "triangle-selected.json", 0, "@reduce"},
+		{"reduce/co-hamiltonian", []string{"reduce", "co-hamiltonian"}, "triangle-mixed.json", 0, "@reduce"},
+		{"reduce/3color", []string{"reduce", "3color"}, "satgraph.json", 0, "@reduce"},
+		// game.
+		{"game/figure1", []string{"game", "figure1"}, "", 0, figure1Out},
+		// -workers threads through every subcommand (the decide/reduce
+		// paths used to drop it): verdicts and bytes are engine-invariant.
+		{"workers/decide-seq", []string{"-workers", "1", "decide", "all-selected"}, "triangle-selected.json", 0, "all-selected: true\n"},
+		{"workers/decide-par", []string{"-workers", "4", "decide", "all-selected"}, "triangle-selected.json", 0, "all-selected: true\n"},
+		{"workers/verify-seq", []string{"-workers", "1", "verify", "hamiltonian"}, "c5.json", 0, "hamiltonian: true\n"},
+		{"workers/verify-par", []string{"-workers", "4", "verify", "hamiltonian"}, "c5.json", 0, "hamiltonian: true\n"},
+		{"workers/reduce", []string{"-workers", "2", "reduce", "eulerian"}, "triangle-selected.json", 0, "@reduce"},
+		{"workers/game-seq", []string{"-workers", "1", "game", "figure1"}, "", 0, figure1Out},
+		{"workers/game-par", []string{"-workers", "4", "game", "figure1"}, "", 0, figure1Out},
 	}
-	if run([]string{"decide", "nope"}) != 2 {
-		t.Fatal("unknown property must exit 2")
-	}
-}
-
-func TestDecideCommand(t *testing.T) {
-	withStdin(t, `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]}`, func() {
-		if code := run([]string{"decide", "all-selected"}); code != 0 {
-			t.Fatalf("exit %d, want 0", code)
-		}
-	})
-	withStdin(t, `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","0","1"]}`, func() {
-		if code := run([]string{"decide", "all-selected"}); code != 1 {
-			t.Fatalf("exit %d, want 1", code)
-		}
-	})
-}
-
-func TestVerifyCommand(t *testing.T) {
-	// C5 is 3-colorable but not 2-colorable.
-	c5 := `{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4],[4,0]]}`
-	withStdin(t, c5, func() {
-		if code := run([]string{"verify", "3-colorable"}); code != 0 {
-			t.Fatalf("exit %d, want 0", code)
-		}
-	})
-	withStdin(t, c5, func() {
-		if code := run([]string{"verify", "2-colorable"}); code != 1 {
-			t.Fatalf("exit %d, want 1", code)
-		}
-	})
-	withStdin(t, c5, func() {
-		if code := run([]string{"verify", "hamiltonian"}); code != 0 {
-			t.Fatalf("exit %d, want 0", code)
-		}
-	})
-}
-
-func TestReduceCommand(t *testing.T) {
-	withStdin(t, `{"n":2,"edges":[[0,1]],"labels":["1","0"]}`, func() {
-		if code := run([]string{"reduce", "hamiltonian"}); code != 0 {
-			t.Fatalf("exit %d, want 0", code)
-		}
-	})
-}
-
-func TestGameCommand(t *testing.T) {
-	if code := run([]string{"game", "figure1"}); code != 0 {
-		t.Fatal("figure1 game failed")
-	}
-	if code := run([]string{"game", "bogus"}); code != 2 {
-		t.Fatal("unknown game must exit 2")
-	}
-}
-
-// TestBadInput pins the doc-comment promise that malformed graph JSON
-// exits with status 2 (not 0 or 1) on every graph-reading subcommand,
-// including JSON whose first object parses but is followed by garbage.
-func TestBadInput(t *testing.T) {
-	malformed := []string{
-		`not json`,
-		`{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]} trailing`,
-		`{"n":3,"edges":[[0,1],[1,2],[2,0]]}{"n":1}`,
-	}
-	commands := [][]string{
-		{"decide", "all-selected"},
-		{"verify", "3-colorable"},
-		{"reduce", "hamiltonian"},
-	}
-	for _, in := range malformed {
-		for _, cmd := range commands {
-			withStdin(t, in, func() {
-				if code := run(cmd); code != 2 {
-					t.Fatalf("%v on %q: exit %d, want 2", cmd, in, code)
-				}
-			})
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdin string
+			if tc.input != "" {
+				stdin = example(t, tc.input)
+			}
+			want := tc.out
+			if want == "@reduce" {
+				want = reduceGolden(t, stdin, tc.args[len(tc.args)-1])
+			}
+			code, stdout, stderr := runCLI(tc.args, stdin)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			if stdout != want {
+				t.Fatalf("stdout:\n%q\nwant:\n%q", stdout, want)
+			}
+			if stderr != "" {
+				t.Fatalf("unexpected stderr: %q", stderr)
+			}
+		})
 	}
 }
 
-// TestWorkersFlag covers the -workers engine selector: both engines must
-// run the figure1 game successfully, and a negative pool is a usage
-// error.
-func TestWorkersFlag(t *testing.T) {
-	if code := run([]string{"-workers", "1", "game", "figure1"}); code != 0 {
-		t.Fatal("sequential figure1 game failed")
+// TestCLIErrors pins exit code 2 (with empty stdout and a diagnostic on
+// stderr) for usage errors, unknown names, and malformed input.
+func TestCLIErrors(t *testing.T) {
+	valid := `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]}`
+	cases := []struct {
+		name  string
+		args  []string
+		input string
+	}{
+		{"no-args", nil, ""},
+		{"bogus-subcommand", []string{"bogus"}, ""},
+		{"decide/no-name", []string{"decide"}, valid},
+		{"decide/extra-args", []string{"decide", "all-selected", "extra"}, valid},
+		{"decide/unknown", []string{"decide", "nope"}, valid},
+		{"verify/unknown", []string{"verify", "nope"}, valid},
+		{"reduce/unknown", []string{"reduce", "nope"}, valid},
+		{"game/unknown", []string{"game", "bogus"}, ""},
+		{"workers/negative", []string{"-workers", "-3", "game", "figure1"}, ""},
+		{"flag/unknown", []string{"-bogus", "decide", "all-selected"}, valid},
+		{"decide/not-json", []string{"decide", "all-selected"}, "not json"},
+		{"decide/trailing", []string{"decide", "all-selected"}, valid + " trailing"},
+		{"decide/second-object", []string{"decide", "all-selected"}, valid + `{"n":1}`},
+		{"verify/not-json", []string{"verify", "3-colorable"}, "not json"},
+		{"verify/trailing", []string{"verify", "3-colorable"}, valid + " trailing"},
+		{"reduce/not-json", []string{"reduce", "hamiltonian"}, "not json"},
+		{"reduce/trailing", []string{"reduce", "hamiltonian"}, valid + `{"n":1}`},
+		{"decide/disconnected", []string{"decide", "all-selected"}, `{"n":2,"edges":[]}`},
 	}
-	if code := run([]string{"-workers", "4", "game", "figure1"}); code != 0 {
-		t.Fatal("parallel figure1 game failed")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(tc.args, tc.input)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stdout: %q, stderr: %q)", code, stdout, stderr)
+			}
+			if stdout != "" {
+				t.Fatalf("usage error wrote to stdout: %q", stdout)
+			}
+			if stderr == "" {
+				t.Fatal("usage error left stderr empty")
+			}
+		})
 	}
-	if code := run([]string{"-workers", "-3", "game", "figure1"}); code != 2 {
-		t.Fatal("negative workers must exit 2")
-	}
-	withStdin(t, `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]}`, func() {
-		// decide does not use the search engine yet; the flag must still
-		// parse cleanly in front of it.
-		if code := run([]string{"-workers", "2", "decide", "all-selected"}); code != 0 {
-			t.Fatal("-workers must parse in front of decide")
+}
+
+// sentinelReader fails the test if anything reads from it.
+type sentinelReader struct{ t *testing.T }
+
+func (s sentinelReader) Read([]byte) (int, error) {
+	s.t.Fatal("stdin was read before the name was validated")
+	return 0, io.EOF
+}
+
+// TestCLINameCheckBeforeStdin: an unknown catalog name must fail
+// without touching stdin — at a terminal the old flow would otherwise
+// sit waiting for graph JSON before reporting the typo.
+func TestCLINameCheckBeforeStdin(t *testing.T) {
+	for _, args := range [][]string{
+		{"decide", "nope"},
+		{"verify", "nope"},
+		{"reduce", "nope"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, sentinelReader{t}, &out, &errb); code != 2 {
+			t.Fatalf("%v: exit %d, want 2", args, code)
 		}
-	})
+		if !strings.Contains(errb.String(), `"nope"`) {
+			t.Fatalf("%v: stderr %q does not name the typo", args, errb.String())
+		}
+	}
+}
+
+// TestCLIMatchesOps spot-checks that CLI verdicts agree with direct
+// ops-layer calls on the same graphs — the "identical code path"
+// guarantee made by the refactor onto internal/service.
+func TestCLIMatchesOps(t *testing.T) {
+	for _, file := range []string{"triangle-selected.json", "c5.json", "star4.json"} {
+		input := example(t, file)
+		g, err := graphio.Decode(strings.NewReader(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := service.Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prop := range service.VerifyNames() {
+			want, err := service.Verify(prep, prop, search.Sequential())
+			if err != nil {
+				t.Fatalf("%s %s: %v", file, prop, err)
+			}
+			code, stdout, _ := runCLI([]string{"verify", prop}, input)
+			wantCode := 1
+			if want {
+				wantCode = 0
+			}
+			if code != wantCode {
+				t.Fatalf("%s verify %s: CLI exit %d, ops verdict %v", file, prop, code, want)
+			}
+			if !strings.Contains(stdout, prop+":") {
+				t.Fatalf("%s verify %s: stdout %q", file, prop, stdout)
+			}
+		}
+	}
 }

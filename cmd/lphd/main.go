@@ -1,0 +1,76 @@
+// Command lphd serves the lph operations over HTTP/JSON: the same
+// decide / verify / reduce / game catalog as cmd/lph (both run the
+// operation layer of internal/service), fronted by a Prepared-instance
+// LRU cache keyed by canonical graph hash and a server-wide worker
+// budget that clamps each request's pool.
+//
+// Usage:
+//
+//	lphd [-addr :8080] [-workers N] [-cache N] [-timeout D]
+//
+//	-addr    listen address; use ":0" for a random free port (the
+//	         chosen address is printed on startup)
+//	-workers server-wide worker budget per request (0 = all CPUs)
+//	-cache   Prepared-cache capacity in graphs (0 disables caching)
+//	-timeout per-request evaluation deadline (0 = none), e.g. 30s
+//
+// Routes:
+//
+//	POST /v1/decide   {"graph":…, "property":…, "workers":N}
+//	POST /v1/verify   {"graph":…, "property":…, "workers":N}
+//	POST /v1/reduce   {"graph":…, "reduction":…}
+//	POST /v1/game     {"game":"figure1", "workers":N}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// Client disconnects and the -timeout deadline cancel evaluations
+// mid-game via context propagation into the search engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("lphd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+	workers := fs.Int("workers", 0, "server-wide worker budget per request (0 = all CPUs)")
+	cache := fs.Int("cache", 128, "Prepared-cache capacity in graphs (0 disables)")
+	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "usage: lphd [-addr :8080] [-workers N] [-cache N] [-timeout D]")
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lphd:", err)
+		return 1
+	}
+	// The smoke test (make serve-smoke) starts us on ":0" and scrapes
+	// this line for the port, so keep its shape stable.
+	fmt.Printf("lphd: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           service.New(service.Config{Workers: *workers, CacheSize: *cache, Timeout: *timeout}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "lphd:", err)
+		return 1
+	}
+	return 0
+}

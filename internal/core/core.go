@@ -123,12 +123,20 @@ func (a *Arbiter) GameValue(g *graph.Graph, id graph.IDAssignment, domains []cer
 // GameValueOpt(…, Sequential()) and any parallel pool compute the same
 // value — the core parity tests assert this under the race detector.
 func (a *Arbiter) GameValueOpt(g *graph.Graph, id graph.IDAssignment, domains []cert.Domain, o search.Options) (bool, error) {
-	if len(domains) != a.Level.Alternations {
-		return false, fmt.Errorf("core: %d domains for level %v", len(domains), a.Level)
-	}
 	prep, err := simulate.Prepare(g, id)
 	if err != nil {
 		return false, err
+	}
+	return a.GameValuePrepared(prep, domains, o)
+}
+
+// GameValuePrepared is GameValueOpt against an already-prepared
+// simulation instance, so callers that evaluate many games on the same
+// (graph, id) — notably the service layer's Prepared cache — skip the
+// per-instance setup entirely.
+func (a *Arbiter) GameValuePrepared(prep *simulate.Prepared, domains []cert.Domain, o search.Options) (bool, error) {
+	if len(domains) != a.Level.Alternations {
+		return false, fmt.Errorf("core: %d domains for level %v", len(domains), a.Level)
 	}
 	ev := newGameEval(a, prep, domains)
 	if len(domains) == 0 {
@@ -237,6 +245,13 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 	found := existential // value if enumeration exhausts: ¬∃ => false, ∀ => true
 	var innerErr error
 	complete := search.ForEach(space, func(choices []int) bool {
+		// Mirror the ctx polling of the parallel branch so cancellation
+		// reaches sequential evaluations too.
+		if o.Ctx != nil {
+			if innerErr = o.Ctx.Err(); innerErr != nil {
+				return false
+			}
+		}
 		enum.Decode(choices, chosen[i-1])
 		v, err := ev.eval(chosen, i+1, o, par)
 		if err != nil {
@@ -301,16 +316,25 @@ func (a *Arbiter) StrategyGameValue(g *graph.Graph, id graph.IDAssignment, strat
 // sequentially within each worker, and all leaves share one
 // simulate.Prepared instance.
 func (a *Arbiter) StrategyGameValueOpt(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, domains []cert.Domain, o search.Options) (bool, error) {
-	l := a.Level.Alternations
-	if len(strategies) != l || len(domains) != l {
-		return false, fmt.Errorf("core: need %d strategy/domain slots", l)
-	}
 	prep, err := simulate.Prepare(g, id)
 	if err != nil {
 		return false, err
 	}
+	return a.StrategyGameValuePrepared(prep, strategies, domains, o)
+}
+
+// StrategyGameValuePrepared is StrategyGameValueOpt against an
+// already-prepared simulation instance (the graph and identifier
+// assignment are taken from it), so repeated verifications of the same
+// graph — the service layer's cache hit path — pay the per-(graph, id)
+// setup only once.
+func (a *Arbiter) StrategyGameValuePrepared(prep *simulate.Prepared, strategies []Strategy, domains []cert.Domain, o search.Options) (bool, error) {
+	l := a.Level.Alternations
+	if len(strategies) != l || len(domains) != l {
+		return false, fmt.Errorf("core: need %d strategy/domain slots", l)
+	}
 	ev := newGameEval(a, prep, domains)
-	return ev.strategyRec(g, id, strategies, make([]cert.Assignment, 0, l), 1, o, true)
+	return ev.strategyRec(prep.Graph(), prep.ID(), strategies, make([]cert.Assignment, 0, l), 1, o, true)
 }
 
 // strategyRec evaluates move i of the strategy-guided game with the
@@ -368,6 +392,15 @@ func (ev *gameEval) strategyRec(g *graph.Graph, id graph.IDAssignment, strategie
 	ok := true
 	var innerErr error
 	search.ForEach(space, func(choices []int) bool {
+		// The parallel fan-out polls o.Ctx inside search.ForAll; this
+		// sequential walk must poll it too so a canceled request aborts
+		// regardless of the engine (leaves are machine runs, so one check
+		// per iteration is cheap).
+		if o.Ctx != nil {
+			if innerErr = o.Ctx.Err(); innerErr != nil {
+				return false
+			}
+		}
 		enum.Decode(choices, buf)
 		v, err := ev.strategyRec(g, id, strategies, append(chosen, buf), i+1, o, par)
 		if err != nil {

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Hash returns a canonical content hash of the graph: two graphs have
+// equal hashes iff they are Equal (same node indexing, edge set, and
+// labels). The hash is computed from the node count, the normalized
+// sorted edge list, and the labels, so it is invariant under the order
+// (and duplication) of the edge list handed to New — any construction of
+// the same graph hashes identically. It is NOT an isomorphism invariant:
+// relabeling node indices changes the hash.
+//
+// The service layer keys its Prepared-instance cache by this hash, so
+// the hash must be collision-resistant against adversarial inputs;
+// SHA-256 over an unambiguous (length-prefixed) encoding provides that.
+func (g *Graph) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	writeInt(g.N())
+	// Edges() is already normalized (U < V) and sorted, independent of
+	// input order.
+	edges := g.Edges()
+	writeInt(len(edges))
+	for _, e := range edges {
+		writeInt(e.U)
+		writeInt(e.V)
+	}
+	// Labels are length-prefixed so ["ab",""] and ["a","b"] differ.
+	for _, l := range g.labels {
+		writeInt(len(l))
+		h.Write([]byte(l))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,63 @@
+package service_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// verifyBody builds a /v1/verify request for an n-cycle. Even n makes
+// 2-colorable hold, so the game is one strategy-guided machine run and
+// the per-request cost is dominated by setup — exactly what the
+// Prepared cache amortizes.
+func verifyBody(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"graph":{"n":%d,"edges":[`, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "[%d,%d]", i, (i+1)%n)
+	}
+	b.WriteString(`]},"property":"2-colorable","workers":1}`)
+	return b.String()
+}
+
+// BenchmarkServiceVerify measures one full service round —
+// decode, cache lookup, game evaluation, encode — through the handler,
+// cold (cache disabled: every request re-prepares) versus warm (cache
+// hit: preparation amortized). See DESIGN.md for recorded numbers.
+func BenchmarkServiceVerify(b *testing.B) {
+	body := verifyBody(256)
+	run := func(b *testing.B, srv *service.Server) {
+		b.Helper()
+		h := srv.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			r := httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(body))
+			h.ServeHTTP(w, r)
+			if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"holds":true`) {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, service.New(service.Config{Workers: 1, CacheSize: 0}))
+	})
+	b.Run("warm", func(b *testing.B) {
+		srv := service.New(service.Config{Workers: 1, CacheSize: 8})
+		// Prime the cache so every measured request hits.
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("warmup failed: %s", w.Body.String())
+		}
+		run(b, srv)
+	})
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/simulate"
+)
+
+// Cache is a bounded, concurrency-safe LRU of simulate.Prepared
+// instances keyed by canonical graph hash (graph.Hash), so repeated
+// requests on the same graph skip identifier assignment and simulation
+// setup. All bookkeeping — hit, miss, and eviction counters — is kept
+// under one lock with the store itself, so Stats always reconciles:
+//
+//	Size == live entries, Misses == inserts, Evictions == inserts - Size
+//
+// (with capacity > 0 and while every preparation succeeds: an entry
+// whose preparation fails is dropped without counting as an eviction —
+// unreachable in practice, since identifiers are derived from the graph
+// itself, but kept for robustness. A zero or negative capacity disables
+// the store and every lookup is a miss that prepares fresh.)
+//
+// Preparation runs outside the lock through a per-entry sync.Once:
+// concurrent requests for the same graph share one preparation, and
+// requests for different graphs never serialize on each other's setup.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // value: *cacheEntry
+	order    *list.List               // front = most recently used
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+// cacheEntry is one cached preparation. once guards the (single) Prepare
+// call; ready flips when it has completed, so lookups can distinguish a
+// genuinely warm entry from one whose preparation is still in flight.
+// Holders that obtained the entry before an eviction keep using it
+// safely — Prepared is immutable.
+type cacheEntry struct {
+	key   string
+	once  sync.Once
+	ready atomic.Bool
+	prep  *simulate.Prepared
+	err   error
+}
+
+// prepare runs the entry's single preparation (idempotent).
+func (e *cacheEntry) prepare(g *graph.Graph) {
+	e.once.Do(func() {
+		e.prep, e.err = Prepare(g)
+		e.ready.Store(true)
+	})
+}
+
+// CacheStats is a consistent snapshot of the cache bookkeeping.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// NewCache returns an LRU cache holding at most capacity Prepared
+// instances. A capacity <= 0 disables caching (every Get is a miss).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the Prepared instance for g, preparing and inserting it on
+// a miss (evicting the least recently used entry when over capacity).
+// The second result reports whether the instance was served warm: its
+// preparation had already completed when the lookup happened. A lookup
+// that finds an entry still being prepared by a concurrent request
+// counts as a hit in the stats (the store held it) but reports false —
+// the caller waited on the preparation rather than skipping it.
+func (c *Cache) Get(g *graph.Graph) (*simulate.Prepared, bool, error) {
+	if c.capacity <= 0 {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		prep, err := Prepare(g)
+		return prep, false, err
+	}
+	key := g.Hash()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		warm := e.ready.Load()
+		e.prepare(g) // waits on (or performs) the racing miss's work
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		return e.prep, warm, nil
+	}
+	c.misses++
+	e := &cacheEntry{key: key}
+	c.entries[key] = c.order.PushFront(e)
+	for c.order.Len() > c.capacity {
+		lru := c.order.Back()
+		c.order.Remove(lru)
+		delete(c.entries, lru.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+	c.mu.Unlock()
+
+	e.prepare(g)
+	if e.err != nil {
+		// Preparation failed: drop the entry (if still present) so a
+		// later request retries instead of replaying a stale error.
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, false, e.err
+	}
+	return e.prep, false, nil
+}
+
+// Keys returns the cached hashes from most to least recently used.
+// Intended for tests asserting eviction order.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
+// Stats returns a consistent snapshot of the bookkeeping.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.capacity,
+		Size:      c.order.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+	}
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestCacheLRUEvictionOrder walks a fixed access sequence through a
+// 2-slot cache and asserts the recency order, the evicted victim, and
+// every counter after each phase — the reconciliation invariant being
+// misses - evictions == size.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	t.Parallel()
+	a, b, d := graph.Path(3), graph.Cycle(3), graph.Star(4)
+	ha, hb, hd := a.Hash(), b.Hash(), d.Hash()
+	c := NewCache(2)
+
+	mustGet := func(g *graph.Graph, wantCached bool) {
+		t.Helper()
+		prep, cached, err := c.Get(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prep == nil || cached != wantCached {
+			t.Fatalf("Get: prep=%v cached=%v, want cached=%v", prep != nil, cached, wantCached)
+		}
+	}
+	assertKeys := func(want ...string) {
+		t.Helper()
+		got := c.Keys()
+		if len(got) != len(want) {
+			t.Fatalf("keys %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("keys %v, want %v", got, want)
+			}
+		}
+	}
+	assertStats := func(want CacheStats) {
+		t.Helper()
+		if got := c.Stats(); got != want {
+			t.Fatalf("stats %+v, want %+v", got, want)
+		}
+		if got := c.Stats(); int(got.Misses)-int(got.Evictions) != got.Size {
+			t.Fatalf("bookkeeping does not reconcile: %+v", got)
+		}
+	}
+
+	mustGet(a, false) // miss: [a]
+	mustGet(b, false) // miss: [b a]
+	assertKeys(hb, ha)
+	assertStats(CacheStats{Capacity: 2, Size: 2, Hits: 0, Misses: 2, Evictions: 0})
+
+	mustGet(a, true) // hit refreshes a: [a b]
+	assertKeys(ha, hb)
+	assertStats(CacheStats{Capacity: 2, Size: 2, Hits: 1, Misses: 2, Evictions: 0})
+
+	mustGet(d, false) // miss evicts the LRU, which is now b: [d a]
+	assertKeys(hd, ha)
+	assertStats(CacheStats{Capacity: 2, Size: 2, Hits: 1, Misses: 3, Evictions: 1})
+
+	mustGet(b, false) // b was evicted: miss again, victim a
+	assertKeys(hb, hd)
+	assertStats(CacheStats{Capacity: 2, Size: 2, Hits: 1, Misses: 4, Evictions: 2})
+}
+
+// TestCacheDisabled: capacity 0 must store nothing and count every
+// lookup as a miss while still serving fresh instances.
+func TestCacheDisabled(t *testing.T) {
+	t.Parallel()
+	c := NewCache(0)
+	g := graph.Cycle(4)
+	for i := 0; i < 3; i++ {
+		prep, cached, err := c.Get(g)
+		if err != nil || prep == nil || cached {
+			t.Fatalf("Get %d: prep=%v cached=%v err=%v", i, prep != nil, cached, err)
+		}
+	}
+	want := CacheStats{Capacity: 0, Size: 0, Hits: 0, Misses: 3, Evictions: 0}
+	if got := c.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	if len(c.Keys()) != 0 {
+		t.Fatal("disabled cache retained keys")
+	}
+}
+
+// TestCacheKeyIsContentHash: two constructions of the same graph (edges
+// permuted and flipped) share one cache slot and one Prepared instance.
+func TestCacheKeyIsContentHash(t *testing.T) {
+	t.Parallel()
+	g1 := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, []string{"1", "1", "1"})
+	g2 := graph.MustNew(3, []graph.Edge{{U: 0, V: 2}, {U: 2, V: 1}, {U: 1, V: 0}}, []string{"1", "1", "1"})
+	c := NewCache(4)
+	p1, cached1, err := c.Get(g1)
+	if err != nil || cached1 {
+		t.Fatalf("first get: cached=%v err=%v", cached1, err)
+	}
+	p2, cached2, err := c.Get(g2)
+	if err != nil || !cached2 {
+		t.Fatalf("second get: cached=%v err=%v", cached2, err)
+	}
+	if p1 != p2 {
+		t.Fatal("equal graphs yielded distinct Prepared instances")
+	}
+}
+
+// TestCacheConcurrentSameGraph: exactly one miss no matter how many
+// concurrent requesters, and everyone shares the single preparation.
+func TestCacheConcurrentSameGraph(t *testing.T) {
+	t.Parallel()
+	c := NewCache(4)
+	g := graph.Grid(3, 3)
+	const n = 32
+	var wg sync.WaitGroup
+	preps := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prep, _, err := c.Get(g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			preps[i] = prep
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if preps[i] != preps[0] {
+			t.Fatal("concurrent requesters saw distinct Prepared instances")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 || st.Size != 1 {
+		t.Fatalf("stats %+v, want 1 miss / %d hits / size 1", st, n-1)
+	}
+}
+
+// TestCacheConcurrentDistinctGraphs races misses and evictions under
+// -race: the store must never exceed capacity and the books must
+// reconcile at rest.
+func TestCacheConcurrentDistinctGraphs(t *testing.T) {
+	t.Parallel()
+	c := NewCache(3)
+	gs := []*graph.Graph{
+		graph.Path(4), graph.Cycle(5), graph.Star(6), graph.Complete(4),
+		graph.Grid(2, 3), graph.Cycle(7),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := c.Get(gs[i%len(gs)]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 3 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+	if st.Hits+st.Misses != 24 {
+		t.Fatalf("lookups %d, want 24", st.Hits+st.Misses)
+	}
+	if int(st.Misses)-int(st.Evictions) != st.Size {
+		t.Fatalf("bookkeeping does not reconcile: %+v", st)
+	}
+	if len(c.Keys()) != st.Size {
+		t.Fatalf("keys %d vs size %d", len(c.Keys()), st.Size)
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graphio"
+)
+
+// FuzzDecodeRequest fuzzes the service's JSON request decoder. The seeds
+// wrap the graphio fuzz corpus — well-formed graphs plus the
+// malformed-JSON inputs behind cmd/lph's exit-2 handling — into request
+// bodies, alongside request-specific malformations (unknown fields,
+// trailing data, negative workers). The invariant: DecodeRequest never
+// panics, never returns both a request and an error, never accepts
+// negative workers, and any graph it accepts survives a graphio
+// round trip unchanged.
+func FuzzDecodeRequest(f *testing.F) {
+	// The graphio corpus, embedded as request graph fields.
+	for _, g := range []string{
+		`{"n":3,"edges":[[0,1],[1,2]],"labels":["1","0","1"]}`,
+		`{"n":1}`,
+		`{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`,
+		`{"n":2,"edges":[[0,1]]} trailing garbage`,
+		`{"n":2,"edges":[[0,1]]}{"n":1}`,
+		`{"n":2,"edges":[[0,1]`,
+		`{"n":2,"edges":[[0,5]]}`,
+		`{"n":0}`,
+		`null`,
+		`[[0,1]]`,
+		`{"n":-1,"edges":[[0,1]]}`,
+		`{"n":2,"edges":[[0,1]],"labels":["2",""]}`,
+	} {
+		f.Add([]byte(`{"graph":` + g + `,"property":"all-selected","workers":2}`))
+		f.Add([]byte(`{"graph":` + g + `,"reduction":"eulerian"}`))
+	}
+	// Request-shaped malformations.
+	for _, req := range []string{
+		``,
+		`not json`,
+		`{}`,
+		`{"game":"figure1"}`,
+		`{"property":"all-selected"}`,
+		`{"graph":{"n":1},"property":"x"} trailing`,
+		`{"graph":{"n":1}}{"graph":{"n":1}}`,
+		`{"graf":{"n":1}}`,
+		`{"graph":{"n":1},"workers":-5}`,
+		`{"graph":{"n":1},"workers":1e9}`,
+		`{"graph":null,"property":"all-selected"}`,
+		`{"graph":{"n":1},"property":"all-selected","workers":2,"property":"eulerian"}`,
+		`[{"graph":{"n":1}}]`,
+	} {
+		f.Add([]byte(req))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(bytes.NewReader(data))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("DecodeRequest returned both a request and %v", err)
+			}
+			return
+		}
+		if req.Workers < 0 {
+			t.Fatalf("decoder accepted negative workers %d", req.Workers)
+		}
+		g, err := req.DecodeGraph()
+		if err != nil {
+			if g != nil {
+				t.Fatalf("DecodeGraph returned both a graph and %v", err)
+			}
+			return
+		}
+		// Accepted graphs must round-trip, mirroring FuzzReadGraph.
+		var buf bytes.Buffer
+		if err := graphio.Encode(&buf, g); err != nil {
+			t.Fatalf("accepted graph does not re-encode: %v", err)
+		}
+		h, err := graphio.Decode(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-encoded graph does not decode: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("round trip changed the graph:\n%v\nvs\n%v", g, h)
+		}
+	})
+}

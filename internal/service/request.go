@@ -1,0 +1,102 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// maxRequestBytes bounds one request body; a production front door must
+// not buffer unbounded client JSON.
+const maxRequestBytes = 4 << 20
+
+// Request is the JSON body shared by every POST route of the service:
+//
+//	{"graph": {"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]},
+//	 "property": "all-selected", "workers": 4}
+//
+// The graph carries the graphio wire format. Exactly the field matching
+// the route is consulted for the operation name — property for
+// /v1/decide and /v1/verify, reduction for /v1/reduce, game for
+// /v1/game — but the decoder is shared, so a body is either valid on
+// every route or none.
+type Request struct {
+	Graph     json.RawMessage `json:"graph,omitempty"`
+	Property  string          `json:"property,omitempty"`
+	Reduction string          `json:"reduction,omitempty"`
+	Game      string          `json:"game,omitempty"`
+	// Workers asks for a per-request worker budget; the server clamps it
+	// to its own budget. 0 means "the server's budget", and negative
+	// values are rejected at decode time.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ErrBadRequest is wrapped by every decode-side failure; handlers map it
+// to HTTP 400.
+var ErrBadRequest = errors.New("bad request")
+
+// countingReader counts the bytes handed to the JSON decoder so the
+// size bound rejects oversized bodies instead of silently truncating
+// them (a bare LimitReader would cut trailing garbage off and let the
+// request through).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// DecodeRequest reads one service request from r. Unknown fields,
+// trailing data after the JSON object, bodies over maxRequestBytes, and
+// negative worker counts are rejected — the strictness mirrors
+// graphio.Decode so malformed traffic fails loudly at the door instead
+// of defaulting its way into an evaluation.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	// Read one byte past the limit: a fully-parsed request that consumed
+	// more than maxRequestBytes is over the bound, and anything the
+	// limit cut off mid-object fails the parse or the trailing check.
+	cr := &countingReader{r: io.LimitReader(r, maxRequestBytes+1)}
+	dec := json.NewDecoder(cr)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	switch _, err := dec.Token(); {
+	case err == io.EOF:
+		// Exactly one object, as required.
+	case err == nil:
+		return nil, fmt.Errorf("%w: trailing data after request JSON", ErrBadRequest)
+	default:
+		return nil, fmt.Errorf("%w: trailing data after request JSON: %v", ErrBadRequest, err)
+	}
+	if cr.n > maxRequestBytes {
+		return nil, fmt.Errorf("%w: request body exceeds %d bytes", ErrBadRequest, maxRequestBytes)
+	}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative workers %d", ErrBadRequest, req.Workers)
+	}
+	return &req, nil
+}
+
+// DecodeGraph decodes the request's graph through graphio, inheriting
+// its validation (simplicity, connectivity, label alphabet).
+func (req *Request) DecodeGraph() (*graph.Graph, error) {
+	if len(req.Graph) == 0 {
+		return nil, fmt.Errorf("%w: missing graph", ErrBadRequest)
+	}
+	g, err := graphio.Decode(bytes.NewReader(req.Graph))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return g, nil
+}

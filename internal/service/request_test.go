@@ -1,0 +1,41 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeRequestSizeLimit: the 4MB bound must reject oversized
+// bodies outright — a bare LimitReader would silently truncate trailing
+// garbage and accept the request.
+func TestDecodeRequestSizeLimit(t *testing.T) {
+	t.Parallel()
+	small := `{"graph":{"n":1},"property":"all-selected"}`
+	if _, err := DecodeRequest(strings.NewReader(small)); err != nil {
+		t.Fatalf("small request rejected: %v", err)
+	}
+	t.Run("garbage-past-limit", func(t *testing.T) {
+		body := small + strings.Repeat(" ", maxRequestBytes) + "garbage"
+		if _, err := DecodeRequest(strings.NewReader(body)); err == nil {
+			t.Fatal("oversized body with trailing garbage accepted")
+		}
+	})
+	t.Run("valid-object-past-limit", func(t *testing.T) {
+		// A syntactically valid request whose sheer size exceeds the
+		// bound: padding with a huge ignored... no field is ignored
+		// (unknown fields are rejected), so pad inside the graph labels.
+		var b strings.Builder
+		b.WriteString(`{"graph":{"n":1,"labels":["`)
+		b.WriteString(strings.Repeat("1", maxRequestBytes))
+		b.WriteString(`"]},"property":"all-selected"}`)
+		if _, err := DecodeRequest(strings.NewReader(b.String())); err == nil {
+			t.Fatal("body over the size bound accepted")
+		}
+	})
+	t.Run("whitespace-padding-under-limit", func(t *testing.T) {
+		body := small + strings.Repeat(" ", 1024)
+		if _, err := DecodeRequest(strings.NewReader(body)); err != nil {
+			t.Fatalf("trailing whitespace within the limit rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graphio"
+	"repro/internal/search"
+	"repro/internal/simulate"
+)
+
+// Config configures a Server. The zero value is usable: worker budget of
+// all CPUs, cache disabled, no evaluation deadline.
+type Config struct {
+	// Workers is the server-wide worker budget: the hard upper bound on
+	// any request's game-evaluation pool. 0 means one worker per CPU.
+	Workers int
+	// CacheSize is the capacity of the Prepared cache; <= 0 disables it.
+	CacheSize int
+	// Timeout bounds each request's evaluation; 0 means no deadline
+	// beyond the client's own connection lifetime.
+	Timeout time.Duration
+}
+
+// Server is the HTTP/JSON front end over the operation layer:
+//
+//	POST /v1/decide   {"graph":…, "property":…,  "workers":N}
+//	POST /v1/verify   {"graph":…, "property":…,  "workers":N}
+//	POST /v1/reduce   {"graph":…, "reduction":…}
+//	POST /v1/game     {"game":"figure1", "workers":N}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// Every evaluation runs under the request's context — a client
+// disconnect or the configured timeout cancels the game mid-search —
+// and under a worker pool of min(request workers, server budget).
+// Cache fills are the one shared piece of work: a preparation in
+// flight runs to completion (concurrent requests may be waiting on
+// it), and a request whose context ended meanwhile aborts right after.
+// Prepared instances are served from the LRU cache keyed by canonical
+// graph hash; /v1/stats exposes the cache and request bookkeeping.
+type Server struct {
+	budget  int
+	timeout time.Duration
+	cache   *Cache
+	mux     *http.ServeMux
+
+	requests atomic.Uint64 // all requests handled (including failures)
+	failures atomic.Uint64 // requests answered with a non-2xx status
+	canceled atomic.Uint64 // evaluations aborted by cancellation/timeout
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	budget := cfg.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		budget:  budget,
+		timeout: cfg.Timeout,
+		cache:   NewCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
+	s.mux.HandleFunc("POST /v1/game", s.handleGame)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the route multiplexer, ready for http.Server or
+// httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the Prepared cache (for tests and stats).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// engine derives the per-request search options: the request context
+// (optionally bounded by the server timeout) and the clamped worker
+// pool. The returned cancel must be called when the evaluation is done.
+func (s *Server) engine(ctx context.Context, reqWorkers int) (search.Options, context.CancelFunc) {
+	w := s.budget
+	if reqWorkers > 0 && reqWorkers < s.budget {
+		w = reqWorkers
+	}
+	cancel := context.CancelFunc(func() {})
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	return search.Options{Workers: w, Ctx: ctx}, cancel
+}
+
+// VerdictResponse answers /v1/decide and /v1/verify.
+type VerdictResponse struct {
+	Op   string `json:"op"`
+	Name string `json:"name"`
+	// Holds is the verdict: the property holds / Eve's strategy wins.
+	Holds bool `json:"holds"`
+	// Cached reports whether the Prepared instance was served warm.
+	Cached bool `json:"cached"`
+	// Workers echoes the effective (clamped) worker pool size.
+	Workers int `json:"workers"`
+}
+
+// ReduceResponse answers /v1/reduce with the output graph in graphio
+// wire format and its cluster map.
+type ReduceResponse struct {
+	Op        string          `json:"op"`
+	Name      string          `json:"name"`
+	Graph     json.RawMessage `json:"graph"`
+	ClusterOf []int           `json:"cluster_of"`
+}
+
+// GameResponse answers /v1/game.
+type GameResponse struct {
+	Op      string       `json:"op"`
+	Name    string       `json:"name"`
+	Workers int          `json:"workers"`
+	Results []GameResult `json:"results"`
+}
+
+// StatsResponse answers /v1/stats: the full state of the server's
+// bookkeeping, reconciled under the cache lock, plus the operation
+// catalog so clients can discover the valid names.
+type StatsResponse struct {
+	WorkersBudget int        `json:"workers_budget"`
+	TimeoutMS     int64      `json:"timeout_ms"`
+	Cache         CacheStats `json:"cache"`
+	Requests      struct {
+		Total    uint64 `json:"total"`
+		Failures uint64 `json:"failures"`
+		Canceled uint64 `json:"canceled"`
+	} `json:"requests"`
+	Catalog map[string][]string `json:"catalog"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}
+
+// fail maps an operation error to its HTTP shape: decode and catalog
+// errors are the client's fault (400), cancellation and timeout are
+// accounted separately (503), anything else is a server error (500).
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.failures.Add(1)
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest) || errors.Is(err, ErrUnknownName):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// verdict runs one cached-instance operation (Decide or Verify) for the
+// decoded request and writes the verdict. The two handlers differ only
+// in the op label, the catalog membership test, and the evaluator — the
+// same shared functions the CLI calls. The name is validated before the
+// cache lookup so a stream of bogus-name requests never pays for graph
+// preparation or evicts warm entries.
+func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
+	has func(name string) bool,
+	eval func(prep *simulate.Prepared, name string, o search.Options) (bool, error)) {
+	s.requests.Add(1)
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !has(req.Property) {
+		s.fail(w, fmt.Errorf("%w: %s property %q", ErrUnknownName, op, req.Property))
+		return
+	}
+	g, err := req.DecodeGraph()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Derive the request context before the cache fill: a preparation is
+	// shared work that runs to completion (other requests may be waiting
+	// on it), but a request whose deadline passed during it aborts here
+	// instead of starting the game.
+	engine, cancel := s.engine(r.Context(), req.Workers)
+	defer cancel()
+	prep, cached, err := s.cache.Get(g)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := ctxErr(engine); err != nil {
+		s.fail(w, err)
+		return
+	}
+	holds, err := eval(prep, req.Property, engine)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, VerdictResponse{
+		Op: op, Name: req.Property, Holds: holds, Cached: cached, Workers: engine.Workers,
+	})
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	s.verdict(w, r, "decide", HasDecide, Decide)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.verdict(w, r, "verify", HasVerify, Verify)
+}
+
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	g, err := req.DecodeGraph()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	engine, cancel := s.engine(r.Context(), req.Workers)
+	defer cancel()
+	res, err := Reduce(g, req.Reduction, engine)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := graphio.Encode(&buf, res.Out); err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReduceResponse{
+		Op: "reduce", Name: req.Reduction, Graph: buf.Bytes(), ClusterOf: res.ClusterOf,
+	})
+}
+
+func (s *Server) handleGame(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	engine, cancel := s.engine(r.Context(), req.Workers)
+	defer cancel()
+	results, err := Game(req.Game, engine)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GameResponse{
+		Op: "game", Name: req.Game, Workers: engine.Workers, Results: results,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		WorkersBudget: s.budget,
+		TimeoutMS:     s.timeout.Milliseconds(),
+		Cache:         s.cache.Stats(),
+		Catalog: map[string][]string{
+			"decide": DecideNames(),
+			"verify": VerifyNames(),
+			"reduce": ReduceNames(),
+			"game":   GameNames(),
+		},
+	}
+	resp.Requests.Total = s.requests.Load()
+	resp.Requests.Failures = s.failures.Load()
+	resp.Requests.Canceled = s.canceled.Load()
+	writeJSON(w, http.StatusOK, resp)
+}
