@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test fuzz bench serve-smoke help
+.PHONY: check fmt vet build test fuzz bench bench-json serve-smoke help
 
 check: fmt vet build test fuzz
 
@@ -35,9 +35,17 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# serve-smoke boots lphd on a random port, curls one decide, one
-# verify, and the health endpoint, and asserts the exact bodies — the
-# end-to-end proof that the binary serves the documented API.
+# bench-json records the perf trajectory machine-readably: every
+# benchmark once, through `go test -json`, post-processed by
+# cmd/benchjson into a sorted JSON array (see DESIGN.md).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr4.json
+	@echo "wrote BENCH_pr4.json"
+
+# serve-smoke boots lphd on a random port and walks the documented API
+# end to end: decide, verify, healthz (exact bodies), a two-graph
+# /v1/batch, an async /v1/jobs experiment polled to completion, and a
+# /metrics scrape.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -62,6 +70,29 @@ serve-smoke:
 	body=$$(curl -sf -X POST --data-binary @$$tmp/verify.json http://$$addr/v1/verify); \
 	want='{"op":"verify","name":"3-colorable","holds":true,"cached":false,"workers":2}'; \
 	[ "$$body" = "$$want" ] || { echo "verify body: $$body"; echo "want:        $$want"; exit 1; }; \
+	printf '{"op":"decide","property":"all-selected","graphs":[%s,%s]}' \
+		"$$(cat examples/graphs/triangle-selected.json)" "$$(cat examples/graphs/triangle-mixed.json)" >$$tmp/batch.json; \
+	body=$$(curl -sf -X POST --data-binary @$$tmp/batch.json http://$$addr/v1/batch); \
+	want='{"op":"batch","verb":"decide","name":"all-selected","workers":2,"failed":0,"results":[{"index":0,"holds":true,"cached":true},{"index":1,"holds":false,"cached":false}]}'; \
+	[ "$$body" = "$$want" ] || { echo "batch body: $$body"; echo "want:       $$want"; exit 1; }; \
+	body=$$(curl -sf -X POST -d '{"job":"experiment","name":"figure5"}' http://$$addr/v1/jobs); \
+	case "$$body" in '{"id":"j1","kind":"experiment","state":"queued"'*) ;; \
+		*) echo "jobs submit body: $$body"; exit 1;; esac; \
+	state=""; \
+	for i in $$(seq 1 100); do \
+		state=$$(curl -sf http://$$addr/v1/jobs/j1); \
+		case "$$state" in *'"state":"done"'*) break;; esac; \
+		sleep 0.1; \
+	done; \
+	case "$$state" in \
+		*'"state":"done"'*'"ok":true'*) ;; \
+		*) echo "job never finished ok: $$state"; exit 1;; \
+	esac; \
+	metrics=$$(curl -sf http://$$addr/metrics); \
+	for m in lphd_requests_total lphd_cache_hits_total 'lphd_jobs_done_total 1' 'lphd_jobs{state="done"} 1' lphd_request_duration_seconds_bucket; do \
+		case "$$metrics" in *"$$m"*) ;; \
+			*) echo "metrics scrape misses $$m"; exit 1;; esac; \
+	done; \
 	echo "serve-smoke OK"
 
 help:
@@ -72,4 +103,5 @@ help:
 	@echo "make test        - go test -race ./..."
 	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph (graphio) + FuzzDecodeRequest (service)"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make serve-smoke - boot lphd on a random port and curl decide/verify/healthz"
+	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr4.json"
+	@echo "make serve-smoke - boot lphd and walk decide/verify/healthz/batch/jobs/metrics"

@@ -1,0 +1,138 @@
+// Command benchjson converts a `go test -json -bench` event stream
+// (stdin) into a machine-readable benchmark summary (stdout): a JSON
+// array with one entry per benchmark result line, sorted by package
+// then name, so `make bench-json` can record the perf trajectory
+// (BENCH_pr4.json) without scraping free-form text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -json ./... | benchjson
+//
+// Exit status: 0 = summary written (possibly empty), 1 = read error on
+// stdin, 2 = usage error (benchjson takes no arguments). Non-JSON lines
+// and JSON events that are not benchmark results are skipped — the
+// stream interleaves build output and test chatter by design.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// event is the subset of the test2json schema benchjson consumes.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Package string `json:"package"`
+	// Name is the benchmark as printed, including sub-benchmark path;
+	// the -N GOMAXPROCS suffix is split off into Procs.
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are -1 when the benchmark did not report
+	// allocation figures.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// benchLine matches a benchmark result in a test output line, e.g.
+//
+//	BenchmarkFoo/sub-8   	     123	      4567 ns/op	     89 B/op	       2 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseLine(pkg, line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	res := Result{Package: pkg, Name: m[1], Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	if m[2] != "" {
+		res.Procs, _ = strconv.Atoi(m[2])
+	}
+	res.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+	res.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+	if m[5] != "" {
+		res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+	}
+	if m[6] != "" {
+		res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+	}
+	return res, true
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		fmt.Fprintln(stderr, "usage: go test -json -bench . ./... | benchjson")
+		return 2
+	}
+	results := []Result{} // empty array, not null, when nothing matched
+	// test2json flushes long-running benchmarks' result lines in pieces
+	// ("BenchmarkX \t" now, "1\t12345 ns/op\n" after the run), so output
+	// is reassembled into whole lines per (package, test) stream before
+	// matching.
+	partial := make(map[string]string)
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // build noise and non-JSON lines are expected
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		key := ev.Package + "\x00" + ev.Test
+		buf := partial[key] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if res, ok := parseLine(ev.Package, buf[:nl]); ok {
+				results = append(results, res)
+			}
+			buf = buf[nl+1:]
+		}
+		if buf == "" {
+			delete(partial, key)
+		} else {
+			partial[key] = buf
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(args []string, stdin string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestBenchjsonTable pins exit code and the exact JSON bytes for a
+// synthetic test2json stream: benchmark result lines are extracted,
+// everything else skipped, output sorted by package then name.
+func TestBenchjsonTable(t *testing.T) {
+	stream := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkZeta-4   \t     100\t      2500 ns/op\n"}
+not json at all
+{"Action":"output","Package":"repro/internal/a","Output":"BenchmarkAlpha/sub=1   \t       7\t 123456.5 ns/op\t    64 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t0.5s\n"}
+{"Action":"pass","Package":"repro"}
+`
+	want := `[
+  {
+    "package": "repro",
+    "name": "BenchmarkZeta",
+    "procs": 4,
+    "iterations": 100,
+    "ns_per_op": 2500,
+    "bytes_per_op": -1,
+    "allocs_per_op": -1
+  },
+  {
+    "package": "repro/internal/a",
+    "name": "BenchmarkAlpha/sub=1",
+    "procs": 1,
+    "iterations": 7,
+    "ns_per_op": 123456.5,
+    "bytes_per_op": 64,
+    "allocs_per_op": 3
+  }
+]
+`
+	code, stdout, stderr := runCLI(nil, stream)
+	if code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", code, stderr)
+	}
+	if stdout != want {
+		t.Fatalf("stdout:\n%s\nwant:\n%s", stdout, want)
+	}
+}
+
+// TestBenchjsonEmpty: a stream with no benchmark lines yields an empty
+// array, not null.
+func TestBenchjsonEmpty(t *testing.T) {
+	code, stdout, _ := runCLI(nil, `{"Action":"pass","Package":"p"}`+"\n")
+	if code != 0 || stdout != "[]\n" {
+		t.Fatalf("exit %d, stdout %q", code, stdout)
+	}
+}
+
+// TestBenchjsonUsage: arguments are a usage error (exit 2).
+func TestBenchjsonUsage(t *testing.T) {
+	code, stdout, stderr := runCLI([]string{"file.json"}, "")
+	if code != 2 || stdout != "" || stderr == "" {
+		t.Fatalf("exit %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+}
+
+// TestBenchjsonSplitResultLine: test2json flushes a slow benchmark's
+// result line in pieces (name now, measurements after the run); the
+// reassembly must stitch them back together — and keep streams from
+// different tests apart.
+func TestBenchjsonSplitResultLine(t *testing.T) {
+	stream := `{"Action":"output","Package":"p","Test":"BenchmarkSlow/seq","Output":"BenchmarkSlow/seq         \t"}
+{"Action":"output","Package":"p","Test":"BenchmarkOther","Output":"BenchmarkOther \t       2\t 50 ns/op\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkSlow/seq","Output":"       1\t1476729987 ns/op\n"}
+`
+	code, stdout, _ := runCLI(nil, stream)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		`"name": "BenchmarkSlow/seq"`, `"ns_per_op": 1476729987`,
+		`"name": "BenchmarkOther"`, `"ns_per_op": 50`,
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output misses %s:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestBenchjsonSubBenchmarkNames: the -N suffix strips only the final
+// GOMAXPROCS component, never part of a sub-benchmark path.
+func TestBenchjsonSubBenchmarkNames(t *testing.T) {
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX/n=128-16   \t       1\t 5 ns/op\n"}` + "\n"
+	code, stdout, _ := runCLI(nil, stream)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, `"name": "BenchmarkX/n=128"`) || !strings.Contains(stdout, `"procs": 16`) {
+		t.Fatalf("name/procs split wrong:\n%s", stdout)
+	}
+}

@@ -1,21 +1,48 @@
-// Command clprobe times the Cook–Levin τ-translation plus joint DPLL
-// satisfiability per topology; a development aid for the Theorem 22
-// experiment.
+// Command clprobe cross-checks the Cook–Levin τ-translation plus joint
+// DPLL satisfiability per topology against ground-truth k-colorability;
+// a development aid for the Theorem 22 experiment. The (k, topology)
+// table fans out across the shared search engine's worker pool.
+//
+// Usage:
+//
+//	clprobe [-workers N] [-k MAX] [-bases name,name,...]
+//
+//	-workers worker-pool size (0 = all CPUs, 1 = sequential)
+//	-k       probe k = 2 .. MAX (default 3)
+//	-bases   comma-separated topology names (default: all of
+//	         P2,P3,C3,C4,C5,Star4,K4)
+//
+// Stdout carries the deterministic verdict table ("k=2 P2 sat=true
+// want=true") plus the summary line; timing lines go to stderr. Exit
+// status: 0 = every probe matches ground truth, 1 = a mismatch or
+// translation error, 2 = usage error.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/logic"
 	"repro/internal/props"
 	"repro/internal/reduce"
+	"repro/internal/search"
 )
 
 func main() {
-	bases := []struct {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// baseCatalog lists the probe topologies in canonical order.
+func baseCatalog() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
 		name string
 		g    *graph.Graph
 	}{
@@ -23,17 +50,83 @@ func main() {
 		{"C4", graph.Cycle(4)}, {"C5", graph.Cycle(5)},
 		{"Star4", graph.Star(4)}, {"K4", graph.Complete(4)},
 	}
-	for k := 2; k <= 3; k++ {
-		for _, b := range bases {
-			start := time.Now()
-			bg, err := reduce.FormulaToBooleanGraph(b.g, logic.KColorable(k))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, b.name, err)
-				continue
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clprobe", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	workers := fs.Int("workers", 0, "worker-pool size (0 = all CPUs, 1 = sequential)")
+	maxK := fs.Int("k", 3, "probe k = 2 .. MAX")
+	basesFlag := fs.String("bases", "", "comma-separated topology names (default: all)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 || *workers < 0 || *maxK < 2 {
+		fmt.Fprintln(stderr, "usage: clprobe [-workers N] [-k MAX] [-bases name,name,...]")
+		return 2
+	}
+	catalog := baseCatalog()
+	bases := catalog
+	if *basesFlag != "" {
+		bases = bases[:0:0]
+		for _, name := range strings.Split(*basesFlag, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, b := range catalog {
+				if b.name == name {
+					bases = append(bases, b)
+					found = true
+					break
+				}
 			}
-			sat := bg.Satisfiable()
-			fmt.Fprintf(os.Stderr, "k=%d %-6s sat=%-5v want=%-5v %v\n",
-				k, b.name, sat, props.KColorable(b.g, k), time.Since(start).Round(time.Millisecond))
+			if !found {
+				fmt.Fprintf(stderr, "clprobe: unknown topology %q\n", name)
+				return 2
+			}
 		}
 	}
+
+	type probe struct {
+		k    int
+		name string
+		g    *graph.Graph
+	}
+	var probes []probe
+	for k := 2; k <= *maxK; k++ {
+		for _, b := range bases {
+			probes = append(probes, probe{k: k, name: b.name, g: b.g})
+		}
+	}
+	type outcome struct {
+		sat, want bool
+		err       error
+		dur       time.Duration
+	}
+	engine := search.Parallel(*workers)
+	results := search.Map(engine, len(probes), func(i int) outcome {
+		p := probes[i]
+		start := time.Now()
+		bg, err := reduce.FormulaToBooleanGraph(p.g, logic.KColorable(p.k))
+		if err != nil {
+			return outcome{err: err, dur: time.Since(start)}
+		}
+		return outcome{sat: bg.Satisfiable(), want: props.KColorable(p.g, p.k), dur: time.Since(start)}
+	})
+	mismatches := 0
+	for i, res := range results {
+		p := probes[i]
+		if res.err != nil {
+			mismatches++
+			fmt.Fprintf(stdout, "k=%d %-6s error\n", p.k, p.name)
+			fmt.Fprintf(stderr, "k=%d %-6s %v\n", p.k, p.name, res.err)
+			continue
+		}
+		if res.sat != res.want {
+			mismatches++
+		}
+		fmt.Fprintf(stdout, "k=%d %-6s sat=%-5v want=%-5v\n", p.k, p.name, res.sat, res.want)
+		fmt.Fprintf(stderr, "k=%d %-6s %v\n", p.k, p.name, res.dur.Round(time.Millisecond))
+	}
+	fmt.Fprintf(stdout, "clprobe: %d/%d probes match\n", len(probes)-mismatches, len(probes))
+	if mismatches > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func runCLI(args []string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestClprobeTable pins exit code and the exact stdout verdict table
+// for small probe selections (the stderr timing lines are
+// nondeterministic and left unpinned).
+func TestClprobeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		out  string
+	}{
+		{"k2-two-bases", []string{"-k", "2", "-bases", "P2,C3"},
+			"k=2 P2     sat=true  want=true \n" +
+				"k=2 C3     sat=false want=false\n" +
+				"clprobe: 2/2 probes match\n"},
+		{"k3-k4", []string{"-k", "3", "-bases", "K4"},
+			"k=2 K4     sat=false want=false\n" +
+				"k=3 K4     sat=false want=false\n" +
+				"clprobe: 2/2 probes match\n"},
+		// -workers threads into the engine; verdicts are engine-invariant.
+		{"workers-seq", []string{"-workers", "1", "-k", "2", "-bases", "C5"},
+			"k=2 C5     sat=false want=false\n" + "clprobe: 1/1 probes match\n"},
+		{"workers-par", []string{"-workers", "4", "-k", "2", "-bases", "C5"},
+			"k=2 C5     sat=false want=false\n" + "clprobe: 1/1 probes match\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(tc.args)
+			if code != 0 {
+				t.Fatalf("exit %d (stderr: %s)", code, stderr)
+			}
+			if stdout != tc.out {
+				t.Fatalf("stdout:\n%q\nwant:\n%q", stdout, tc.out)
+			}
+		})
+	}
+}
+
+// TestClprobeErrors pins exit code 2 for usage errors.
+func TestClprobeErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-k", "1"},
+		{"-bogus"},
+		{"stray"},
+		{"-bases", "nope"},
+		{"-bases", "P2,nope"},
+	} {
+		code, stdout, stderr := runCLI(args)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2", args, code)
+		}
+		if stdout != "" {
+			t.Fatalf("%v: usage error wrote stdout %q", args, stdout)
+		}
+		if stderr == "" {
+			t.Fatalf("%v: usage error left stderr empty", args)
+		}
+	}
+}

@@ -1,39 +1,57 @@
-// Command exptimer runs every experiment sequentially and prints wall-clock
-// timings to stderr; a development aid for keeping the experiment suite
-// fast.
+// Command exptimer runs the experiment suite and prints wall-clock
+// timings to stderr; a development aid for keeping the suite fast. The
+// experiments run one at a time (so each timing is unpolluted by its
+// neighbors) but each experiment's internal sweeps shard across the
+// -workers pool, making the sequential-vs-sharded cost visible per
+// experiment.
+//
+// Usage:
+//
+//	exptimer [-workers N] [-only id,id,...]
+//
+// Stdout carries the deterministic summary ("exptimer: K/N experiments
+// ok"); the per-experiment timing lines go to stderr. Exit status: 0 =
+// all selected experiments ok, 1 = at least one failed, 2 = usage
+// error.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/internal/cliutil"
+	"repro/internal/search"
 )
 
 func main() {
-	fns := []struct {
-		name string
-		fn   func() *experiments.Report
-	}{
-		{"Fig1", experiments.Figure1},
-		{"Fig5", experiments.Figure5Structure},
-		{"Fig9", experiments.Figure9Eulerian},
-		{"Fig3", experiments.Figure3Hamiltonian},
-		{"Fig11", experiments.Figure11CoHamiltonian},
-		{"Fig4", experiments.Figure4Colorability},
-		{"Fig6", experiments.Figure6Pictures},
-		{"Fig8", experiments.Figure8TuringMachine},
-		{"L13", experiments.Lemma13Envelope},
-		{"Fagin", experiments.FaginCrossValidation},
-		{"CL", experiments.CookLevin},
-		{"Fig2", experiments.Figure2Separations},
-		{"Ex", experiments.ExampleFormulas},
-		{"Fig7", experiments.Figure7Ladder},
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	workers, only, ok := cliutil.ParseSuiteFlags("exptimer", args, stderr,
+		"usage: exptimer [-workers N] [-only id,id,...]")
+	if !ok {
+		return 2
 	}
-	for _, e := range fns {
+	specs, ok := cliutil.SelectSpecs("exptimer", only, stderr)
+	if !ok {
+		return 2
+	}
+	engine := search.Parallel(workers)
+	okCount := 0
+	for _, spec := range specs {
 		start := time.Now()
-		rep := e.fn()
-		fmt.Fprintf(os.Stderr, "%-6s %8v ok=%v\n", e.name, time.Since(start).Round(time.Millisecond), rep.OK())
+		rep := spec.Run(engine)
+		if rep.OK() {
+			okCount++
+		}
+		fmt.Fprintf(stderr, "%-12s %8v ok=%v\n", spec.ID, time.Since(start).Round(time.Millisecond), rep.OK())
 	}
+	fmt.Fprintf(stdout, "exptimer: %d/%d experiments ok\n", okCount, len(specs))
+	if okCount != len(specs) {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(args []string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExptimerTable pins the deterministic stdout summary and exit code
+// for selected-suite invocations; the timing lines on stderr are
+// nondeterministic, so only their ids are checked.
+func TestExptimerTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		out     string
+		timings []string
+	}{
+		{"two-experiments", []string{"-only", "figure5,figure1"},
+			"exptimer: 2/2 experiments ok\n", []string{"figure5", "figure1"}},
+		{"workers-seq", []string{"-workers", "1", "-only", "figure9"},
+			"exptimer: 1/1 experiments ok\n", []string{"figure9"}},
+		{"workers-par", []string{"-workers", "4", "-only", "figure9"},
+			"exptimer: 1/1 experiments ok\n", []string{"figure9"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(tc.args)
+			if code != 0 {
+				t.Fatalf("exit %d (stderr: %s)", code, stderr)
+			}
+			if stdout != tc.out {
+				t.Fatalf("stdout %q, want %q", stdout, tc.out)
+			}
+			for _, id := range tc.timings {
+				if !strings.Contains(stderr, id) {
+					t.Fatalf("stderr %q misses timing line for %s", stderr, id)
+				}
+			}
+		})
+	}
+}
+
+// TestExptimerErrors pins exit code 2 for usage errors.
+func TestExptimerErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-bogus"},
+		{"stray"},
+		{"-only", "nope"},
+	} {
+		code, stdout, stderr := runCLI(args)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2", args, code)
+		}
+		if stdout != "" {
+			t.Fatalf("%v: usage error wrote stdout %q", args, stdout)
+		}
+		if stderr == "" {
+			t.Fatalf("%v: usage error left stderr empty", args)
+		}
+	}
+}

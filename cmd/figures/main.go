@@ -1,32 +1,59 @@
-// Command figures regenerates every figure/example experiment of the
-// paper (see DESIGN.md for the index) and prints one report per artifact.
-// It exits nonzero if any experiment fails to reproduce the paper's claim.
+// Command figures regenerates the figure/example experiments of the
+// paper (see DESIGN.md for the index) and prints one report per
+// artifact. The suite runs on the sharded sweep engine: experiments
+// run in index order and each one's instance sweeps shard across the
+// -workers pool.
+//
+// Usage:
+//
+//	figures [-workers N] [-only id,id,...]
+//
+//	-workers worker-pool size (0 = all CPUs, 1 = sequential)
+//	-only    comma-separated experiment ids (default: the whole suite);
+//	         ids are the Index slugs: figure1 … figure9, figure11,
+//	         examples, fagin, cook-levin, lemma13
+//
+// Exit status: 0 = every selected experiment reproduces the paper's
+// claim, 1 = at least one failed, 2 = usage error.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/cliutil"
+	"repro/internal/search"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	workers, only, ok := cliutil.ParseSuiteFlags("figures", args, stderr,
+		"usage: figures [-workers N] [-only id,id,...]")
+	if !ok {
+		return 2
+	}
+	specs, ok := cliutil.SelectSpecs("figures", only, stderr)
+	if !ok {
+		return 2
+	}
+	engine := search.Parallel(workers)
 	failed := 0
-	for _, rep := range experiments.All() {
-		fmt.Print(rep)
+	for _, spec := range specs {
+		rep := spec.Run(engine)
+		fmt.Fprint(stdout, rep)
 		if !rep.OK() {
 			failed++
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failed)
 		return 1
 	}
-	fmt.Println("all experiments reproduce the paper's claims")
+	fmt.Fprintln(stdout, "all experiments reproduce the paper's claims")
 	return 0
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/search"
+)
+
+// runCLI invokes run with captured streams.
+func runCLI(args []string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// reportGolden renders the experiment's report exactly as the binary
+// prints it (report + blank line).
+func reportGolden(t *testing.T, id string) string {
+	t.Helper()
+	spec, ok := experiments.FindSpec(id)
+	if !ok {
+		t.Fatalf("unknown spec %q", id)
+	}
+	return spec.Run(search.Sequential()).String() + "\n"
+}
+
+// TestFiguresTable pins exit code and stdout bytes for selected-suite
+// invocations, mirroring cmd/lph/main_test.go.
+func TestFiguresTable(t *testing.T) {
+	tail := "all experiments reproduce the paper's claims\n"
+	cases := []struct {
+		name string
+		args []string
+		out  func(t *testing.T) string
+	}{
+		{"only-figure5", []string{"-only", "figure5"},
+			func(t *testing.T) string { return reportGolden(t, "figure5") + tail }},
+		{"only-two", []string{"-only", "figure5,figure9"},
+			func(t *testing.T) string { return reportGolden(t, "figure5") + reportGolden(t, "figure9") + tail }},
+		// -workers threads into the engine; reports are engine-invariant.
+		{"workers-seq", []string{"-workers", "1", "-only", "figure9"},
+			func(t *testing.T) string { return reportGolden(t, "figure9") + tail }},
+		{"workers-par", []string{"-workers", "4", "-only", "figure9"},
+			func(t *testing.T) string { return reportGolden(t, "figure9") + tail }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(tc.args)
+			if code != 0 {
+				t.Fatalf("exit %d (stderr: %s)", code, stderr)
+			}
+			if want := tc.out(t); stdout != want {
+				t.Fatalf("stdout:\n%q\nwant:\n%q", stdout, want)
+			}
+			if stderr != "" {
+				t.Fatalf("unexpected stderr: %q", stderr)
+			}
+		})
+	}
+}
+
+// TestFiguresErrors pins exit code 2 for usage errors with empty stdout
+// and a diagnostic on stderr.
+func TestFiguresErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-bogus"},
+		{"extra-arg"},
+		{"-only", "nope"},
+		{"-only", "figure5,nope"},
+	} {
+		code, stdout, stderr := runCLI(args)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2", args, code)
+		}
+		if stdout != "" {
+			t.Fatalf("%v: usage error wrote stdout %q", args, stdout)
+		}
+		if stderr == "" {
+			t.Fatalf("%v: usage error left stderr empty", args)
+		}
+	}
+}
+
+// TestFiguresFullSuite runs the whole suite once through the binary —
+// the end-to-end proof that every experiment reproduces under the
+// sharded engine — and checks the trailer line and exit code.
+func TestFiguresFullSuite(t *testing.T) {
+	code, stdout, stderr := runCLI([]string{"-workers", "2"})
+	if code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", code, stderr)
+	}
+	if !strings.HasSuffix(stdout, "all experiments reproduce the paper's claims\n") {
+		t.Fatalf("missing trailer:\n%s", stdout[max(0, len(stdout)-400):])
+	}
+	for _, id := range []string{"Figure 1", "Figure 7", "edge-gatherer"} {
+		if !strings.Contains(stdout, id) {
+			t.Fatalf("suite output misses %q", id)
+		}
+	}
+}

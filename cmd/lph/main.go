@@ -14,6 +14,10 @@
 //	lph [-workers N] reduce <reduction> < graph.json   (prints the output graph JSON)
 //	    reduction: eulerian | hamiltonian | co-hamiltonian | 3color
 //	lph [-workers N] game figure1       (plays the 3-round 3-colorability game)
+//	lph [-workers N] sweep [id ...]     (runs experiments on the sharded sweep engine)
+//	    id: figure1 … figure9, figure11, examples, fagin, cook-levin, lemma13
+//	    (no ids = the whole suite; each experiment's instance sweeps
+//	    shard across the worker pool)
 //
 // Every subcommand body lives in internal/service — the same operation
 // layer the lphd HTTP server routes to — so the CLI and the service run
@@ -40,6 +44,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/search"
@@ -80,6 +85,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return reduction(args[1:], engine, stdin, stdout, stderr)
 	case "game":
 		return game(args[1:], engine, stdout, stderr)
+	case "sweep":
+		return sweep(args[1:], engine, stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -87,7 +94,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, "usage: lph [-workers N] {decide|verify|reduce|game} <name> < graph.json")
+	fmt.Fprintln(stderr, "usage: lph [-workers N] {decide|verify|reduce|game|sweep} <name> < graph.json")
 }
 
 func readGraph(stdin io.Reader, stderr io.Writer) (*graph.Graph, bool) {
@@ -181,6 +188,42 @@ func game(args []string, engine search.Options, stdout, stderr io.Writer) int {
 	for _, r := range results {
 		fmt.Fprintf(stdout, "%s: 3-colorable=%v, 3-round 3-colorable=%v\n",
 			r.Graph, r.ThreeColorable, r.ThreeRoundColorable)
+	}
+	return 0
+}
+
+// sweep runs the named experiments (all of them with no arguments) on
+// the sharded sweep engine: experiments run in selection order and
+// each one's instance sweeps shard across the worker pool (one fan-out
+// level, so the pool stays inside the -workers budget). One summary
+// line per experiment goes to stdout; failing reports are printed in
+// full on stderr.
+func sweep(args []string, engine search.Options, stdout, stderr io.Writer) int {
+	specs := experiments.Index()
+	if len(args) > 0 {
+		specs = specs[:0:0]
+		for _, id := range args {
+			s, ok := experiments.FindSpec(id)
+			if !ok {
+				fmt.Fprintf(stderr, "lph: unknown experiment %q\n", id)
+				return 2
+			}
+			specs = append(specs, s)
+		}
+	}
+	failed := 0
+	for _, spec := range specs {
+		rep := spec.Run(engine)
+		if rep.OK() {
+			fmt.Fprintf(stdout, "%s: ok\n", spec.ID)
+		} else {
+			failed++
+			fmt.Fprintf(stdout, "%s: FAILED\n", spec.ID)
+			fmt.Fprint(stderr, rep)
+		}
+	}
+	if failed > 0 {
+		return 1
 	}
 	return 0
 }

@@ -93,6 +93,12 @@ func TestCLITable(t *testing.T) {
 		{"reduce/3color", []string{"reduce", "3color"}, "satgraph.json", 0, "@reduce"},
 		// game.
 		{"game/figure1", []string{"game", "figure1"}, "", 0, figure1Out},
+		// sweep: named experiments through the sharded engine, summary
+		// lines in selection order.
+		{"sweep/one", []string{"sweep", "figure5"}, "", 0, "figure5: ok\n"},
+		{"sweep/two", []string{"sweep", "figure9", "figure3"}, "", 0, "figure9: ok\nfigure3: ok\n"},
+		{"sweep/workers-seq", []string{"-workers", "1", "sweep", "figure7"}, "", 0, "figure7: ok\n"},
+		{"sweep/workers-par", []string{"-workers", "4", "sweep", "figure7"}, "", 0, "figure7: ok\n"},
 		// -workers threads through every subcommand (the decide/reduce
 		// paths used to drop it): verdicts and bytes are engine-invariant.
 		{"workers/decide-seq", []string{"-workers", "1", "decide", "all-selected"}, "triangle-selected.json", 0, "all-selected: true\n"},
@@ -144,6 +150,8 @@ func TestCLIErrors(t *testing.T) {
 		{"verify/unknown", []string{"verify", "nope"}, valid},
 		{"reduce/unknown", []string{"reduce", "nope"}, valid},
 		{"game/unknown", []string{"game", "bogus"}, ""},
+		{"sweep/unknown", []string{"sweep", "nope"}, ""},
+		{"sweep/mixed-unknown", []string{"sweep", "figure5", "nope"}, ""},
 		{"workers/negative", []string{"-workers", "-3", "game", "figure1"}, ""},
 		{"flag/unknown", []string{"-bogus", "decide", "all-selected"}, valid},
 		{"decide/not-json", []string{"decide", "all-selected"}, "not json"},

@@ -7,24 +7,34 @@
 // Usage:
 //
 //	lphd [-addr :8080] [-workers N] [-cache N] [-timeout D]
+//	     [-job-workers N] [-queue N] [-ttl D]
 //
-//	-addr    listen address; use ":0" for a random free port (the
-//	         chosen address is printed on startup)
-//	-workers server-wide worker budget per request (0 = all CPUs)
-//	-cache   Prepared-cache capacity in graphs (0 disables caching)
-//	-timeout per-request evaluation deadline (0 = none), e.g. 30s
+//	-addr        listen address; use ":0" for a random free port (the
+//	             chosen address is printed on startup)
+//	-workers     server-wide worker budget per request (0 = all CPUs)
+//	-cache       Prepared-cache capacity in graphs (0 disables caching)
+//	-timeout     per-request evaluation deadline (0 = none), e.g. 30s
+//	-job-workers async job engine worker pool (0 = 1)
+//	-queue       job admission-queue depth; overflow answers 429 (0 = 16)
+//	-ttl         job result retention after completion (0 = 15m)
 //
 // Routes:
 //
-//	POST /v1/decide   {"graph":…, "property":…, "workers":N}
-//	POST /v1/verify   {"graph":…, "property":…, "workers":N}
-//	POST /v1/reduce   {"graph":…, "reduction":…}
-//	POST /v1/game     {"game":"figure1", "workers":N}
-//	GET  /v1/healthz
-//	GET  /v1/stats
+//	POST   /v1/decide   {"graph":…, "property":…, "workers":N}
+//	POST   /v1/verify   {"graph":…, "property":…, "workers":N}
+//	POST   /v1/reduce   {"graph":…, "reduction":…}
+//	POST   /v1/game     {"game":"figure1", "workers":N}
+//	POST   /v1/batch    {"op":"decide|verify", "property":…, "graphs":[…]}
+//	POST   /v1/jobs     {"job":"sweep|experiment|game", "name":…, "game":…}
+//	GET    /v1/jobs/{id}
+//	DELETE /v1/jobs/{id}
+//	GET    /v1/healthz
+//	GET    /v1/stats
+//	GET    /metrics     (Prometheus text exposition)
 //
-// Client disconnects and the -timeout deadline cancel evaluations
-// mid-game via context propagation into the search engine.
+// Client disconnects and the -timeout deadline cancel synchronous
+// evaluations mid-game via context propagation into the search engine;
+// asynchronous jobs are cancelled through DELETE /v1/jobs/{id}.
 package main
 
 import (
@@ -49,11 +59,16 @@ func run(args []string) int {
 	workers := fs.Int("workers", 0, "server-wide worker budget per request (0 = all CPUs)")
 	cache := fs.Int("cache", 128, "Prepared-cache capacity in graphs (0 disables)")
 	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
+	jobWorkers := fs.Int("job-workers", 0, "async job engine worker pool (0 = 1)")
+	queue := fs.Int("queue", 0, "job admission-queue depth, 429 beyond it (0 = 16)")
+	ttl := fs.Duration("ttl", 0, "job result retention after completion (0 = 15m)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *timeout < 0 {
-		fmt.Fprintln(os.Stderr, "usage: lphd [-addr :8080] [-workers N] [-cache N] [-timeout D]")
+	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *timeout < 0 ||
+		*jobWorkers < 0 || *queue < 0 || *ttl < 0 {
+		fmt.Fprintln(os.Stderr,
+			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-timeout D] [-job-workers N] [-queue N] [-ttl D]")
 		return 2
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -64,8 +79,13 @@ func run(args []string) int {
 	// The smoke test (make serve-smoke) starts us on ":0" and scrapes
 	// this line for the port, so keep its shape stable.
 	fmt.Printf("lphd: listening on http://%s\n", ln.Addr())
+	svc := service.New(service.Config{
+		Workers: *workers, CacheSize: *cache, Timeout: *timeout,
+		JobWorkers: *jobWorkers, JobQueue: *queue, JobTTL: *ttl,
+	})
+	defer svc.Close()
 	srv := &http.Server{
-		Handler:           service.New(service.Config{Workers: *workers, CacheSize: *cache, Timeout: *timeout}).Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {

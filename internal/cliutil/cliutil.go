@@ -1,0 +1,52 @@
+// Package cliutil is the flag plumbing shared by the experiment-suite
+// binaries (cmd/figures, cmd/exptimer): the -workers/-only flag pair
+// threading into search.Options and the experiment index, under the
+// repository-wide exit-code convention (0 = success, 1 = experiment
+// failure / mismatch, 2 = usage error).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// ParseSuiteFlags parses the common -workers/-only flag set. ok is
+// false on a usage error (the caller exits 2); the usage line has then
+// been printed to stderr.
+func ParseSuiteFlags(prog string, args []string, stderr io.Writer, usage string) (workers int, only []string, ok bool) {
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // we print our own usage line
+	w := fs.Int("workers", 0, "worker-pool size (0 = all CPUs, 1 = sequential)")
+	o := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 || *w < 0 {
+		fmt.Fprintln(stderr, usage)
+		return 0, nil, false
+	}
+	if *o != "" {
+		only = strings.Split(*o, ",")
+	}
+	return *w, only, true
+}
+
+// SelectSpecs resolves experiment ids against the index; an empty
+// selection means the whole suite. ok is false (with a diagnostic on
+// stderr) for an unknown id.
+func SelectSpecs(prog string, only []string, stderr io.Writer) ([]experiments.Spec, bool) {
+	if len(only) == 0 {
+		return experiments.Index(), true
+	}
+	specs := make([]experiments.Spec, 0, len(only))
+	for _, id := range only {
+		s, found := experiments.FindSpec(strings.TrimSpace(id))
+		if !found {
+			fmt.Fprintf(stderr, "%s: unknown experiment %q\n", prog, id)
+			return nil, false
+		}
+		specs = append(specs, s)
+	}
+	return specs, true
+}

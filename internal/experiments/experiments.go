@@ -6,6 +6,8 @@ package experiments
 
 import (
 	"fmt"
+
+	"repro/internal/search"
 )
 
 // Row is one printable line of an experiment report.
@@ -59,22 +61,9 @@ func row(name string, expected, measured any) Row {
 	return Row{Name: name, Expected: e, Measured: m, OK: e == m}
 }
 
-// All runs every experiment in the repository's index order.
+// All runs every experiment in the repository's index order on the
+// default engine — the suite fans out across the pool via the sweep
+// engine (see sweep.go); AllOpt selects the engine explicitly.
 func All() []*Report {
-	return []*Report{
-		Figure1(),
-		Figure2Separations(),
-		Figure3Hamiltonian(),
-		Figure4Colorability(),
-		Figure5Structure(),
-		Figure6Pictures(),
-		Figure7Ladder(),
-		Figure8TuringMachine(),
-		Figure9Eulerian(),
-		Figure11CoHamiltonian(),
-		ExampleFormulas(),
-		FaginCrossValidation(),
-		CookLevin(),
-		Lemma13Envelope(),
-	}
+	return AllOpt(search.Default())
 }

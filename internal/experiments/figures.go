@@ -13,6 +13,7 @@ import (
 	"repro/internal/props"
 	"repro/internal/reduce"
 	"repro/internal/sat"
+	"repro/internal/search"
 	"repro/internal/simulate"
 	"repro/internal/structure"
 )
@@ -20,15 +21,19 @@ import (
 // Figure1 reproduces Example 1 / Figure 1: the left graph is 3-colorable
 // but not 3-round 3-colorable (Adam wins), the right one is both (Eve
 // wins).
-func Figure1() *Report {
+func Figure1() *Report { return Figure1Opt(search.Default()) }
+
+// Figure1Opt is Figure1 with the minimax evaluations on the given
+// engine.
+func Figure1Opt(o search.Options) *Report {
 	r := &Report{ID: "Figure 1", Title: "3-round 3-colorability game"}
 	no := graph.Figure1NoInstance()
 	yes := graph.Figure1YesInstance()
 	r.Rows = append(r.Rows,
 		row("(a) 3-colorable", true, props.ThreeColorable(no)),
-		row("(a) 3-round 3-colorable", false, props.ThreeRoundThreeColorable(no)),
+		row("(a) 3-round 3-colorable", false, props.ThreeRoundThreeColorableOpt(no, o)),
 		row("(b) 3-colorable", true, props.ThreeColorable(yes)),
-		row("(b) 3-round 3-colorable", true, props.ThreeRoundThreeColorable(yes)),
+		row("(b) 3-round 3-colorable", true, props.ThreeRoundThreeColorableOpt(yes, o)),
 	)
 	return r
 }
@@ -36,7 +41,11 @@ func Figure1() *Report {
 // Figure3Hamiltonian reproduces Figures 3/10 (Proposition 19): the
 // all-selected → hamiltonian reduction on the figure's 4-node graph and on
 // exhaustive labelings of small topologies.
-func Figure3Hamiltonian() *Report {
+func Figure3Hamiltonian() *Report { return Figure3HamiltonianOpt(search.Default()) }
+
+// Figure3HamiltonianOpt is Figure3Hamiltonian with the labeling sweep
+// sharded across the engine pool.
+func Figure3HamiltonianOpt(o search.Options) *Report {
 	r := &Report{ID: "Figure 3", Title: "all-selected ≤lp hamiltonian (Prop. 19)"}
 	red := reduce.AllSelectedToHamiltonian()
 	fig := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}, nil)
@@ -58,14 +67,18 @@ func Figure3Hamiltonian() *Report {
 			row(tt.name+": cluster map valid", nil, res.Validate(g)),
 		)
 	}
-	mismatches := sweepReduction(red, nil, props.AllSelected, props.Hamiltonian,
-		[]*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Star(4)})
+	mismatches := SweepReduction(red, nil, props.AllSelected, props.Hamiltonian,
+		[]*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Star(4)}, o)
 	r.Rows = append(r.Rows, row("exhaustive sweep mismatches", 0, mismatches))
 	return r
 }
 
 // Figure9Eulerian reproduces Figure 9 (Proposition 18).
-func Figure9Eulerian() *Report {
+func Figure9Eulerian() *Report { return Figure9EulerianOpt(search.Default()) }
+
+// Figure9EulerianOpt is Figure9Eulerian with the labeling sweep sharded
+// across the engine pool.
+func Figure9EulerianOpt(o search.Options) *Report {
 	r := &Report{ID: "Figure 9", Title: "all-selected ≤lp eulerian (Prop. 18)"}
 	red := reduce.AllSelectedToEulerian()
 	g := graph.Path(3).MustWithLabels([]string{"1", "1", "0"})
@@ -78,14 +91,18 @@ func Figure9Eulerian() *Report {
 		row("figure instance eulerian", false, props.Eulerian(res.Out)),
 		row("cluster map valid", nil, res.Validate(g)),
 	)
-	mismatches := sweepReduction(red, nil, props.AllSelected, props.Eulerian,
-		[]*graph.Graph{graph.Single(""), graph.Path(4), graph.Cycle(4), graph.Complete(4)})
+	mismatches := SweepReduction(red, nil, props.AllSelected, props.Eulerian,
+		[]*graph.Graph{graph.Single(""), graph.Path(4), graph.Cycle(4), graph.Complete(4)}, o)
 	r.Rows = append(r.Rows, row("exhaustive sweep mismatches", 0, mismatches))
 	return r
 }
 
 // Figure11CoHamiltonian reproduces Figure 11 (Proposition 20).
-func Figure11CoHamiltonian() *Report {
+func Figure11CoHamiltonian() *Report { return Figure11CoHamiltonianOpt(search.Default()) }
+
+// Figure11CoHamiltonianOpt is Figure11CoHamiltonian with the labeling
+// sweep sharded across the engine pool.
+func Figure11CoHamiltonianOpt(o search.Options) *Report {
 	r := &Report{ID: "Figure 11", Title: "not-all-selected ≤lp hamiltonian (Prop. 20)"}
 	red := reduce.NotAllSelectedToHamiltonian()
 	fig := graph.Path(3).MustWithLabels([]string{"1", "1", "0"})
@@ -98,8 +115,8 @@ func Figure11CoHamiltonian() *Report {
 		row("figure instance hamiltonian", true, props.Hamiltonian(res.Out)),
 		row("cluster map valid", nil, res.Validate(fig)),
 	)
-	mismatches := sweepReduction(red, nil, props.NotAllSelected, props.Hamiltonian,
-		[]*graph.Graph{graph.Single(""), graph.Path(2)})
+	mismatches := SweepReduction(red, nil, props.NotAllSelected, props.Hamiltonian,
+		[]*graph.Graph{graph.Single(""), graph.Path(2)}, o)
 	r.Rows = append(r.Rows, row("exhaustive sweep mismatches", 0, mismatches))
 	return r
 }
@@ -222,32 +239,29 @@ func Figure6Pictures() *Report {
 
 // Figure8TuringMachine reproduces Figure 8: the faithful three-tape
 // distributed TM, cross-validated against the functional engine.
-func Figure8TuringMachine() *Report {
+func Figure8TuringMachine() *Report { return Figure8TuringMachineOpt(search.Default()) }
+
+// Figure8TuringMachineOpt is Figure8TuringMachine with the exhaustive
+// labeling cross-check sharded across the engine pool (one TM run plus
+// one engine run per instance; errors count as mismatches).
+func Figure8TuringMachineOpt(o search.Options) *Report {
 	r := &Report{ID: "Figure 8", Title: "distributed Turing machines"}
 	tm := dtm.AllSelectedMachine()
 	fn := arbiters.AllSelected()
-	mismatches := 0
-	cases := 0
-	for _, base := range []*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Star(4)} {
-		for mask := uint(0); mask < 1<<uint(base.N()); mask++ {
-			g := base.MustWithLabels(graph.BitLabels(base.N(), mask))
-			id := graph.SmallLocallyUnique(g, 1)
-			e, err := tm.Run(g, id, nil, dtm.Options{})
-			if err != nil {
-				r.Rows = append(r.Rows, row("TM run", "no error", err))
-				return r
-			}
-			ok, err := simulate.Decide(fn, g, id, simulate.Options{})
-			if err != nil {
-				r.Rows = append(r.Rows, row("engine run", "no error", err))
-				return r
-			}
-			cases++
-			if e.Accepted() != ok || e.Accepted() != props.AllSelected(g) {
-				mismatches++
-			}
+	bases := []*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Star(4)}
+	cases, _ := LabelingSpace(bases)
+	mismatches := labelingSweep(bases, func(g *graph.Graph) bool {
+		id := graph.SmallLocallyUnique(g, 1)
+		e, err := tm.Run(g, id, nil, dtm.Options{})
+		if err != nil {
+			return false
 		}
-	}
+		ok, err := simulate.Decide(fn, g, id, simulate.Options{})
+		if err != nil {
+			return false
+		}
+		return e.Accepted() == ok && e.Accepted() == props.AllSelected(g)
+	}).Failures(o, nil)
 	r.Rows = append(r.Rows, row(fmt.Sprintf("TM vs engine vs ground truth (%d cases)", cases), 0, mismatches))
 
 	// The all-equal TM exercises real message passing (2 rounds).
@@ -268,132 +282,96 @@ func Figure8TuringMachine() *Report {
 // Figure7Ladder reproduces the locality ladder of Figure 7: each property
 // is placed at its level by running the corresponding arbiter/game from
 // the paper on instance sweeps.
-func Figure7Ladder() *Report {
+func Figure7Ladder() *Report { return Figure7LadderOpt(search.Default()) }
+
+// Figure7LadderOpt is Figure7Ladder with every sweep expressed as a
+// Sweep sharded across the engine pool. The instance is the unit of
+// parallelism: each check plays its whole game on the sequential inner
+// engine (the Prepared.Batch discipline), so the pool is saturated by
+// instances rather than by one game's quantifier levels.
+func Figure7LadderOpt(o search.Options) *Report {
 	r := &Report{ID: "Figure 7", Title: "locality ladder: properties at their levels"}
+	inner := search.Sequential()
 
-	// eulerian ∈ LP: the even-degree decider matches ground truth.
-	mismatch := 0
-	for _, g := range []*graph.Graph{graph.Cycle(4), graph.Cycle(5), graph.Path(4), graph.Complete(5), graph.Star(4)} {
-		ok, err := simulate.Decide(arbiters.Eulerian(), g, graph.SmallLocallyUnique(g, 1), simulate.Options{})
-		if err != nil || ok != props.Eulerian(g) {
-			mismatch++
+	// strategyCheck plays the three-level certificate game with Eve's
+	// strategies on the uniform middle domain and compares against the
+	// ground-truth property.
+	strategyCheck := func(arb func() *core.Arbiter, strats func() []core.Strategy,
+		truth func(*graph.Graph) bool) func(*graph.Graph) bool {
+		return func(g *graph.Graph) bool {
+			ok, err := arb().StrategyGameValueOpt(g, graph.SmallLocallyUnique(g, 1), strats(),
+				[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}}, inner)
+			return err == nil && ok == truth(g)
 		}
 	}
-	r.Rows = append(r.Rows, row("eulerian ∈ LP (decider sweep)", 0, mismatch))
 
-	// 3-colorable ∈ Σ^lp_1: verifier + Eve's coloring strategy.
-	mismatch = 0
-	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Complete(4), graph.Grid(2, 3), graph.Star(4)} {
-		arb := &core.Arbiter{Machine: arbiters.ThreeColorable(), Level: core.Sigma(1), RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 2}}}
-		ok, err := arb.StrategyGameValue(g, graph.SmallLocallyUnique(g, 1),
-			[]core.Strategy{arbiters.ColoringStrategy(3)}, []cert.Domain{{}})
-		if err != nil || ok != props.ThreeColorable(g) {
-			mismatch++
-		}
+	sweeps := []struct {
+		name  string
+		sweep Sweep
+	}{
+		// eulerian ∈ LP: the even-degree decider matches ground truth.
+		{"eulerian ∈ LP (decider sweep)", graphSweep(
+			[]*graph.Graph{graph.Cycle(4), graph.Cycle(5), graph.Path(4), graph.Complete(5), graph.Star(4)},
+			func(g *graph.Graph) bool {
+				ok, err := simulate.Decide(arbiters.Eulerian(), g, graph.SmallLocallyUnique(g, 1), simulate.Options{})
+				return err == nil && ok == props.Eulerian(g)
+			})},
+		// 3-colorable ∈ Σ^lp_1: verifier + Eve's coloring strategy.
+		{"3-colorable ∈ Σ^lp_1 (verifier sweep)", graphSweep(
+			[]*graph.Graph{graph.Cycle(5), graph.Complete(4), graph.Grid(2, 3), graph.Star(4)},
+			func(g *graph.Graph) bool {
+				arb := &core.Arbiter{Machine: arbiters.ThreeColorable(), Level: core.Sigma(1), RadiusID: 1, Bound: cert.Bound{R: 1, P: cert.Polynomial{0, 2}}}
+				ok, err := arb.StrategyGameValueOpt(g, graph.SmallLocallyUnique(g, 1),
+					[]core.Strategy{arbiters.ColoringStrategy(3)}, []cert.Domain{{}}, inner)
+				return err == nil && ok == props.ThreeColorable(g)
+			})},
+		// hamiltonian ∈ Σ^lp_3: the Example 9 arbiter with Eve's strategies.
+		{"hamiltonian ∈ Σ^lp_3 (game sweep)", graphSweep(
+			[]*graph.Graph{graph.Cycle(4), graph.Path(4), graph.Star(4), graph.Complete(4)},
+			strategyCheck(games.HamiltonianArbiter,
+				func() []core.Strategy {
+					return []core.Strategy{games.HamiltonianStrategy(), nil, games.RootChargeStrategy()}
+				}, props.Hamiltonian))},
+		// not-all-selected ∈ Σ^lp_3 but ∉ Σ^lp_1 (see Figure 2 experiment).
+		{"not-all-selected ∈ Σ^lp_3 (game sweep)", labelingSweep(
+			[]*graph.Graph{graph.Path(3), graph.Cycle(4)},
+			strategyCheck(games.NotAllSelectedArbiter,
+				func() []core.Strategy {
+					return []core.Strategy{games.ForestStrategy(games.IsUnselected), nil, games.ChargeStrategy(nil)}
+				}, props.NotAllSelected))},
+		// one-selected ∈ Σ^lp_3 via the uniqueness game.
+		{"one-selected ∈ Σ^lp_3 (uniqueness game sweep)", labelingSweep(
+			[]*graph.Graph{graph.Path(3), graph.Star(4)},
+			strategyCheck(games.OneSelectedArbiter,
+				func() []core.Strategy {
+					return []core.Strategy{games.ForestStrategy(games.IsSelected), nil, games.ChargeStrategy(games.IsSelected)}
+				}, props.OneSelected))},
+		// acyclic ∈ Σ^lp_3 via the spanning-tree game of Section 5.2.
+		{"acyclic ∈ Σ^lp_3 (tree game sweep)", graphSweep(
+			[]*graph.Graph{graph.Path(4), graph.Star(4), graph.Cycle(4), graph.Complete(4)},
+			strategyCheck(games.AcyclicArbiter,
+				func() []core.Strategy {
+					return []core.Strategy{games.AcyclicStrategy(), nil, games.RootChargeStrategy()}
+				}, props.Acyclic))},
+		// odd ∈ Σ^lp_3 via the modulo-two counter game of Section 5.2
+		// (exact game semantics; the machine variant is tested in the
+		// games package).
+		{"odd ∈ Σ^lp_3 (counter game sweep)", graphSweep(
+			[]*graph.Graph{graph.Path(3), graph.Path(4), graph.Cycle(5), graph.Star(4)},
+			func(g *graph.Graph) bool { return games.EveWinsOdd(g) == props.Odd(g) })},
+		// non-2-colorable ∈ Σ^lp_3 via the odd-cycle retracing game.
+		{"non-2-colorable ∈ Σ^lp_3 (odd-cycle game sweep)", graphSweep(
+			[]*graph.Graph{graph.Cycle(4), graph.Cycle(5), graph.Complete(4), graph.Grid(2, 3)},
+			strategyCheck(games.NonTwoColorableArbiter,
+				func() []core.Strategy {
+					return []core.Strategy{games.NonTwoColorableStrategy(), nil, games.NonTwoColorChargeStrategy()}
+				}, props.NonTwoColorable))},
 	}
-	r.Rows = append(r.Rows, row("3-colorable ∈ Σ^lp_1 (verifier sweep)", 0, mismatch))
-
-	// hamiltonian ∈ Σ^lp_3: the Example 9 arbiter with Eve's strategies.
-	mismatch = 0
-	for _, g := range []*graph.Graph{graph.Cycle(4), graph.Path(4), graph.Star(4), graph.Complete(4)} {
-		ok, err := games.HamiltonianArbiter().StrategyGameValue(g, graph.SmallLocallyUnique(g, 1),
-			[]core.Strategy{games.HamiltonianStrategy(), nil, games.RootChargeStrategy()},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
-		if err != nil || ok != props.Hamiltonian(g) {
-			mismatch++
-		}
+	// One rung at a time: the instances within each rung are the
+	// parallel work, so the ladder as a whole stays inside o's worker
+	// budget instead of multiplying it.
+	for _, s := range sweeps {
+		r.Rows = append(r.Rows, row(s.name, 0, s.sweep.Failures(o, nil)))
 	}
-	r.Rows = append(r.Rows, row("hamiltonian ∈ Σ^lp_3 (game sweep)", 0, mismatch))
-
-	// not-all-selected ∈ Σ^lp_3 but ∉ Σ^lp_1 (see Figure 2 experiment).
-	mismatch = 0
-	for _, base := range []*graph.Graph{graph.Path(3), graph.Cycle(4)} {
-		for mask := uint(0); mask < 1<<uint(base.N()); mask++ {
-			g := base.MustWithLabels(graph.BitLabels(base.N(), mask))
-			ok, err := games.NotAllSelectedArbiter().StrategyGameValue(g, graph.SmallLocallyUnique(g, 1),
-				[]core.Strategy{games.ForestStrategy(games.IsUnselected), nil, games.ChargeStrategy(nil)},
-				[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
-			if err != nil || ok != props.NotAllSelected(g) {
-				mismatch++
-			}
-		}
-	}
-	r.Rows = append(r.Rows, row("not-all-selected ∈ Σ^lp_3 (game sweep)", 0, mismatch))
-
-	// one-selected ∈ Σ^lp_3 via the uniqueness game.
-	mismatch = 0
-	for _, base := range []*graph.Graph{graph.Path(3), graph.Star(4)} {
-		for mask := uint(0); mask < 1<<uint(base.N()); mask++ {
-			g := base.MustWithLabels(graph.BitLabels(base.N(), mask))
-			ok, err := games.OneSelectedArbiter().StrategyGameValue(g, graph.SmallLocallyUnique(g, 1),
-				[]core.Strategy{games.ForestStrategy(games.IsSelected), nil, games.ChargeStrategy(games.IsSelected)},
-				[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
-			if err != nil || ok != props.OneSelected(g) {
-				mismatch++
-			}
-		}
-	}
-	r.Rows = append(r.Rows, row("one-selected ∈ Σ^lp_3 (uniqueness game sweep)", 0, mismatch))
-
-	// acyclic ∈ Σ^lp_3 via the spanning-tree game of Section 5.2.
-	mismatch = 0
-	for _, g := range []*graph.Graph{graph.Path(4), graph.Star(4), graph.Cycle(4), graph.Complete(4)} {
-		ok, err := games.AcyclicArbiter().StrategyGameValue(g, graph.SmallLocallyUnique(g, 1),
-			[]core.Strategy{games.AcyclicStrategy(), nil, games.RootChargeStrategy()},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
-		if err != nil || ok != props.Acyclic(g) {
-			mismatch++
-		}
-	}
-	r.Rows = append(r.Rows, row("acyclic ∈ Σ^lp_3 (tree game sweep)", 0, mismatch))
-
-	// odd ∈ Σ^lp_3 via the modulo-two counter game of Section 5.2
-	// (exact game semantics; the machine variant is tested in the games
-	// package).
-	mismatch = 0
-	for _, g := range []*graph.Graph{graph.Path(3), graph.Path(4), graph.Cycle(5), graph.Star(4)} {
-		if games.EveWinsOdd(g) != props.Odd(g) {
-			mismatch++
-		}
-	}
-	r.Rows = append(r.Rows, row("odd ∈ Σ^lp_3 (counter game sweep)", 0, mismatch))
-
-	// non-2-colorable ∈ Σ^lp_3 via the odd-cycle retracing game.
-	mismatch = 0
-	for _, g := range []*graph.Graph{graph.Cycle(4), graph.Cycle(5), graph.Complete(4), graph.Grid(2, 3)} {
-		ok, err := games.NonTwoColorableArbiter().StrategyGameValue(g, graph.SmallLocallyUnique(g, 1),
-			[]core.Strategy{games.NonTwoColorableStrategy(), nil, games.NonTwoColorChargeStrategy()},
-			[]cert.Domain{{}, cert.UniformDomain(g.N(), 1), {}})
-		if err != nil || ok != props.NonTwoColorable(g) {
-			mismatch++
-		}
-	}
-	r.Rows = append(r.Rows, row("non-2-colorable ∈ Σ^lp_3 (odd-cycle game sweep)", 0, mismatch))
 	return r
-}
-
-// sweepReduction applies the reduction to every single-bit labeling of the
-// given topologies and counts mismatches between srcProp(G) and
-// dstProp(G').
-func sweepReduction(red reduce.Reduction, idGen func(*graph.Graph) graph.IDAssignment,
-	srcProp, dstProp func(*graph.Graph) bool, bases []*graph.Graph) int {
-	mismatches := 0
-	for _, base := range bases {
-		for mask := uint(0); mask < 1<<uint(base.N()); mask++ {
-			g := base.MustWithLabels(graph.BitLabels(base.N(), mask))
-			var id graph.IDAssignment
-			if idGen != nil {
-				id = idGen(g)
-			}
-			res, err := red.Apply(g, id)
-			if err != nil || res.Validate(g) != nil {
-				mismatches++
-				continue
-			}
-			if srcProp(g) != dstProp(res.Out) {
-				mismatches++
-			}
-		}
-	}
-	return mismatches
 }

@@ -1,0 +1,428 @@
+// Package jobs is the asynchronous job engine behind the service's
+// /v1/jobs routes: a bounded admission queue feeding a fixed worker
+// pool, a per-job lifecycle (queued → running → done / failed /
+// cancelled) with progress counters and context cancellation, and an
+// in-memory result store whose finished entries expire after a TTL.
+//
+// Admission control is the queue bound: Submit never blocks — when the
+// queue is full it fails with ErrQueueFull, which the HTTP layer maps
+// to 429. Cancellation covers both halves of the lifecycle: a queued
+// job is cancelled in place (the worker that eventually pops it skips
+// it), and a running job has its context cancelled, so any evaluation
+// that polls the context — every engine in this repository does —
+// aborts mid-search.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is one point of the job lifecycle.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// States lists every lifecycle state in order; metrics iterate it so
+// gauge series exist (at zero) before the first job arrives.
+func States() []State {
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+}
+
+// Finished reports whether s is terminal.
+func (s State) Finished() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity; callers map it to HTTP 429.
+	ErrQueueFull = errors.New("jobs: admission queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: engine closed")
+	// ErrNotFound is returned for ids that never existed or whose result
+	// already expired from the TTL'd store.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished is returned by Cancel on a job already in a terminal
+	// state; callers map it to HTTP 409.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// Func is the body of a job. It must honor ctx (return promptly with
+// ctx.Err() once cancelled) and may report progress through p from any
+// goroutine. The returned value is the job's result, retained in the
+// store for the configured TTL.
+type Func func(ctx context.Context, p *Progress) (any, error)
+
+// Progress is a job's progress counter pair, written by the job body
+// and read by status snapshots; both sides use atomics, so no lock is
+// shared with the engine.
+type Progress struct{ done, total atomic.Int64 }
+
+// SetTotal publishes the total number of work items, once known.
+func (p *Progress) SetTotal(n int64) { p.total.Store(n) }
+
+// Add records n more items done. Safe from multiple goroutines, so a
+// sharded sweep can tick from every worker.
+func (p *Progress) Add(n int64) { p.done.Add(n) }
+
+// Snapshot returns (done, total).
+func (p *Progress) Snapshot() (int64, int64) { return p.done.Load(), p.total.Load() }
+
+// Config configures an Engine. The zero value is usable: one worker, a
+// 64-deep queue, 15-minute result retention, the wall clock.
+type Config struct {
+	// Workers is the number of job workers (concurrently running jobs).
+	// 0 means 1: background jobs serialize by default so they cannot
+	// starve the synchronous request path sharing the process.
+	Workers int
+	// Queue is the admission-queue depth — how many jobs may wait beyond
+	// the ones running. 0 means 64; negative is a drain mode that
+	// rejects every submission.
+	Queue int
+	// TTL is how long a finished job's result is retained; 0 means 15
+	// minutes.
+	TTL time.Duration
+	// Now is the clock, injectable for TTL tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Job is the engine's internal record. All fields except progress are
+// guarded by the engine mutex; external callers only ever see Status
+// snapshots.
+type job struct {
+	id        string
+	kind      string
+	fn        Func
+	progress  Progress
+	state     State
+	cancelReq bool
+	cancel    context.CancelFunc // set while running
+	result    any
+	err       error
+	created   time.Time
+	finished  time.Time
+}
+
+// Status is an externally visible snapshot of one job, shaped for the
+// service's JSON responses.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Done/Total are the progress counters (Total 0 until the job body
+	// publishes it).
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+	// CancelRequested is set once Cancel reached a running job whose
+	// body has not returned yet.
+	CancelRequested bool   `json:"cancel_requested,omitempty"`
+	Error           string `json:"error,omitempty"`
+	Result          any    `json:"result,omitempty"`
+}
+
+// Stats is the engine's aggregate bookkeeping for metrics: live jobs by
+// state, queue occupancy, and monotone lifetime counters.
+type Stats struct {
+	Workers       int            `json:"workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	States        map[State]int  `json:"states"`
+	Totals        LifetimeTotals `json:"totals"`
+}
+
+// LifetimeTotals are monotone counters over the engine's lifetime (they
+// survive TTL expiry of the underlying jobs).
+type LifetimeTotals struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Expired   uint64 `json:"expired"`
+}
+
+// Engine runs jobs from a bounded queue on a fixed worker pool. The
+// queue is a FIFO slice under the engine mutex (not a channel), so
+// cancelling a queued job removes it in place — the slot frees for new
+// admissions immediately and the reported depth is always the number
+// of jobs actually waiting.
+type Engine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled when queue grows or the engine closes
+	jobs   map[string]*job
+	queue  []*job // FIFO of queued jobs; cancel removes in place
+	depth  int    // admission bound on len(queue)
+	seq    int64
+	closed bool
+
+	workers int
+	ttl     time.Duration
+	now     func() time.Time
+	totals  LifetimeTotals
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New builds an Engine and starts its workers.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	depth := cfg.Queue
+	switch {
+	case depth == 0:
+		depth = 64
+	case depth < 0:
+		depth = 0
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		jobs:       make(map[string]*job),
+		depth:      depth,
+		workers:    workers,
+		ttl:        ttl,
+		now:        now,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for w := 0; w < workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close cancels every running job, stops accepting submissions, and
+// waits for the workers to drain (jobs still queued run against the
+// already-cancelled base context and finish as cancelled).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.baseCancel()
+	e.wg.Wait()
+}
+
+// Submit admits a job of the given kind. It never blocks: when the
+// queue is full the job is rejected with ErrQueueFull. On success the
+// returned Status is the freshly queued job (ids are "j1", "j2", … in
+// admission order).
+func (e *Engine) Submit(kind string, fn Func) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return Status{}, ErrClosed
+	}
+	e.sweepLocked()
+	if len(e.queue) >= e.depth {
+		e.totals.Rejected++
+		return Status{}, ErrQueueFull
+	}
+	e.seq++
+	j := &job{
+		id:      "j" + strconv.FormatInt(e.seq, 10),
+		kind:    kind,
+		fn:      fn,
+		state:   StateQueued,
+		created: e.now(),
+	}
+	e.queue = append(e.queue, j)
+	e.jobs[j.id] = j
+	e.totals.Submitted++
+	e.cond.Signal()
+	return e.statusLocked(j), nil
+}
+
+// Get returns the job's status, or ErrNotFound for unknown/expired ids.
+func (e *Engine) Get(id string) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sweepLocked()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return e.statusLocked(j), nil
+}
+
+// Cancel cancels the job: a queued job flips to cancelled in place (the
+// worker that pops it will skip it), a running job has its context
+// cancelled and finishes as cancelled once its body returns. Cancelling
+// a finished job fails with ErrFinished; unknown ids with ErrNotFound.
+func (e *Engine) Cancel(id string) (Status, error) {
+	e.mu.Lock()
+	e.sweepLocked()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return Status{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		// Remove the job from the waiting line so its admission slot
+		// frees immediately (a tombstone left in the queue would keep
+		// answering ErrQueueFull for work that no longer exists).
+		for i, q := range e.queue {
+			if q == j {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = e.now()
+		e.totals.Cancelled++
+		st := e.statusLocked(j)
+		e.mu.Unlock()
+		return st, nil
+	case StateRunning:
+		j.cancelReq = true
+		cancel := j.cancel
+		st := e.statusLocked(j)
+		e.mu.Unlock()
+		cancel()
+		return st, nil
+	default:
+		st := e.statusLocked(j)
+		e.mu.Unlock()
+		return st, ErrFinished
+	}
+}
+
+// Stats returns the engine's aggregate bookkeeping.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sweepLocked()
+	states := make(map[State]int, 5)
+	for _, s := range States() {
+		states[s] = 0
+	}
+	for _, j := range e.jobs {
+		states[j.state]++
+	}
+	// Queued jobs and the waiting line are the same set by construction
+	// (cancel removes from both), so the depth is the state count.
+	return Stats{
+		Workers:       e.workers,
+		QueueDepth:    states[StateQueued],
+		QueueCapacity: e.depth,
+		States:        states,
+		Totals:        e.totals,
+	}
+}
+
+// statusLocked snapshots j under the engine mutex.
+func (e *Engine) statusLocked(j *job) Status {
+	done, total := j.progress.Snapshot()
+	st := Status{
+		ID:              j.id,
+		Kind:            j.kind,
+		State:           j.state,
+		Done:            done,
+		Total:           total,
+		CancelRequested: j.cancelReq && j.state == StateRunning,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// sweepLocked drops finished jobs whose TTL elapsed. Called under the
+// engine mutex from every public entry point, so the store is bounded
+// by traffic without a janitor goroutine.
+func (e *Engine) sweepLocked() {
+	cutoff := e.now().Add(-e.ttl)
+	for id, j := range e.jobs {
+		if j.state.Finished() && j.finished.Before(cutoff) {
+			delete(e.jobs, id)
+			e.totals.Expired++
+		}
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 { // closed and drained
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		// Cancelled jobs never reach here — Cancel removes them from the
+		// waiting line — so j is always genuinely queued.
+		ctx, cancel := context.WithCancel(e.baseCtx)
+		j.state = StateRunning
+		j.cancel = cancel
+		e.mu.Unlock()
+
+		result, err := runBody(j.fn, ctx, &j.progress)
+		cancel()
+
+		e.mu.Lock()
+		j.finished = e.now()
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = result
+			e.totals.Done++
+		case j.cancelReq || errors.Is(err, context.Canceled):
+			j.state = StateCancelled
+			j.err = context.Canceled
+			e.totals.Cancelled++
+		default:
+			j.state = StateFailed
+			j.err = err
+			e.totals.Failed++
+		}
+	}
+}
+
+// runBody isolates the job body: a panic becomes a failed job, not a
+// dead worker.
+func runBody(fn Func, ctx context.Context, p *Progress) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", r)
+		}
+	}()
+	return fn(ctx, p)
+}

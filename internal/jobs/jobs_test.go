@@ -1,0 +1,374 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, e *Engine, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fakeClock is an injectable clock for the TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestJobRunsToDone(t *testing.T) {
+	t.Parallel()
+	e := New(Config{})
+	defer e.Close()
+	st, err := e.Submit("demo", func(ctx context.Context, p *Progress) (any, error) {
+		p.SetTotal(3)
+		for i := 0; i < 3; i++ {
+			p.Add(1)
+		}
+		return "payload", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" || st.State != StateQueued {
+		t.Fatalf("submit status %+v", st)
+	}
+	done := waitState(t, e, "j1", StateDone)
+	if done.Result != "payload" || done.Done != 3 || done.Total != 3 || done.Error != "" {
+		t.Fatalf("done status %+v", done)
+	}
+	s := e.Stats()
+	if s.Totals.Submitted != 1 || s.Totals.Done != 1 || s.States[StateDone] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	t.Parallel()
+	e := New(Config{})
+	defer e.Close()
+	boom := errors.New("boom")
+	if _, err := e.Submit("demo", func(context.Context, *Progress) (any, error) {
+		return nil, boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, e, "j1", StateFailed)
+	if st.Error != "boom" || st.Result != nil {
+		t.Fatalf("failed status %+v", st)
+	}
+	if s := e.Stats(); s.Totals.Failed != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestJobPanicBecomesFailure(t *testing.T) {
+	t.Parallel()
+	e := New(Config{})
+	defer e.Close()
+	if _, err := e.Submit("demo", func(context.Context, *Progress) (any, error) {
+		panic("kaboom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, e, "j1", StateFailed)
+	if st.Error == "" {
+		t.Fatalf("panic left no error: %+v", st)
+	}
+	// The worker survived the panic and still serves jobs.
+	if _, err := e.Submit("demo", func(context.Context, *Progress) (any, error) {
+		return 42, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, "j2", StateDone)
+}
+
+// block returns a Func that signals started (if non-nil) and then waits
+// for release or context cancellation.
+func block(started chan<- struct{}, release <-chan struct{}) Func {
+	return func(ctx context.Context, _ *Progress) (any, error) {
+		if started != nil {
+			close(started)
+		}
+		select {
+		case <-release:
+			return "released", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1, Queue: 1})
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("blocker", block(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now occupied
+	if _, err := e.Submit("waiter", block(nil, release)); err != nil {
+		t.Fatal(err) // fills the queue slot
+	}
+	if _, err := e.Submit("overflow", block(nil, release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	s := e.Stats()
+	if s.Totals.Rejected != 1 || s.QueueDepth != 1 || s.QueueCapacity != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	close(release)
+	waitState(t, e, "j1", StateDone)
+	waitState(t, e, "j2", StateDone)
+	// The rejected submission consumed no id.
+	if _, err := e.Submit("next", block(nil, release)); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, e, "j3", StateDone); st.Kind != "next" {
+		t.Fatalf("id reuse broken: %+v", st)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1, Queue: 2})
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("blocker", block(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var ran atomic.Bool
+	if _, err := e.Submit("victim", func(context.Context, *Progress) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Cancel("j2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued cancel left state %s", st.State)
+	}
+	close(release)
+	waitState(t, e, "j1", StateDone)
+	// Push one more job through the worker: by the time it finishes, the
+	// cancelled one would have run if the worker were going to run it.
+	if _, err := e.Submit("after", func(context.Context, *Progress) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, "j3", StateDone)
+	if ran.Load() {
+		t.Fatal("cancelled-in-queue job body ran")
+	}
+	if s := e.Stats(); s.Totals.Cancelled != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestCancelWhileQueuedFreesAdmissionSlot: cancelling a queued job must
+// free its queue slot immediately — a tombstone left in the queue would
+// keep rejecting new work (429) while the stats report the queue empty.
+func TestCancelWhileQueuedFreesAdmissionSlot(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1, Queue: 1})
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("blocker", block(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e.Submit("filler", block(nil, release)); err != nil {
+		t.Fatal(err) // occupies the single queue slot
+	}
+	if _, err := e.Submit("overflow", block(nil, release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if _, err := e.Cancel("j2"); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.QueueDepth != 0 {
+		t.Fatalf("cancelled job still occupies the queue: %+v", s)
+	}
+	// The slot is free again: the next submission is admitted at once.
+	if _, err := e.Submit("retry", block(nil, release)); err != nil {
+		t.Fatalf("submit after queued-cancel: %v", err)
+	}
+	close(release)
+	waitState(t, e, "j1", StateDone)
+	waitState(t, e, "j3", StateDone)
+}
+
+func TestCancelWhileRunning(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	started := make(chan struct{})
+	if _, err := e.Submit("runner", block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	st, err := e.Cancel("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning || !st.CancelRequested {
+		t.Fatalf("running cancel status %+v", st)
+	}
+	final := waitState(t, e, "j1", StateCancelled)
+	if final.Error != context.Canceled.Error() {
+		t.Fatalf("cancelled status %+v", final)
+	}
+	if _, err := e.Cancel("j1"); !errors.Is(err, ErrFinished) {
+		t.Fatalf("second cancel: %v, want ErrFinished", err)
+	}
+	if s := e.Stats(); s.Totals.Cancelled != 1 || s.States[StateCancelled] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestResultTTLExpiry(t *testing.T) {
+	t.Parallel()
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	e := New(Config{TTL: time.Minute, Now: clock.Now})
+	defer e.Close()
+	if _, err := e.Submit("quick", func(context.Context, *Progress) (any, error) {
+		return "r", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, "j1", StateDone)
+	clock.Advance(59 * time.Second)
+	if _, err := e.Get("j1"); err != nil {
+		t.Fatalf("result expired before the TTL: %v", err)
+	}
+	clock.Advance(2 * time.Second)
+	if _, err := e.Get("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after TTL: %v, want ErrNotFound", err)
+	}
+	s := e.Stats()
+	if s.Totals.Expired != 1 || s.States[StateDone] != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Lifetime counters survive expiry.
+	if s.Totals.Submitted != 1 || s.Totals.Done != 1 {
+		t.Fatalf("totals lost on expiry: %+v", s.Totals)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	t.Parallel()
+	e := New(Config{})
+	defer e.Close()
+	if _, err := e.Get("j99"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := e.Cancel("j99"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel: %v", err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	t.Parallel()
+	e := New(Config{})
+	e.Close()
+	if _, err := e.Submit("late", func(context.Context, *Progress) (any, error) {
+		return nil, nil
+	}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+}
+
+// TestCloseCancelsRunning: Close must cancel in-flight jobs (they hang
+// on their context) and return once the workers drained.
+func TestCloseCancelsRunning(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 2})
+	started := make(chan struct{})
+	if _, err := e.Submit("hang", block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	doneCh := make(chan struct{})
+	go func() { e.Close(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a running job")
+	}
+}
+
+// TestConcurrentSubmitters hammers Submit/Get/Stats from many
+// goroutines (run under -race by make check).
+func TestConcurrentSubmitters(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 4, Queue: 256})
+	defer e.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := e.Submit("c", func(_ context.Context, p *Progress) (any, error) {
+				p.SetTotal(1)
+				p.Add(1)
+				return nil, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- st.ID
+			e.Stats()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		waitState(t, e, id, StateDone)
+	}
+	if s := e.Stats(); s.Totals.Done != n {
+		t.Fatalf("stats %+v", s)
+	}
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+	"repro/internal/search"
+)
+
+// This file is the async half of the service: POST /v1/jobs admits
+// long-running work — whole experiment sweeps, single experiments, the
+// long games — into the bounded job engine (429 on queue overflow),
+// GET /v1/jobs/{id} serves progress and the TTL'd result, and DELETE
+// /v1/jobs/{id} cancels whether the job is still queued or already
+// running (the job's context reaches every search engine).
+
+// JobNames lists the submittable job kinds.
+func JobNames() []string { return []string{"experiment", "game", "sweep"} }
+
+// SweepResult is the result payload of a sweep/experiment job: one
+// line per experiment plus the overall verdict.
+type SweepResult struct {
+	OK          bool        `json:"ok"`
+	Experiments []SweepLine `json:"experiments"`
+}
+
+// SweepLine summarizes one experiment of a sweep job.
+type SweepLine struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	OK    bool   `json:"ok"`
+	Rows  int    `json:"rows"`
+}
+
+func sweepLine(id string, rep *experiments.Report) SweepLine {
+	return SweepLine{ID: id, Title: rep.Title, OK: rep.OK(), Rows: len(rep.Rows)}
+}
+
+// buildJob validates the request and returns the job body to submit.
+// Validation errors surface here as ErrBadRequest/ErrUnknownName — the
+// job is never admitted, so bogus submissions cannot occupy queue
+// slots (the same front-door discipline as the cache).
+func (s *Server) buildJob(req *Request) (jobs.Func, error) {
+	workers := s.budget
+	if req.Workers > 0 && req.Workers < s.budget {
+		workers = req.Workers
+	}
+	switch req.Job {
+	case "sweep":
+		return func(ctx context.Context, p *jobs.Progress) (any, error) {
+			specs := experiments.Index()
+			p.SetTotal(int64(len(specs)))
+			o := search.Options{Workers: workers, Ctx: ctx}
+			res := SweepResult{OK: true}
+			for _, spec := range specs {
+				// Experiments run in index order — their instance sweeps
+				// are the parallel work — and a cancelled job stops
+				// between experiments (the sweeps inside abort through
+				// o.Ctx as well).
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				rep := spec.Run(o)
+				p.Add(1)
+				res.Experiments = append(res.Experiments, sweepLine(spec.ID, rep))
+				res.OK = res.OK && rep.OK()
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}, nil
+	case "experiment":
+		spec, ok := experiments.FindSpec(req.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: experiment %q", ErrUnknownName, req.Name)
+		}
+		return func(ctx context.Context, p *jobs.Progress) (any, error) {
+			p.SetTotal(1)
+			rep := spec.Run(search.Options{Workers: workers, Ctx: ctx})
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p.Add(1)
+			return SweepResult{OK: rep.OK(), Experiments: []SweepLine{sweepLine(spec.ID, rep)}}, nil
+		}, nil
+	case "game":
+		if !HasGame(req.Game) {
+			return nil, fmt.Errorf("%w: game %q", ErrUnknownName, req.Game)
+		}
+		game := req.Game
+		return func(ctx context.Context, p *jobs.Progress) (any, error) {
+			p.SetTotal(1)
+			results, err := Game(game, search.Options{Workers: workers, Ctx: ctx})
+			if err != nil {
+				return nil, err
+			}
+			p.Add(1)
+			return GameResponse{Op: "game", Name: game, Workers: workers, Results: results}, nil
+		}, nil
+	case "":
+		return nil, fmt.Errorf("%w: missing job kind", ErrBadRequest)
+	default:
+		return nil, fmt.Errorf("%w: job kind %q", ErrUnknownName, req.Job)
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	fn, err := s.buildJob(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	st, err := s.jobs.Submit(req.Job, fn)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	st, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	st, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, jobs.ErrFinished) {
+			// The conflict body carries the terminal state so clients can
+			// tell "already done" from "already cancelled".
+			s.failures.Add(1)
+			writeJSON(w, http.StatusConflict, st)
+			return
+		}
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

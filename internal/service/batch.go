@@ -1,0 +1,122 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"repro/internal/graphio"
+	"repro/internal/search"
+	"repro/internal/simulate"
+)
+
+// maxBatchGraphs bounds one /v1/batch instance list; a front door must
+// not accept unbounded fan-out in a single request.
+const maxBatchGraphs = 256
+
+// BatchItem is one instance's outcome in a /v1/batch response. Error,
+// when non-empty, wins: the holds/cached fields of a failed item are
+// zero-valued filler.
+type BatchItem struct {
+	Index  int    `json:"index"`
+	Holds  bool   `json:"holds"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResponse answers /v1/batch.
+type BatchResponse struct {
+	Op string `json:"op"`
+	// Verb is the per-graph operation (decide or verify), Name the
+	// property every graph was evaluated against.
+	Verb    string      `json:"verb"`
+	Name    string      `json:"name"`
+	Workers int         `json:"workers"`
+	Failed  int         `json:"failed"`
+	Results []BatchItem `json:"results"`
+}
+
+// handleBatch evaluates one operation over many graphs in a single
+// request: the instance list fans out across the request's worker pool
+// (the instance is the unit of parallelism — each evaluation runs its
+// game on the sequential inner engine, the same discipline as the
+// experiment sweeps), every instance is served through the Prepared
+// cache, and per-graph failures are reported per item instead of
+// failing the whole batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var eval func(prep *simulate.Prepared, name string, o search.Options) (bool, error)
+	switch req.Op {
+	case "decide":
+		if !HasDecide(req.Property) {
+			s.fail(w, fmt.Errorf("%w: decide property %q", ErrUnknownName, req.Property))
+			return
+		}
+		eval = Decide
+	case "verify":
+		if !HasVerify(req.Property) {
+			s.fail(w, fmt.Errorf("%w: verify property %q", ErrUnknownName, req.Property))
+			return
+		}
+		eval = Verify
+	default:
+		s.fail(w, fmt.Errorf("%w: batch op %q (want decide or verify)", ErrBadRequest, req.Op))
+		return
+	}
+	if len(req.Graphs) == 0 {
+		s.fail(w, fmt.Errorf("%w: empty graphs list", ErrBadRequest))
+		return
+	}
+	if len(req.Graphs) > maxBatchGraphs {
+		s.fail(w, fmt.Errorf("%w: %d graphs exceed the batch bound of %d",
+			ErrBadRequest, len(req.Graphs), maxBatchGraphs))
+		return
+	}
+	engine, cancel := s.engine(r.Context(), req.Workers)
+	defer cancel()
+	inner := search.Options{Workers: 1, Ctx: engine.Ctx}
+	results := search.Map(engine, len(req.Graphs), func(i int) BatchItem {
+		item := BatchItem{Index: i}
+		if err := ctxErr(inner); err != nil {
+			item.Error = err.Error()
+			return item
+		}
+		g, err := graphio.Decode(bytes.NewReader(req.Graphs[i]))
+		if err != nil {
+			item.Error = fmt.Sprintf("bad graph: %v", err)
+			return item
+		}
+		prep, cached, err := s.cache.Get(g)
+		if err != nil {
+			item.Error = err.Error()
+			return item
+		}
+		holds, err := eval(prep, req.Property, inner)
+		if err != nil {
+			item.Error = err.Error()
+			return item
+		}
+		item.Holds, item.Cached = holds, cached
+		return item
+	})
+	// A cancelled request answers 503 like the synchronous routes; the
+	// per-item errors above only cover instance-level failures.
+	if err := ctxErr(engine); err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := BatchResponse{
+		Op: "batch", Verb: req.Op, Name: req.Property, Workers: engine.Workers, Results: results,
+	}
+	for _, item := range results {
+		if item.Error != "" {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// This file is the scrape side of the server's bookkeeping: a request
+// latency histogram and the Prometheus text exposition of the full
+// stats snapshot. /v1/stats and /metrics render the SAME Snapshot()
+// value — one source of truth, two encodings — so the JSON stats and
+// the scraped metrics can never drift (TestStatsMetricsAgree holds the
+// two against each other).
+
+// latencyBuckets are the histogram's cumulative upper bounds in
+// seconds; the implicit final bucket is +Inf.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// latencies is the request-duration histogram plus per-route request
+// counts, observed by the Handler middleware for every request the mux
+// serves (including unmatched ones, labeled "unmatched").
+type latencies struct {
+	mu      sync.Mutex
+	buckets []uint64 // len(latencyBuckets)+1, last is +Inf
+	sum     float64
+	count   uint64
+	byRoute map[string]uint64
+}
+
+func newLatencies() *latencies {
+	return &latencies{
+		buckets: make([]uint64, len(latencyBuckets)+1),
+		byRoute: make(map[string]uint64),
+	}
+}
+
+func (l *latencies) observe(route string, d time.Duration) {
+	if route == "" {
+		route = "unmatched"
+	}
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	l.mu.Lock()
+	l.buckets[i]++
+	l.sum += secs
+	l.count++
+	l.byRoute[route]++
+	l.mu.Unlock()
+}
+
+// LatencyBucket is one cumulative histogram bucket; LE is the upper
+// bound rendered as Prometheus renders it ("0.005", "+Inf") so the
+// JSON shape needs no special case for infinity.
+type LatencyBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// LatencyStats is a consistent snapshot of the latency bookkeeping.
+type LatencyStats struct {
+	Count      uint64            `json:"count"`
+	SumSeconds float64           `json:"sum_seconds"`
+	Buckets    []LatencyBucket   `json:"buckets"`
+	ByRoute    map[string]uint64 `json:"by_route"`
+}
+
+func (l *latencies) snapshot() LatencyStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := LatencyStats{
+		Count:      l.count,
+		SumSeconds: l.sum,
+		Buckets:    make([]LatencyBucket, len(l.buckets)),
+		ByRoute:    make(map[string]uint64, len(l.byRoute)),
+	}
+	cum := uint64(0)
+	for i, c := range l.buckets {
+		cum += c
+		le := "+Inf"
+		if i < len(latencyBuckets) {
+			le = strconv.FormatFloat(latencyBuckets[i], 'g', -1, 64)
+		}
+		out.Buckets[i] = LatencyBucket{LE: le, Count: cum}
+	}
+	for route, n := range l.byRoute {
+		out.ByRoute[route] = n
+	}
+	return out
+}
+
+// renderMetrics encodes the stats snapshot in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, one sample per
+// line, deterministic ordering so smoke tests can grep stable output.
+func renderMetrics(st StatsResponse) string {
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("lphd_workers_budget", "Server-wide worker budget clamping each request's pool.", st.WorkersBudget)
+	gauge("lphd_request_timeout_seconds", "Per-request evaluation deadline (0 = none).", float64(st.TimeoutMS)/1000)
+
+	gauge("lphd_cache_capacity", "Prepared-cache capacity in graphs.", st.Cache.Capacity)
+	gauge("lphd_cache_size", "Prepared instances currently cached.", st.Cache.Size)
+	counter("lphd_cache_hits_total", "Cache lookups served from the store.", st.Cache.Hits)
+	counter("lphd_cache_misses_total", "Cache lookups that prepared fresh.", st.Cache.Misses)
+	counter("lphd_cache_evictions_total", "Prepared instances evicted by the LRU bound.", st.Cache.Evictions)
+
+	counter("lphd_requests_total", "Operation requests handled (including failures).", st.Requests.Total)
+	counter("lphd_request_failures_total", "Operation requests answered non-2xx.", st.Requests.Failures)
+	counter("lphd_request_cancellations_total", "Evaluations aborted by disconnect or timeout.", st.Requests.Canceled)
+	counter("lphd_request_throttled_total", "Submissions rejected by admission control (429).", st.Requests.Throttled)
+
+	fmt.Fprintf(&b, "# HELP lphd_http_requests_total Requests served, by route pattern.\n# TYPE lphd_http_requests_total counter\n")
+	routes := make([]string, 0, len(st.Latency.ByRoute))
+	for route := range st.Latency.ByRoute {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		fmt.Fprintf(&b, "lphd_http_requests_total{route=%q} %d\n", route, st.Latency.ByRoute[route])
+	}
+
+	gauge("lphd_jobs_workers", "Job engine worker pool size.", st.Jobs.Workers)
+	gauge("lphd_jobs_queue_depth", "Jobs waiting in the admission queue.", st.Jobs.QueueDepth)
+	gauge("lphd_jobs_queue_capacity", "Admission queue capacity.", st.Jobs.QueueCapacity)
+	fmt.Fprintf(&b, "# HELP lphd_jobs Live jobs in the store, by lifecycle state.\n# TYPE lphd_jobs gauge\n")
+	states := make([]string, 0, len(st.Jobs.States))
+	for state := range st.Jobs.States {
+		states = append(states, string(state))
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		fmt.Fprintf(&b, "lphd_jobs{state=%q} %d\n", state, st.Jobs.States[jobs.State(state)])
+	}
+	counter("lphd_jobs_submitted_total", "Jobs admitted to the queue.", st.Jobs.Totals.Submitted)
+	counter("lphd_jobs_rejected_total", "Jobs rejected by the queue bound.", st.Jobs.Totals.Rejected)
+	counter("lphd_jobs_done_total", "Jobs finished successfully.", st.Jobs.Totals.Done)
+	counter("lphd_jobs_failed_total", "Jobs finished with an error.", st.Jobs.Totals.Failed)
+	counter("lphd_jobs_cancelled_total", "Jobs cancelled while queued or running.", st.Jobs.Totals.Cancelled)
+	counter("lphd_jobs_expired_total", "Finished jobs dropped by the result TTL.", st.Jobs.Totals.Expired)
+
+	fmt.Fprintf(&b, "# HELP lphd_request_duration_seconds Wall-clock duration of served requests.\n# TYPE lphd_request_duration_seconds histogram\n")
+	for _, bucket := range st.Latency.Buckets {
+		fmt.Fprintf(&b, "lphd_request_duration_seconds_bucket{le=%q} %d\n", bucket.LE, bucket.Count)
+	}
+	fmt.Fprintf(&b, "lphd_request_duration_seconds_sum %g\n", st.Latency.SumSeconds)
+	fmt.Fprintf(&b, "lphd_request_duration_seconds_count %d\n", st.Latency.Count)
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// TestLatenciesHistogram pins the bucket math: observations land in the
+// right bucket, snapshots are cumulative, routes are counted, and the
+// empty pattern is labeled "unmatched".
+func TestLatenciesHistogram(t *testing.T) {
+	t.Parallel()
+	l := newLatencies()
+	l.observe("POST /v1/decide", 500*time.Microsecond) // <= 0.001
+	l.observe("POST /v1/decide", 50*time.Millisecond)  // <= 0.1
+	l.observe("", 20*time.Second)                      // +Inf
+	st := l.snapshot()
+	if st.Count != 3 || st.SumSeconds < 20 {
+		t.Fatalf("snapshot %+v", st)
+	}
+	if st.ByRoute["POST /v1/decide"] != 2 || st.ByRoute["unmatched"] != 1 {
+		t.Fatalf("routes %+v", st.ByRoute)
+	}
+	wantCum := map[string]uint64{"0.001": 1, "0.005": 1, "0.025": 1, "0.1": 2, "0.5": 2, "2.5": 2, "10": 2, "+Inf": 3}
+	for _, b := range st.Buckets {
+		if b.Count != wantCum[b.LE] {
+			t.Fatalf("bucket le=%s count %d, want %d", b.LE, b.Count, wantCum[b.LE])
+		}
+	}
+	if st.Buckets[len(st.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("last bucket %+v", st.Buckets[len(st.Buckets)-1])
+	}
+}
+
+// TestRenderMetricsGolden pins the exposition format on a synthetic
+// snapshot: sample lines, label quoting, HELP/TYPE headers, and
+// deterministic ordering.
+func TestRenderMetricsGolden(t *testing.T) {
+	t.Parallel()
+	var st StatsResponse
+	st.WorkersBudget = 4
+	st.TimeoutMS = 1500
+	st.Cache = CacheStats{Capacity: 8, Size: 2, Hits: 5, Misses: 3, Evictions: 1}
+	st.Requests.Total = 9
+	st.Requests.Failures = 2
+	st.Requests.Canceled = 1
+	st.Requests.Throttled = 4
+	st.Jobs = jobs.Stats{
+		Workers: 1, QueueDepth: 1, QueueCapacity: 16,
+		States: map[jobs.State]int{
+			jobs.StateQueued: 1, jobs.StateRunning: 0, jobs.StateDone: 2,
+			jobs.StateFailed: 0, jobs.StateCancelled: 1,
+		},
+		Totals: jobs.LifetimeTotals{Submitted: 5, Rejected: 1, Done: 2, Failed: 0, Cancelled: 1, Expired: 1},
+	}
+	st.Latency = LatencyStats{
+		Count: 9, SumSeconds: 1.25,
+		Buckets: []LatencyBucket{{LE: "0.001", Count: 3}, {LE: "+Inf", Count: 9}},
+		ByRoute: map[string]uint64{"POST /v1/decide": 6, "GET /v1/stats": 3},
+	}
+	out := renderMetrics(st)
+	for _, want := range []string{
+		"# TYPE lphd_workers_budget gauge\nlphd_workers_budget 4\n",
+		"lphd_request_timeout_seconds 1.5\n",
+		"# TYPE lphd_cache_hits_total counter\nlphd_cache_hits_total 5\n",
+		"lphd_cache_misses_total 3\n",
+		"lphd_cache_evictions_total 1\n",
+		"lphd_cache_size 2\n",
+		"lphd_requests_total 9\n",
+		"lphd_request_failures_total 2\n",
+		"lphd_request_cancellations_total 1\n",
+		"lphd_request_throttled_total 4\n",
+		// Routes sorted lexicographically.
+		"lphd_http_requests_total{route=\"GET /v1/stats\"} 3\nlphd_http_requests_total{route=\"POST /v1/decide\"} 6\n",
+		// States sorted lexicographically.
+		"lphd_jobs{state=\"cancelled\"} 1\nlphd_jobs{state=\"done\"} 2\nlphd_jobs{state=\"failed\"} 0\nlphd_jobs{state=\"queued\"} 1\nlphd_jobs{state=\"running\"} 0\n",
+		"lphd_jobs_queue_depth 1\n",
+		"lphd_jobs_queue_capacity 16\n",
+		"lphd_jobs_submitted_total 5\n",
+		"lphd_jobs_rejected_total 1\n",
+		"lphd_jobs_expired_total 1\n",
+		"# TYPE lphd_request_duration_seconds histogram\n" +
+			"lphd_request_duration_seconds_bucket{le=\"0.001\"} 3\n" +
+			"lphd_request_duration_seconds_bucket{le=\"+Inf\"} 9\n" +
+			"lphd_request_duration_seconds_sum 1.25\n" +
+			"lphd_request_duration_seconds_count 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing:\n%s\n\nfull output:\n%s", want, out)
+		}
+	}
+}

@@ -247,6 +247,16 @@ type GameResult struct {
 // GameNames lists the playable games.
 func GameNames() []string { return []string{"figure1"} }
 
+// HasGame reports whether name is in the game catalog (see HasDecide).
+func HasGame(name string) bool {
+	for _, n := range GameNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Game plays the named game on the engine. "figure1" replays the
 // Example 1 minimax on both Figure 1 instances, reporting classical
 // 3-colorability against the 3-round game value.

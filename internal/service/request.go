@@ -30,6 +30,15 @@ type Request struct {
 	Property  string          `json:"property,omitempty"`
 	Reduction string          `json:"reduction,omitempty"`
 	Game      string          `json:"game,omitempty"`
+	// Graphs carries the instance list of /v1/batch: one op (Op +
+	// Property) evaluated over every graph in a single request.
+	Graphs []json.RawMessage `json:"graphs,omitempty"`
+	// Op names the per-graph operation of /v1/batch: decide or verify.
+	Op string `json:"op,omitempty"`
+	// Job names the job kind for POST /v1/jobs (sweep, experiment,
+	// game); Name carries the experiment slug for kind "experiment".
+	Job  string `json:"job,omitempty"`
+	Name string `json:"name,omitempty"`
 	// Workers asks for a per-request worker budget; the server clamps it
 	// to its own budget. 0 means "the server's budget", and negative
 	// values are rejected at decode time.

@@ -6,18 +6,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/graphio"
+	"repro/internal/jobs"
 	"repro/internal/search"
 	"repro/internal/simulate"
 )
 
 // Config configures a Server. The zero value is usable: worker budget of
-// all CPUs, cache disabled, no evaluation deadline.
+// all CPUs, cache disabled, no evaluation deadline, one job worker over
+// a 16-deep admission queue with 15-minute result retention.
 type Config struct {
 	// Workers is the server-wide worker budget: the hard upper bound on
 	// any request's game-evaluation pool. 0 means one worker per CPU.
@@ -27,34 +30,53 @@ type Config struct {
 	// Timeout bounds each request's evaluation; 0 means no deadline
 	// beyond the client's own connection lifetime.
 	Timeout time.Duration
+	// JobWorkers is the async job engine's worker pool (concurrently
+	// running jobs); 0 means 1, so background sweeps serialize instead
+	// of starving the synchronous path.
+	JobWorkers int
+	// JobQueue is the admission-queue depth of POST /v1/jobs; beyond it
+	// submissions answer 429. 0 means 16; negative disables queueing.
+	JobQueue int
+	// JobTTL is how long finished job results stay retrievable; 0 means
+	// 15 minutes.
+	JobTTL time.Duration
 }
 
 // Server is the HTTP/JSON front end over the operation layer:
 //
-//	POST /v1/decide   {"graph":…, "property":…,  "workers":N}
-//	POST /v1/verify   {"graph":…, "property":…,  "workers":N}
-//	POST /v1/reduce   {"graph":…, "reduction":…}
-//	POST /v1/game     {"game":"figure1", "workers":N}
-//	GET  /v1/healthz
-//	GET  /v1/stats
+//	POST   /v1/decide     {"graph":…, "property":…,  "workers":N}
+//	POST   /v1/verify     {"graph":…, "property":…,  "workers":N}
+//	POST   /v1/reduce     {"graph":…, "reduction":…}
+//	POST   /v1/game       {"game":"figure1", "workers":N}
+//	POST   /v1/batch      {"op":"decide|verify", "property":…, "graphs":[…], "workers":N}
+//	POST   /v1/jobs       {"job":"sweep|experiment|game", "name":…, "game":…, "workers":N}
+//	GET    /v1/jobs/{id}
+//	DELETE /v1/jobs/{id}
+//	GET    /v1/healthz
+//	GET    /v1/stats
+//	GET    /metrics
 //
-// Every evaluation runs under the request's context — a client
-// disconnect or the configured timeout cancels the game mid-search —
-// and under a worker pool of min(request workers, server budget).
-// Cache fills are the one shared piece of work: a preparation in
-// flight runs to completion (concurrent requests may be waiting on
-// it), and a request whose context ended meanwhile aborts right after.
-// Prepared instances are served from the LRU cache keyed by canonical
-// graph hash; /v1/stats exposes the cache and request bookkeeping.
+// Every synchronous evaluation runs under the request's context — a
+// client disconnect or the configured timeout cancels the game
+// mid-search — and under a worker pool of min(request workers, server
+// budget). Batch requests fan their instance list out across that pool
+// through the Prepared cache. Jobs run asynchronously on the bounded
+// job engine: the admission queue answers 429 when full, progress and
+// results are served from the TTL'd store, and DELETE cancels queued
+// and running jobs alike. /v1/stats (JSON) and /metrics (Prometheus
+// text) render the same Snapshot, so the two views cannot drift.
 type Server struct {
 	budget  int
 	timeout time.Duration
 	cache   *Cache
+	jobs    *jobs.Engine
+	lat     *latencies
 	mux     *http.ServeMux
 
-	requests atomic.Uint64 // all requests handled (including failures)
-	failures atomic.Uint64 // requests answered with a non-2xx status
-	canceled atomic.Uint64 // evaluations aborted by cancellation/timeout
+	requests  atomic.Uint64 // all operation requests handled (including failures)
+	failures  atomic.Uint64 // requests answered with a non-2xx status
+	canceled  atomic.Uint64 // evaluations aborted by cancellation/timeout
+	throttled atomic.Uint64 // submissions rejected by admission control (429)
 }
 
 // New builds a Server from the configuration.
@@ -63,27 +85,54 @@ func New(cfg Config) *Server {
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
+	jobQueue := cfg.JobQueue
+	if jobQueue == 0 {
+		jobQueue = 16
+	}
 	s := &Server{
 		budget:  budget,
 		timeout: cfg.Timeout,
 		cache:   NewCache(cfg.CacheSize),
+		jobs:    jobs.New(jobs.Config{Workers: cfg.JobWorkers, Queue: jobQueue, TTL: cfg.JobTTL}),
+		lat:     newLatencies(),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
 	s.mux.HandleFunc("POST /v1/game", s.handleGame)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the route multiplexer, ready for http.Server or
-// httptest.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Close stops the job engine: running jobs are cancelled and the
+// workers drained. The synchronous routes stay usable.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Handler returns the route multiplexer wrapped in the latency
+// middleware (every served request lands in the duration histogram and
+// the per-route counters), ready for http.Server or httptest.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mux.ServeHTTP(w, r)
+		// ServeMux stamps the matched pattern onto the request; an
+		// unmatched request keeps Pattern empty and is labeled as such.
+		s.lat.observe(r.Pattern, time.Since(start))
+	})
+}
 
 // Cache exposes the Prepared cache (for tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Jobs exposes the async job engine (for tests and stats).
+func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 
 // engine derives the per-request search options: the request context
 // (optionally bounded by the server timeout) and the clamped worker
@@ -129,18 +178,24 @@ type GameResponse struct {
 	Results []GameResult `json:"results"`
 }
 
-// StatsResponse answers /v1/stats: the full state of the server's
-// bookkeeping, reconciled under the cache lock, plus the operation
-// catalog so clients can discover the valid names.
+// StatsResponse is the full state of the server's bookkeeping — worker
+// budget, cache, request counters, job engine, latency histogram, and
+// the operation catalog. It is the single source of truth behind both
+// observability routes: /v1/stats serves it as JSON and /metrics
+// renders the same snapshot in Prometheus text format, so a field
+// reported by one is by construction the field reported by the other.
 type StatsResponse struct {
 	WorkersBudget int        `json:"workers_budget"`
 	TimeoutMS     int64      `json:"timeout_ms"`
 	Cache         CacheStats `json:"cache"`
 	Requests      struct {
-		Total    uint64 `json:"total"`
-		Failures uint64 `json:"failures"`
-		Canceled uint64 `json:"canceled"`
+		Total     uint64 `json:"total"`
+		Failures  uint64 `json:"failures"`
+		Canceled  uint64 `json:"canceled"`
+		Throttled uint64 `json:"throttled"`
 	} `json:"requests"`
+	Jobs    jobs.Stats          `json:"jobs"`
+	Latency LatencyStats        `json:"latency"`
 	Catalog map[string][]string `json:"catalog"`
 }
 
@@ -153,7 +208,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // fail maps an operation error to its HTTP shape: decode and catalog
 // errors are the client's fault (400), cancellation and timeout are
-// accounted separately (503), anything else is a server error (500).
+// accounted separately (503), a full admission queue throttles (429,
+// with a Retry-After hint), job lookups miss (404), and anything else
+// is a server error (500).
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.failures.Add(1)
 	status := http.StatusInternalServerError
@@ -163,6 +220,12 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.throttled.Add(1)
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrNotFound):
+		status = http.StatusNotFound
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -276,20 +339,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// Snapshot assembles the stats response — the one value both
+// observability routes encode.
+func (s *Server) Snapshot() StatsResponse {
 	resp := StatsResponse{
 		WorkersBudget: s.budget,
 		TimeoutMS:     s.timeout.Milliseconds(),
 		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.Stats(),
+		Latency:       s.lat.snapshot(),
 		Catalog: map[string][]string{
 			"decide": DecideNames(),
 			"verify": VerifyNames(),
 			"reduce": ReduceNames(),
 			"game":   GameNames(),
+			"job":    JobNames(),
 		},
 	}
 	resp.Requests.Total = s.requests.Load()
 	resp.Requests.Failures = s.failures.Load()
 	resp.Requests.Canceled = s.canceled.Load()
-	writeJSON(w, http.StatusOK, resp)
+	resp.Requests.Throttled = s.throttled.Load()
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, renderMetrics(s.Snapshot()))
 }

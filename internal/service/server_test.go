@@ -28,6 +28,7 @@ func newTestServer(t *testing.T, cfg service.Config) (*service.Server, *httptest
 	s := service.New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
