@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test fuzz bench bench-json serve-smoke help
+.PHONY: check fmt vet vet-journal build test fuzz bench bench-json serve-smoke help
 
-check: fmt vet build test fuzz
+check: fmt vet vet-journal build test fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -18,19 +18,28 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# vet-journal is the explicit vet gate on the durability surface: the
+# journal, its harness, and the engine that replays it must stay
+# vet-clean even if the repo-wide vet list ever narrows.
+vet-journal:
+	$(GO) vet ./internal/journal ./internal/journaltest ./internal/jobs
+
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
 
-# fuzz smoke-runs the two JSON decoders for 5s each: FuzzReadGraph over
-# the malformed-graph corpus (trailing data, truncated arrays) and
-# FuzzDecodeRequest over service request bodies wrapping that corpus.
-# Invariant for both: no panics, error-or-valid-value.
+# fuzz smoke-runs the three decoders for 5s each: FuzzReadGraph over
+# the malformed-graph corpus (trailing data, truncated arrays),
+# FuzzDecodeRequest over service request bodies wrapping that corpus,
+# and FuzzReplayJournal over truncated/bit-flipped/garbage-extended
+# journal segments. Invariant for all: no panics; the journal replay
+# additionally recovers every record before the first corruption.
 fuzz:
 	$(GO) test -run=- -fuzz=FuzzReadGraph -fuzztime=5s ./internal/graphio
 	$(GO) test -run=- -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/service
+	$(GO) test -run=- -fuzz=FuzzReplayJournal -fuzztime=5s ./internal/journal
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -39,17 +48,20 @@ bench:
 # benchmark once, through `go test -json`, post-processed by
 # cmd/benchjson into a sorted JSON array (see DESIGN.md).
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr4.json
-	@echo "wrote BENCH_pr4.json"
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+	@echo "wrote BENCH_pr5.json"
 
 # serve-smoke boots lphd on a random port and walks the documented API
 # end to end: decide, verify, healthz (exact bodies), a two-graph
-# /v1/batch, an async /v1/jobs experiment polled to completion, and a
-# /metrics scrape.
+# /v1/batch, an async /v1/jobs experiment polled to completion, a
+# /metrics scrape — then the full crash-recovery walk: a journaled
+# lphd takes SIGKILL mid-sweep and is restarted on the same journal
+# dir, which must serve the finished result byte-identically and
+# re-run the interrupted and queued jobs to done.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
-	trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT INT TERM; \
+	trap 'kill $$pid $$jpid 2>/dev/null || true; rm -rf $$tmp' EXIT INT TERM; \
 	$(GO) build -o $$tmp/lphd ./cmd/lphd; \
 	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -cache 8 >$$tmp/out 2>&1 & pid=$$!; \
 	addr=""; \
@@ -93,15 +105,70 @@ serve-smoke:
 		case "$$metrics" in *"$$m"*) ;; \
 			*) echo "metrics scrape misses $$m"; exit 1;; esac; \
 	done; \
-	echo "serve-smoke OK"
+	kill $$pid 2>/dev/null; \
+	echo "API walk OK; starting crash-recovery walk"; \
+	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/journal >$$tmp/crash1 2>&1 & jpid=$$!; \
+	jaddr=""; \
+	for i in $$(seq 1 100); do \
+		jaddr=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/crash1); \
+		[ -n "$$jaddr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$jaddr" ] || { echo "journaled lphd never came up:"; cat $$tmp/crash1; exit 1; }; \
+	curl -sf -X POST -d '{"job":"experiment","name":"figure5"}' http://$$jaddr/v1/jobs >/dev/null; \
+	before=""; \
+	for i in $$(seq 1 300); do \
+		before=$$(curl -sf http://$$jaddr/v1/jobs/j1); \
+		case "$$before" in *'"state":"done"'*) break;; esac; sleep 0.1; \
+	done; \
+	case "$$before" in *'"state":"done"'*) ;; *) echo "j1 never finished: $$before"; exit 1;; esac; \
+	curl -sf -X POST -d '{"job":"sweep"}' http://$$jaddr/v1/jobs >/dev/null; \
+	for i in $$(seq 1 300); do \
+		state=$$(curl -sf http://$$jaddr/v1/jobs/j2); \
+		case "$$state" in *'"state":"running"'*) break;; esac; sleep 0.05; \
+	done; \
+	case "$$state" in *'"state":"running"'*) ;; *) echo "j2 never started: $$state"; exit 1;; esac; \
+	curl -sf -X POST -d '{"job":"experiment","name":"figure4"}' http://$$jaddr/v1/jobs >/dev/null; \
+	kill -9 $$jpid; wait $$jpid 2>/dev/null || true; \
+	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/journal >$$tmp/crash2 2>&1 & jpid=$$!; \
+	jaddr=""; \
+	for i in $$(seq 1 100); do \
+		jaddr=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/crash2); \
+		[ -n "$$jaddr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$jaddr" ] || { echo "restarted lphd never came up:"; cat $$tmp/crash2; exit 1; }; \
+	after=$$(curl -sf http://$$jaddr/v1/jobs/j1); \
+	[ "$$after" = "$$before" ] || { echo "j1 not byte-identical after crash:"; echo "before: $$before"; echo "after:  $$after"; exit 1; }; \
+	for id in j2 j3; do \
+		state=""; \
+		for i in $$(seq 1 600); do \
+			state=$$(curl -sf http://$$jaddr/v1/jobs/$$id); \
+			case "$$state" in *'"state":"done"'*) break;; esac; sleep 0.1; \
+		done; \
+		case "$$state" in *'"state":"done"'*) ;; \
+			*) echo "$$id never re-ran to done after the crash: $$state"; cat $$tmp/crash2; exit 1;; esac; \
+	done; \
+	jm=$$(curl -sf http://$$jaddr/metrics); \
+	for m in 'lphd_journal_replayed_total 1' 'lphd_journal_restarted_total 2' lphd_journal_segments lphd_journal_live_bytes; do \
+		case "$$jm" in *"$$m"*) ;; \
+			*) echo "journal metrics miss $$m"; exit 1;; esac; \
+	done; \
+	listing=$$(curl -sf "http://$$jaddr/v1/jobs?limit=2"); \
+	case "$$listing" in *'"id":"j1"'*'"id":"j2"'*'"next_cursor"'*) ;; \
+		*) echo "paginated listing wrong: $$listing"; exit 1;; esac; \
+	cursor=$$(printf '%s' "$$listing" | sed -n 's#.*"next_cursor":"\([^"]*\)".*#\1#p'); \
+	page2=$$(curl -sf "http://$$jaddr/v1/jobs?limit=2&cursor=$$cursor"); \
+	case "$$page2" in *'"id":"j3"'*) ;; \
+		*) echo "cursor page wrong: $$page2"; exit 1;; esac; \
+	echo "serve-smoke OK (incl. crash recovery)"
 
 help:
 	@echo "make check       - fmt + vet + build + race tests + decoder fuzz smokes (the verify entry point)"
 	@echo "make fmt         - fail if gofmt would change any file"
 	@echo "make vet         - go vet ./..."
+	@echo "make vet-journal - explicit vet gate on journal/journaltest/jobs"
 	@echo "make build       - go build ./..."
 	@echo "make test        - go test -race ./..."
-	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph (graphio) + FuzzDecodeRequest (service)"
+	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzReplayJournal"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr4.json"
-	@echo "make serve-smoke - boot lphd and walk decide/verify/healthz/batch/jobs/metrics"
+	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr5.json"
+	@echo "make serve-smoke - boot lphd, walk the API, then SIGKILL a journaled lphd mid-sweep and verify recovery"

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journaltest"
+)
+
+// TestMain doubles as the lphd binary for the crash-recovery harness:
+// re-exec'd with the child marker, the test binary runs lphd's real
+// main loop (so the whole SIGKILL/restart cycle runs under -race with
+// no separate `go build`). Normal runs are wrapped in the
+// tmpdir-hygiene guard — tests must confine their files to t.TempDir().
+func TestMain(m *testing.M) {
+	if os.Getenv("LPHD_CRASH_CHILD") == "1" {
+		os.Exit(run(os.Args[1:]))
+	}
+	os.Exit(journaltest.GuardTempDirs(m))
+}
+
+// startLphd boots this test binary as an lphd process over the given
+// journal directory: one job worker, so a second job reliably waits in
+// the queue behind a running one.
+func startLphd(t *testing.T, journalDir string) *journaltest.Proc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return journaltest.Start(t, exe, []string{"LPHD_CRASH_CHILD=1"},
+		"-addr", "127.0.0.1:0", "-workers", "2", "-cache", "4",
+		"-job-workers", "1", "-journal", journalDir)
+}
+
+// TestCrashRecoverySIGKILL is the fast in-`go test` variant of the
+// crash-recovery harness (make serve-smoke runs the shell variant
+// against the installed binary):
+//
+//  1. a real lphd finishes job j1 (done result journaled),
+//  2. j2 (the whole experiment sweep) is mid-run and j3 queued behind
+//     it when the process takes SIGKILL — no shutdown path runs,
+//  3. a second lphd on the same -journal dir must serve j1
+//     byte-identically, re-run j2 and j3 to done, and report the
+//     replay in its stats, metrics, and startup line.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness boots real processes; skipped in -short")
+	}
+	dir := filepath.Join(t.TempDir(), "journal")
+
+	p1 := startLphd(t, dir)
+	if code, body := p1.Do(http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`); code != http.StatusAccepted {
+		t.Fatalf("submit j1: %d %s", code, body)
+	}
+	doneBody := p1.WaitJob("j1", "done", 60*time.Second)
+
+	// j2 is the flagship long job — the full sweep — so it is reliably
+	// still running the instant after we observe "running".
+	if code, body := p1.Do(http.MethodPost, "/v1/jobs", `{"job":"sweep"}`); code != http.StatusAccepted {
+		t.Fatalf("submit j2: %d %s", code, body)
+	}
+	p1.WaitJob("j2", "running", 60*time.Second)
+	if code, body := p1.Do(http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure4"}`); code != http.StatusAccepted {
+		t.Fatalf("submit j3: %d %s", code, body)
+	}
+	p1.Kill() // SIGKILL: nothing survives but what the journal fsynced
+
+	p2 := startLphd(t, dir)
+	// The finished result survives byte-for-byte.
+	code, restored := p2.Do(http.MethodGet, "/v1/jobs/j1", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET j1 after restart: %d %s", code, restored)
+	}
+	if !bytes.Equal(restored, doneBody) {
+		t.Fatalf("j1 not byte-identical across the crash:\nbefore %s\nafter  %s", doneBody, restored)
+	}
+	// The interrupted and the queued job both re-run to completion.
+	p2.WaitJob("j2", "done", 10*time.Minute)
+	p2.WaitJob("j3", "done", 2*time.Minute)
+
+	// The paginated listing walks all three in admission order.
+	code, list := p2.Do(http.MethodGet, "/v1/jobs?limit=500", "")
+	if code != http.StatusOK {
+		t.Fatalf("list after restart: %d %s", code, list)
+	}
+	for _, want := range []string{`"id":"j1"`, `"id":"j2"`, `"id":"j3"`} {
+		if !strings.Contains(string(list), want) {
+			t.Fatalf("listing misses %s: %s", want, list)
+		}
+	}
+	if j1 := strings.Index(string(list), `"id":"j1"`); j1 > strings.Index(string(list), `"id":"j2"`) {
+		t.Fatalf("listing out of admission order: %s", list)
+	}
+	// The startup line reported the replay (checked after the waits, so
+	// the line is certainly flushed by now).
+	if !strings.Contains(p2.Log(), "replayed=1 restarted=2") {
+		t.Fatalf("startup line does not report the replay:\n%s", p2.Log())
+	}
+	// Replay counters surface identically on the metrics scrape.
+	if _, metrics := p2.Do(http.MethodGet, "/metrics", ""); !strings.Contains(string(metrics), "lphd_journal_replayed_total 1") ||
+		!strings.Contains(string(metrics), "lphd_journal_restarted_total 2") {
+		t.Fatalf("metrics miss the replay counters:\n%s", metrics)
+	}
+}
+
+// TestCrashRecoveryColdStore is the contrast case: without -journal, a
+// SIGKILL forgets everything — pinning that the journal, not luck, is
+// what TestCrashRecoverySIGKILL observes.
+func TestCrashRecoveryColdStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness boots real processes; skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "2", "-job-workers", "1"}
+	p1 := journaltest.Start(t, exe, []string{"LPHD_CRASH_CHILD=1"}, args...)
+	if code, body := p1.Do(http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`); code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	p1.WaitJob("j1", "done", 60*time.Second)
+	p1.Kill()
+	p2 := journaltest.Start(t, exe, []string{"LPHD_CRASH_CHILD=1"}, args...)
+	if code, body := p2.Do(http.MethodGet, "/v1/jobs/j1", ""); code != http.StatusNotFound {
+		t.Fatalf("in-memory job survived a SIGKILL without a journal: %d %s", code, body)
+	}
+}
+
+// TestRunFlagAndJournalErrors pins lphd's exit codes around the new
+// flag: usage errors exit 2, an unopenable journal path exits 1 before
+// the listener ever comes up.
+func TestRunFlagAndJournalErrors(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-addr", "127.0.0.1:0", "-journal", file}); code != 1 {
+		t.Fatalf("journal path is a file: exit %d, want 1", code)
+	}
+}

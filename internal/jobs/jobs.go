@@ -11,16 +11,31 @@
 // it), and a running job has its context cancelled, so any evaluation
 // that polls the context — every engine in this repository does —
 // aborts mid-search.
+//
+// Durability is opt-in: an Engine constructed with a journal appends a
+// fsynced record at every lifecycle transition and replays the journal
+// on startup. Replay restores finished results into the store with
+// their original timestamps (unless their TTL elapsed while the
+// process was down — those stay expired), re-admits jobs that were
+// queued or running at crash time through the Rehydrate hook (they
+// re-run from scratch), and leaves cancelled jobs dead. The journal is
+// bounded: TTL expiry retires a job's records, and once enough dead
+// bytes accumulate the engine compacts the journal down to the records
+// reconstructing the live set.
 package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // State is one point of the job lifecycle.
@@ -65,6 +80,11 @@ var (
 // store for the configured TTL.
 type Func func(ctx context.Context, p *Progress) (any, error)
 
+// RehydrateFunc rebuilds a job body from its journaled kind and spec
+// so a job interrupted by a crash can re-run after replay. The spec is
+// whatever opaque bytes the submitter passed to SubmitSpec.
+type RehydrateFunc func(kind string, spec json.RawMessage) (Func, error)
+
 // Progress is a job's progress counter pair, written by the job body
 // and read by status snapshots; both sides use atomics, so no lock is
 // shared with the engine.
@@ -81,7 +101,8 @@ func (p *Progress) Add(n int64) { p.done.Add(n) }
 func (p *Progress) Snapshot() (int64, int64) { return p.done.Load(), p.total.Load() }
 
 // Config configures an Engine. The zero value is usable: one worker, a
-// 64-deep queue, 15-minute result retention, the wall clock.
+// 64-deep queue, 15-minute result retention, the wall clock, no
+// persistence.
 type Config struct {
 	// Workers is the number of job workers (concurrently running jobs).
 	// 0 means 1: background jobs serialize by default so they cannot
@@ -95,24 +116,38 @@ type Config struct {
 	// minutes.
 	TTL time.Duration
 	// Now is the clock, injectable for TTL tests; nil means time.Now.
+	// Replay compares journaled finish timestamps against this clock, so
+	// results whose TTL elapsed while the process was down stay dead.
 	Now func() time.Time
+	// Journal, when non-nil, makes the engine durable: every lifecycle
+	// transition is appended (fsynced) before it is acknowledged, and
+	// New replays the journal's recovered records into the store. The
+	// journal's lifetime is the caller's — Close does not close it.
+	Journal *journal.Journal
+	// Rehydrate rebuilds job bodies from journaled (kind, spec) pairs at
+	// replay. A replayed queued/running job whose rehydration fails is
+	// restored as failed instead of silently dropped.
+	Rehydrate RehydrateFunc
 }
 
 // Job is the engine's internal record. All fields except progress are
 // guarded by the engine mutex; external callers only ever see Status
 // snapshots.
 type job struct {
-	id        string
-	kind      string
-	fn        Func
-	progress  Progress
-	state     State
-	cancelReq bool
-	cancel    context.CancelFunc // set while running
-	result    any
-	err       error
-	created   time.Time
-	finished  time.Time
+	id         string
+	seq        int64
+	kind       string
+	spec       json.RawMessage // journaled re-submission payload
+	fn         Func
+	progress   Progress
+	state      State
+	cancelReq  bool
+	cancel     context.CancelFunc // set while running
+	result     any
+	resultJSON json.RawMessage // canonical result bytes, for the journal
+	err        error
+	created    time.Time
+	finished   time.Time
 }
 
 // Status is an externally visible snapshot of one job, shaped for the
@@ -130,16 +165,22 @@ type Status struct {
 	CancelRequested bool   `json:"cancel_requested,omitempty"`
 	Error           string `json:"error,omitempty"`
 	Result          any    `json:"result,omitempty"`
+	// Seq is the admission sequence number — the stable sort key of the
+	// paginated job listing (ids are "j<seq>").
+	Seq int64 `json:"seq"`
 }
 
 // Stats is the engine's aggregate bookkeeping for metrics: live jobs by
-// state, queue occupancy, and monotone lifetime counters.
+// state, queue occupancy, monotone lifetime counters, and — when the
+// engine is durable — the journal's bookkeeping.
 type Stats struct {
 	Workers       int            `json:"workers"`
 	QueueDepth    int            `json:"queue_depth"`
 	QueueCapacity int            `json:"queue_capacity"`
 	States        map[State]int  `json:"states"`
 	Totals        LifetimeTotals `json:"totals"`
+	// Journal is nil when the engine runs without persistence.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // LifetimeTotals are monotone counters over the engine's lifetime (they
@@ -151,6 +192,29 @@ type LifetimeTotals struct {
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
 	Expired   uint64 `json:"expired"`
+}
+
+// ReplayStats counts what the startup replay did.
+type ReplayStats struct {
+	// Replayed is the number of finished jobs restored into the store
+	// with their original timestamps.
+	Replayed uint64 `json:"replayed"`
+	// Restarted is the number of jobs that were queued or running at
+	// crash time and were re-admitted to run from scratch.
+	Restarted uint64 `json:"restarted"`
+	// Expired is the number of finished jobs whose TTL elapsed while the
+	// process was down; they were not resurrected.
+	Expired uint64 `json:"expired"`
+}
+
+// JournalStats combines the journal's on-disk bookkeeping with the
+// engine's replay counters and append-error count.
+type JournalStats struct {
+	journal.Stats
+	Replay ReplayStats `json:"replay"`
+	// AppendErrors counts lifecycle records that failed to persist
+	// (submission-time failures reject the submission instead).
+	AppendErrors uint64 `json:"append_errors"`
 }
 
 // Engine runs jobs from a bounded queue on a fixed worker pool. The
@@ -172,12 +236,18 @@ type Engine struct {
 	now     func() time.Time
 	totals  LifetimeTotals
 
+	jnl        *journal.Journal
+	rehydrate  RehydrateFunc
+	replay     ReplayStats
+	appendErrs uint64
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 }
 
-// New builds an Engine and starts its workers.
+// New builds an Engine, replays its journal (when configured), and
+// starts its workers.
 func New(cfg Config) *Engine {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -205,10 +275,15 @@ func New(cfg Config) *Engine {
 		workers:    workers,
 		ttl:        ttl,
 		now:        now,
+		jnl:        cfg.Journal,
+		rehydrate:  cfg.Rehydrate,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if e.jnl != nil {
+		e.replayJournal() // before the workers: replay owns the state
+	}
 	for w := 0; w < workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -216,9 +291,141 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// replayJournal reconstructs the store from the journal's recovered
+// records. Runs before the workers start, so no locking is needed.
+//
+// The per-job state machine is last-record-wins: submit → queued,
+// start → running, done/failed/cancelled → terminal. Then, in
+// admission order: finished jobs whose TTL has not yet elapsed
+// (measured against the injectable clock, not wall time at replay) are
+// restored with their original timestamps; finished jobs past their
+// TTL stay expired; cancelled jobs stay dead; queued and running jobs
+// are re-admitted through Rehydrate and re-run from scratch.
+func (e *Engine) replayJournal() {
+	byID := make(map[string]*job)
+	var order []string
+	for _, rec := range e.jnl.Replay() {
+		switch rec.Type {
+		case journal.TypeCheckpoint:
+			// Compaction barrier: carries the admission-sequence watermark,
+			// so ids are never reused even after every journaled job has
+			// been compacted away.
+			if rec.Seq > e.seq {
+				e.seq = rec.Seq
+			}
+		case journal.TypeSubmit:
+			if _, dup := byID[rec.ID]; !dup {
+				order = append(order, rec.ID)
+			}
+			byID[rec.ID] = &job{
+				id:      rec.ID,
+				seq:     rec.Seq,
+				kind:    rec.Kind,
+				spec:    rec.Spec,
+				state:   StateQueued,
+				created: rec.When(),
+			}
+			if rec.Seq > e.seq {
+				e.seq = rec.Seq
+			}
+		case journal.TypeStart:
+			if j, ok := byID[rec.ID]; ok {
+				j.state = StateRunning
+			}
+		case journal.TypeDone:
+			if j, ok := byID[rec.ID]; ok {
+				j.state = StateDone
+				j.resultJSON = rec.Result
+				if len(rec.Result) > 0 && string(rec.Result) != "null" {
+					j.result = rec.Result
+				}
+				j.progress.SetTotal(rec.Total)
+				j.progress.Add(rec.Done)
+				j.finished = rec.When()
+			}
+		case journal.TypeFailed:
+			if j, ok := byID[rec.ID]; ok {
+				j.state = StateFailed
+				j.err = errors.New(rec.Error)
+				j.finished = rec.When()
+			}
+		case journal.TypeCancelled:
+			if j, ok := byID[rec.ID]; ok {
+				j.state = StateCancelled
+				j.err = context.Canceled
+				j.finished = rec.When()
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return byID[order[a]].seq < byID[order[b]].seq })
+	cutoff := e.now().Add(-e.ttl)
+	for _, id := range order {
+		j := byID[id]
+		switch j.state {
+		case StateDone, StateFailed:
+			if j.finished.Before(cutoff) {
+				// The TTL elapsed while the server was down: the result
+				// must not resurrect.
+				e.replay.Expired++
+				e.jnl.Retire(j.id)
+				continue
+			}
+			e.jobs[j.id] = j
+			e.replay.Replayed++
+		case StateCancelled:
+			// Cancelled jobs stay dead across restarts.
+			e.jnl.Retire(j.id)
+		default: // queued or running at crash time: re-run from scratch
+			fn, err := e.rehydrateJob(j)
+			if err != nil {
+				// Don't drop the job silently — and don't retry it forever
+				// on every restart: record the failure durably.
+				j.state = StateFailed
+				j.err = fmt.Errorf("jobs: rehydrate after crash: %w", err)
+				j.finished = e.now()
+				e.jobs[j.id] = j
+				e.appendJournal(journal.Record{
+					Type: journal.TypeFailed, ID: j.id,
+					Error: j.err.Error(), Time: j.finished.UnixNano(),
+				})
+				continue
+			}
+			// Re-admission keeps the original id, seq, and creation time,
+			// resets progress, and bypasses the queue bound: recovered work
+			// is never dropped for depth.
+			j.fn = fn
+			j.state = StateQueued
+			e.jobs[j.id] = j
+			e.queue = append(e.queue, j)
+			e.replay.Restarted++
+		}
+	}
+}
+
+// rehydrateJob rebuilds the body of a replayed job.
+func (e *Engine) rehydrateJob(j *job) (Func, error) {
+	if e.rehydrate == nil {
+		return nil, errors.New("no rehydrate hook configured")
+	}
+	return e.rehydrate(j.kind, j.spec)
+}
+
+// appendJournal persists one lifecycle record, counting (not
+// propagating) failures — the in-memory state has already transitioned
+// and remains authoritative for this process's lifetime.
+func (e *Engine) appendJournal(rec journal.Record) {
+	if e.jnl == nil {
+		return
+	}
+	if err := e.jnl.Append(rec); err != nil {
+		e.appendErrs++
+	}
+}
+
 // Close cancels every running job, stops accepting submissions, and
 // waits for the workers to drain (jobs still queued run against the
-// already-cancelled base context and finish as cancelled).
+// already-cancelled base context and finish as cancelled). The journal,
+// if any, is left open — its lifetime belongs to the caller.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -235,8 +442,20 @@ func (e *Engine) Close() {
 // Submit admits a job of the given kind. It never blocks: when the
 // queue is full the job is rejected with ErrQueueFull. On success the
 // returned Status is the freshly queued job (ids are "j1", "j2", … in
-// admission order).
+// admission order). Jobs submitted this way carry no spec, so a
+// durable engine cannot re-run them after a crash — service callers
+// use SubmitSpec.
 func (e *Engine) Submit(kind string, fn Func) (Status, error) {
+	return e.SubmitSpec(kind, nil, fn)
+}
+
+// SubmitSpec admits a job along with its opaque re-submission spec —
+// the bytes a durable engine journals and later hands to Rehydrate to
+// re-run the job after a crash. On a durable engine the submit record
+// is fsynced before the job is admitted: a journal write failure
+// rejects the submission rather than accepting work that could not be
+// made durable.
+func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, fn Func) (Status, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -247,14 +466,26 @@ func (e *Engine) Submit(kind string, fn Func) (Status, error) {
 		e.totals.Rejected++
 		return Status{}, ErrQueueFull
 	}
-	e.seq++
+	seq := e.seq + 1
 	j := &job{
-		id:      "j" + strconv.FormatInt(e.seq, 10),
+		id:      "j" + strconv.FormatInt(seq, 10),
+		seq:     seq,
 		kind:    kind,
+		spec:    spec,
 		fn:      fn,
 		state:   StateQueued,
 		created: e.now(),
 	}
+	if e.jnl != nil {
+		rec := journal.Record{
+			Type: journal.TypeSubmit, ID: j.id, Seq: seq,
+			Kind: kind, Spec: spec, Time: j.created.UnixNano(),
+		}
+		if err := e.jnl.Append(rec); err != nil {
+			return Status{}, fmt.Errorf("jobs: journal submit: %w", err)
+		}
+	}
+	e.seq = seq
 	e.queue = append(e.queue, j)
 	e.jobs[j.id] = j
 	e.totals.Submitted++
@@ -272,6 +503,40 @@ func (e *Engine) Get(id string) (Status, error) {
 		return Status{}, ErrNotFound
 	}
 	return e.statusLocked(j), nil
+}
+
+// Page lists jobs in admission order (by sequence number), starting
+// strictly after the given sequence, returning at most limit entries
+// filtered to the given states (nil or empty means every state). The
+// returned next is the sequence of the last entry (pass it back as
+// after to continue) and more reports whether further entries existed
+// beyond the page at snapshot time. The seq ordering is stable across
+// completions and expiries between pages: a job never moves, it can
+// only disappear.
+func (e *Engine) Page(after int64, limit int, states map[State]bool) (items []Status, next int64, more bool) {
+	if limit <= 0 {
+		limit = 50
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sweepLocked()
+	matched := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		if j.seq > after && (len(states) == 0 || states[j.state]) {
+			matched = append(matched, j)
+		}
+	}
+	sort.Slice(matched, func(a, b int) bool { return matched[a].seq < matched[b].seq })
+	if len(matched) > limit {
+		matched, more = matched[:limit], true
+	}
+	items = make([]Status, len(matched))
+	next = after
+	for i, j := range matched {
+		items[i] = e.statusLocked(j)
+		next = j.seq
+	}
+	return items, next, more
 }
 
 // Cancel cancels the job: a queued job flips to cancelled in place (the
@@ -301,12 +566,22 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		j.err = context.Canceled
 		j.finished = e.now()
 		e.totals.Cancelled++
+		e.appendJournal(journal.Record{
+			Type: journal.TypeCancelled, ID: j.id, Time: j.finished.UnixNano(),
+		})
 		st := e.statusLocked(j)
 		e.mu.Unlock()
 		return st, nil
 	case StateRunning:
 		j.cancelReq = true
 		cancel := j.cancel
+		// Journal the cancellation intent now: if the process crashes
+		// before the body returns, replay must not re-run a job the
+		// caller cancelled. Should the body still complete successfully,
+		// the worker's later done record wins (last record per id).
+		e.appendJournal(journal.Record{
+			Type: journal.TypeCancelled, ID: j.id, Time: e.now().UnixNano(),
+		})
 		st := e.statusLocked(j)
 		e.mu.Unlock()
 		cancel()
@@ -332,13 +607,21 @@ func (e *Engine) Stats() Stats {
 	}
 	// Queued jobs and the waiting line are the same set by construction
 	// (cancel removes from both), so the depth is the state count.
-	return Stats{
+	st := Stats{
 		Workers:       e.workers,
 		QueueDepth:    states[StateQueued],
 		QueueCapacity: e.depth,
 		States:        states,
 		Totals:        e.totals,
 	}
+	if e.jnl != nil {
+		st.Journal = &JournalStats{
+			Stats:        e.jnl.Stats(),
+			Replay:       e.replay,
+			AppendErrors: e.appendErrs,
+		}
+	}
+	return st
 }
 
 // statusLocked snapshots j under the engine mutex.
@@ -351,6 +634,7 @@ func (e *Engine) statusLocked(j *job) Status {
 		Done:            done,
 		Total:           total,
 		CancelRequested: j.cancelReq && j.state == StateRunning,
+		Seq:             j.seq,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -363,14 +647,90 @@ func (e *Engine) statusLocked(j *job) Status {
 
 // sweepLocked drops finished jobs whose TTL elapsed. Called under the
 // engine mutex from every public entry point, so the store is bounded
-// by traffic without a janitor goroutine.
+// by traffic without a janitor goroutine. Expired jobs retire their
+// journal records; once enough dead bytes accumulate the journal is
+// compacted down to the live set.
 func (e *Engine) sweepLocked() {
 	cutoff := e.now().Add(-e.ttl)
 	for id, j := range e.jobs {
 		if j.state.Finished() && j.finished.Before(cutoff) {
 			delete(e.jobs, id)
 			e.totals.Expired++
+			if e.jnl != nil {
+				e.jnl.Retire(id)
+			}
 		}
+	}
+	if e.jnl != nil && e.jnl.ShouldCompact() {
+		e.compactLocked()
+	}
+}
+
+// compactLocked rewrites the journal down to the records that
+// reconstruct the live set: per job, its submit record plus the record
+// of whatever state it is in now. Failures count as append errors —
+// the journal keeps its dead bytes and the next sweep retries.
+func (e *Engine) compactLocked() {
+	live := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		live = append(live, j)
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].seq < live[b].seq })
+	recs := make([]journal.Record, 0, 2*len(live)+1)
+	// The checkpoint barrier leads: replay discards everything before
+	// it, and its Seq keeps the id sequence monotone across restarts
+	// even when the live set is empty.
+	recs = append(recs, journal.Record{
+		Type: journal.TypeCheckpoint, Seq: e.seq, Time: e.now().UnixNano(),
+	})
+	for _, j := range live {
+		recs = append(recs, journal.Record{
+			Type: journal.TypeSubmit, ID: j.id, Seq: j.seq,
+			Kind: j.kind, Spec: j.spec, Time: j.created.UnixNano(),
+		})
+		switch j.state {
+		case StateRunning:
+			if j.cancelReq {
+				// Cancel already journaled its intent; compaction must not
+				// rewrite the job as merely running, or a crash before the
+				// body returns would re-run cancelled work.
+				recs = append(recs, journal.Record{
+					Type: journal.TypeCancelled, ID: j.id, Time: e.now().UnixNano(),
+				})
+				continue
+			}
+			recs = append(recs, journal.Record{
+				Type: journal.TypeStart, ID: j.id, Time: j.created.UnixNano(),
+			})
+		case StateDone:
+			if j.resultJSON == nil {
+				// The result never made it into the journal (it was not
+				// marshalable); preserve the worker's failed record rather
+				// than inventing a done record with a missing payload.
+				recs = append(recs, journal.Record{
+					Type: journal.TypeFailed, ID: j.id,
+					Error: "jobs: result not journalable", Time: j.finished.UnixNano(),
+				})
+				continue
+			}
+			done, total := j.progress.Snapshot()
+			recs = append(recs, journal.Record{
+				Type: journal.TypeDone, ID: j.id, Result: j.resultJSON,
+				Done: done, Total: total, Time: j.finished.UnixNano(),
+			})
+		case StateFailed:
+			recs = append(recs, journal.Record{
+				Type: journal.TypeFailed, ID: j.id,
+				Error: j.err.Error(), Time: j.finished.UnixNano(),
+			})
+		case StateCancelled:
+			recs = append(recs, journal.Record{
+				Type: journal.TypeCancelled, ID: j.id, Time: j.finished.UnixNano(),
+			})
+		}
+	}
+	if err := e.jnl.Compact(recs); err != nil {
+		e.appendErrs++
 	}
 }
 
@@ -392,6 +752,9 @@ func (e *Engine) worker() {
 		ctx, cancel := context.WithCancel(e.baseCtx)
 		j.state = StateRunning
 		j.cancel = cancel
+		e.appendJournal(journal.Record{
+			Type: journal.TypeStart, ID: j.id, Time: e.now().UnixNano(),
+		})
 		e.mu.Unlock()
 
 		result, err := runBody(j.fn, ctx, &j.progress)
@@ -399,19 +762,50 @@ func (e *Engine) worker() {
 
 		e.mu.Lock()
 		j.finished = e.now()
+		done, total := j.progress.Snapshot()
 		switch {
 		case err == nil:
 			j.state = StateDone
 			j.result = result
 			e.totals.Done++
+			resultJSON, jerr := json.Marshal(result)
+			if jerr != nil {
+				// The result cannot survive a restart; journal the job as
+				// failed so replay reports the loss instead of inventing a
+				// result (the live store still serves the real value).
+				e.appendJournal(journal.Record{
+					Type: journal.TypeFailed, ID: j.id,
+					Error: fmt.Sprintf("jobs: result not journalable: %v", jerr),
+					Time:  j.finished.UnixNano(),
+				})
+				break
+			}
+			j.resultJSON = resultJSON
+			e.appendJournal(journal.Record{
+				Type: journal.TypeDone, ID: j.id, Result: resultJSON,
+				Done: done, Total: total, Time: j.finished.UnixNano(),
+			})
 		case j.cancelReq || errors.Is(err, context.Canceled):
 			j.state = StateCancelled
 			j.err = context.Canceled
 			e.totals.Cancelled++
+			// A graceful Close drains interrupted jobs as cancelled in
+			// memory, but only user cancellation is journaled: shutdown is
+			// not a verdict on the work, so a restart re-runs it — the
+			// same recovery a crash gets.
+			if j.cancelReq || !e.closed {
+				e.appendJournal(journal.Record{
+					Type: journal.TypeCancelled, ID: j.id, Time: j.finished.UnixNano(),
+				})
+			}
 		default:
 			j.state = StateFailed
 			j.err = err
 			e.totals.Failed++
+			e.appendJournal(journal.Record{
+				Type: journal.TypeFailed, ID: j.id,
+				Error: err.Error(), Time: j.finished.UnixNano(),
+			})
 		}
 	}
 }

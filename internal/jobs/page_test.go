@@ -1,0 +1,177 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPageBasics pins the Page contract on a small fixed population:
+// admission order, limit, cursor continuation, state filters, and the
+// more flag.
+func TestPageBasics(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1, Queue: 16})
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := e.Submit("blocker", block(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 5; i++ {
+		if _, err := e.Submit("waiter", block(nil, release)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, next, more := e.Page(0, 4, nil)
+	if len(items) != 4 || !more || next != 4 {
+		t.Fatalf("first page: %d items, next %d, more %v", len(items), next, more)
+	}
+	for i, st := range items {
+		if st.Seq != int64(i+1) || st.ID != items[i].ID {
+			t.Fatalf("page out of admission order: %+v", items)
+		}
+	}
+	items, next, more = e.Page(next, 4, nil)
+	if len(items) != 2 || more || next != 6 {
+		t.Fatalf("second page: %d items, next %d, more %v", len(items), next, more)
+	}
+	// State filter: exactly one job is running, the rest are queued.
+	running, _, _ := e.Page(0, 10, map[State]bool{StateRunning: true})
+	if len(running) != 1 || running[0].ID != "j1" {
+		t.Fatalf("running filter: %+v", running)
+	}
+	queued, _, _ := e.Page(0, 10, map[State]bool{StateQueued: true})
+	if len(queued) != 5 {
+		t.Fatalf("queued filter: %+v", queued)
+	}
+	// An empty page beyond the population.
+	items, next, more = e.Page(100, 4, nil)
+	if len(items) != 0 || more || next != 100 {
+		t.Fatalf("empty page: %d items, next %d, more %v", len(items), next, more)
+	}
+}
+
+// TestPagePropertyWalk is the pagination property test: for random job
+// populations and random page limits, walking the cursor yields every
+// surviving job exactly once, in strictly increasing admission order,
+// with no duplicates — even while jobs complete, get cancelled, and
+// expire between pages.
+func TestPagePropertyWalk(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []int64{1, 7, 42, 1234, 99991} {
+		seed := seed
+		t.Run(time.Unix(seed, 0).UTC().Format("seed-150405"), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			clock := &fakeClock{t: time.Unix(10000, 0)}
+			e := New(Config{Workers: 2, Queue: 1024, TTL: 10 * time.Minute, Now: clock.Now})
+			defer e.Close()
+
+			n := 40 + rng.Intn(160)
+			releases := make(map[string]chan struct{})
+			var blocked []string
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					// An instant job: completes as soon as a worker frees.
+					if _, err := e.Submit("quick", func(context.Context, *Progress) (any, error) {
+						return "ok", nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				release := make(chan struct{})
+				st, err := e.Submit("slow", block(nil, release))
+				if err != nil {
+					t.Fatal(err)
+				}
+				releases[st.ID] = release
+				blocked = append(blocked, st.ID)
+			}
+			defer func() {
+				for _, ch := range releases {
+					close(ch)
+				}
+			}()
+
+			seen := make(map[string]int)
+			lastSeq := int64(-1)
+			after := int64(0)
+			for {
+				limit := 1 + rng.Intn(17)
+				items, next, more := e.Page(after, limit, nil)
+				for _, st := range items {
+					if st.Seq <= lastSeq {
+						t.Fatalf("seq went backwards: %d after %d", st.Seq, lastSeq)
+					}
+					lastSeq = st.Seq
+					seen[st.ID]++
+				}
+				after = next
+				if !more {
+					break
+				}
+				// Churn between pages: release some blocked jobs, cancel
+				// some, and advance the clock so finished jobs expire.
+				for i := 0; i < 3 && len(blocked) > 0; i++ {
+					k := rng.Intn(len(blocked))
+					id := blocked[k]
+					blocked = append(blocked[:k], blocked[k+1:]...)
+					switch rng.Intn(2) {
+					case 0:
+						close(releases[id])
+						delete(releases, id)
+					case 1:
+						if _, err := e.Cancel(id); err != nil {
+							t.Fatalf("cancel %s: %v", id, err)
+						}
+					}
+				}
+				if rng.Intn(2) == 0 {
+					clock.Advance(time.Duration(rng.Intn(8)) * time.Minute)
+				}
+			}
+
+			for id, count := range seen {
+				if count != 1 {
+					t.Fatalf("job %s yielded %d times", id, count)
+				}
+			}
+			// Every job still alive at the end of the walk was yielded:
+			// jobs only disappear (expire), they never move, so anything
+			// present now was present on its page when the cursor passed.
+			final, _, more := e.Page(0, 100000, nil)
+			if more {
+				t.Fatal("final full page reported more")
+			}
+			for _, st := range final {
+				if seen[st.ID] != 1 {
+					t.Fatalf("job %s (state %s) survived the walk but was never yielded", st.ID, st.State)
+				}
+			}
+			// And a filtered walk yields a subset with the same ordering
+			// guarantees.
+			lastSeq, after = -1, 0
+			for {
+				items, next, more := e.Page(after, 1+rng.Intn(7), map[State]bool{StateDone: true, StateCancelled: true})
+				for _, st := range items {
+					if st.State != StateDone && st.State != StateCancelled {
+						t.Fatalf("filter leaked state %s", st.State)
+					}
+					if st.Seq <= lastSeq {
+						t.Fatalf("filtered seq went backwards: %d after %d", st.Seq, lastSeq)
+					}
+					lastSeq = st.Seq
+				}
+				after = next
+				if !more {
+					break
+				}
+			}
+		})
+	}
+}

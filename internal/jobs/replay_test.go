@@ -1,0 +1,495 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// openJournal opens a journal over dir and registers cleanup.
+func openJournal(t *testing.T, dir string, opts journal.Options) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// quickJob returns a canned result immediately.
+func quickJob(result any) Func {
+	return func(_ context.Context, p *Progress) (any, error) {
+		p.SetTotal(1)
+		p.Add(1)
+		return result, nil
+	}
+}
+
+// rehydrateQuick is a Rehydrate hook mapping any spec to a quick job
+// whose result is the spec's "result" field.
+func rehydrateQuick(kind string, spec json.RawMessage) (Func, error) {
+	var body struct {
+		Result any `json:"result"`
+	}
+	if err := json.Unmarshal(spec, &body); err != nil {
+		return nil, err
+	}
+	return quickJob(body.Result), nil
+}
+
+// journalDirBytes sums the size of every file under dir.
+func journalDirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestReplayRestoresDoneResults: a finished job's status — result
+// bytes, progress, id, seq — survives an engine restart on the same
+// journal byte-for-byte, with its original timestamps (the result
+// expires at the originally scheduled time, not TTL-after-restart).
+func TestReplayRestoresDoneResults(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	clock := &fakeClock{t: time.Unix(5000, 0)}
+
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Journal: j1, Now: clock.Now, TTL: time.Minute})
+	spec := json.RawMessage(`{"job":"demo","result":{"rows":3,"ok":true}}`)
+	if _, err := e1.SubmitSpec("demo", spec, quickJob(map[string]any{"rows": 3, "ok": true})); err != nil {
+		t.Fatal(err)
+	}
+	before := waitState(t, e1, "j1", StateDone)
+	beforeJSON, err := json.Marshal(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+	j1.Close()
+
+	// The server is down for 30s: inside the TTL, so the result must
+	// come back — with the original finish time still counting.
+	clock.Advance(30 * time.Second)
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Now: clock.Now, TTL: time.Minute, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	after, err := e2.Get("j1")
+	if err != nil {
+		t.Fatalf("restored job: %v", err)
+	}
+	afterJSON, err := json.Marshal(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(beforeJSON) != string(afterJSON) {
+		t.Fatalf("status not byte-identical across restart:\nbefore %s\nafter  %s", beforeJSON, afterJSON)
+	}
+	st := e2.Stats()
+	if st.Journal == nil || st.Journal.Replay.Replayed != 1 || st.Journal.Replay.Restarted != 0 {
+		t.Fatalf("replay stats %+v", st.Journal)
+	}
+	// New submissions continue the sequence after the replayed job.
+	sub, err := e2.SubmitSpec("demo", spec, quickJob("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "j2" || sub.Seq != 2 {
+		t.Fatalf("sequence not restored: %+v", sub)
+	}
+	// The original TTL schedule still applies: 40 more seconds puts the
+	// restored result past its minute.
+	clock.Advance(40 * time.Second)
+	if _, err := e2.Get("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restored result outlived its original TTL: %v", err)
+	}
+}
+
+// TestReplayTTLExpiredNotResurrected pins the TTL/replay interaction
+// with the injectable clock: a result whose TTL elapsed while the
+// server was down must not come back, even though replay happens a
+// wall-clock instant after the write.
+func TestReplayTTLExpiredNotResurrected(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	clock := &fakeClock{t: time.Unix(5000, 0)}
+
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Journal: j1, Now: clock.Now, TTL: time.Minute})
+	if _, err := e1.Submit("old", quickJob("stale")); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e1, "j1", StateDone)
+	clock.Advance(30 * time.Second)
+	if _, err := e1.Submit("young", quickJob("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e1, "j2", StateDone)
+	e1.Close()
+	j1.Close()
+
+	// Down for 45s: j1 finished 75s ago (past the minute), j2 only 45s
+	// ago (alive for 15 more).
+	clock.Advance(45 * time.Second)
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Now: clock.Now, TTL: time.Minute, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	if _, err := e2.Get("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("TTL-expired result resurrected: %v", err)
+	}
+	if st, err := e2.Get("j2"); err != nil || st.State != StateDone || st.Result == nil {
+		t.Fatalf("in-TTL result lost: %+v, %v", st, err)
+	}
+	stats := e2.Stats()
+	if stats.Journal.Replay.Expired != 1 || stats.Journal.Replay.Replayed != 1 {
+		t.Fatalf("replay stats %+v", stats.Journal.Replay)
+	}
+	// The survivor still dies on its original schedule.
+	clock.Advance(16 * time.Second)
+	if _, err := e2.Get("j2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restored result ignored its original finish time: %v", err)
+	}
+}
+
+// TestReplayRestartsInterrupted simulates a crash — the first engine is
+// abandoned without Close, so no cancellation records are written —
+// and asserts the queued and the running job both re-run from scratch
+// after replay, keeping their original ids.
+func TestReplayRestartsInterrupted(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Workers: 1, Journal: j1})
+	started := make(chan struct{})
+	spec := json.RawMessage(`{"job":"demo","result":"recovered"}`)
+	// j1 runs (and blocks forever: its release channel never closes),
+	// j2 waits behind it in the queue.
+	if _, err := e1.SubmitSpec("demo", spec, block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e1.SubmitSpec("demo", spec, block(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: e1 is abandoned mid-flight. Nothing ran a shutdown path,
+	// so the journal's last words are j1=start, j2=submit.
+
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Workers: 1, Journal: j2, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	for _, id := range []string{"j1", "j2"} {
+		st := waitState(t, e2, id, StateDone)
+		if st.Result != "recovered" {
+			t.Fatalf("job %s re-ran to %+v", id, st)
+		}
+	}
+	st := e2.Stats()
+	if st.Journal.Replay.Restarted != 2 || st.Journal.Replay.Replayed != 0 {
+		t.Fatalf("replay stats %+v", st.Journal.Replay)
+	}
+	if st.Totals.Done != 2 {
+		t.Fatalf("totals %+v", st.Totals)
+	}
+}
+
+// TestReplayCancelledStaysDead: a job cancelled before the crash is
+// neither restored nor re-run — cancellation is durable.
+func TestReplayCancelledStaysDead(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Workers: 1, Journal: j1})
+	started := make(chan struct{})
+	spec := json.RawMessage(`{"job":"demo","result":"zombie"}`)
+	if _, err := e1.SubmitSpec("demo", spec, block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e1.SubmitSpec("demo", spec, block(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Cancel("j2"); err != nil { // cancelled while queued
+		t.Fatal(err)
+	}
+	if _, err := e1.Cancel("j1"); err != nil { // cancel requested while running
+		t.Fatal(err)
+	}
+	// Crash before j1's body ever returns.
+
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Workers: 1, Journal: j2, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	for _, id := range []string{"j1", "j2"} {
+		if _, err := e2.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("cancelled job %s resurrected: %v", id, err)
+		}
+	}
+	if st := e2.Stats(); st.Journal.Replay.Restarted != 0 || st.Journal.Replay.Replayed != 0 {
+		t.Fatalf("replay stats %+v", st.Journal.Replay)
+	}
+}
+
+// TestReplayRehydrateFailureIsDurableFailure: an interrupted job whose
+// body cannot be rebuilt is restored as failed (not dropped, not
+// retried forever) — and the failure itself is journaled, so the next
+// restart replays it as a plain failed result.
+func TestReplayRehydrateFailure(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Workers: 1, Journal: j1})
+	started := make(chan struct{})
+	if _, err := e1.SubmitSpec("demo", json.RawMessage(`{"x":1}`), block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Crash; restart with a rehydrate hook that refuses.
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Rehydrate: func(string, json.RawMessage) (Func, error) {
+		return nil, errors.New("unknown spec")
+	}})
+	st, err := e2.Get("j1")
+	if err != nil || st.State != StateFailed || st.Error == "" {
+		t.Fatalf("rehydrate failure: %+v, %v", st, err)
+	}
+	e2.Close()
+	j2.Close()
+	// Second restart: the failed record replays as a terminal result.
+	j3 := openJournal(t, dir, journal.Options{})
+	e3 := New(Config{Journal: j3, Rehydrate: rehydrateQuick})
+	defer e3.Close()
+	st, err = e3.Get("j1")
+	if err != nil || st.State != StateFailed {
+		t.Fatalf("second restart: %+v, %v", st, err)
+	}
+	if s := e3.Stats(); s.Journal.Replay.Replayed != 1 || s.Journal.Replay.Restarted != 0 {
+		t.Fatalf("second restart replay stats %+v", s.Journal.Replay)
+	}
+}
+
+// TestCompactionBoundsJournal churns 1000+ jobs through a durable
+// engine with an aggressive TTL and asserts compaction keeps the
+// on-disk journal bounded by the (tiny) live set instead of the full
+// history, while a restart on the churned journal still works.
+func TestCompactionBoundsJournal(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	clock := &fakeClock{t: time.Unix(9000, 0)}
+	jnl := openJournal(t, dir, journal.Options{SegmentBytes: 16 << 10, CompactBytes: 32 << 10})
+	e := New(Config{Workers: 4, Queue: 64, Journal: jnl, Now: clock.Now, TTL: time.Second})
+	const churn = 1200
+	for batch := 0; batch < churn/40; batch++ {
+		var ids []string
+		for i := 0; i < 40; i++ {
+			st, err := e.SubmitSpec("churn", json.RawMessage(`{"job":"churn"}`), quickJob(batch*40+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, st.ID)
+		}
+		for _, id := range ids {
+			waitState(t, e, id, StateDone)
+		}
+		// Let the batch expire; the sweep on the next entry retires its
+		// journal bytes and compacts once enough are dead.
+		clock.Advance(2 * time.Second)
+	}
+	st := e.Stats()
+	if st.Totals.Done != churn || st.Totals.Expired < churn-64 {
+		t.Fatalf("churn bookkeeping %+v", st.Totals)
+	}
+	if st.Journal.Compactions == 0 {
+		t.Fatalf("no compaction after %d-job churn: %+v", churn, st.Journal)
+	}
+	if st.Journal.Segments > 6 {
+		t.Fatalf("journal not bounded: %d segments (%+v)", st.Journal.Segments, st.Journal)
+	}
+	e.Close()
+	if size := journalDirBytes(t, dir); size > 128<<10 {
+		t.Fatalf("journal dir grew to %d bytes after churn (history is ~%d records)", size, 3*churn)
+	}
+	// The compacted journal replays cleanly.
+	jnl.Close()
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Now: clock.Now, TTL: time.Second, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	if s := e2.Stats(); s.Journal == nil {
+		t.Fatal("restart on compacted journal lost the journal")
+	}
+}
+
+// TestCloseDrainRestartsOnReplay: a graceful Close drains interrupted
+// jobs as cancelled in memory, but shutdown is not user cancellation —
+// after a restart on the same journal, the drained jobs re-run exactly
+// like crash-interrupted ones.
+func TestCloseDrainRestartsOnReplay(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Workers: 1, Journal: j1})
+	started := make(chan struct{})
+	spec := json.RawMessage(`{"job":"demo","result":"after-drain"}`)
+	if _, err := e1.SubmitSpec("demo", spec, block(started, nil)); err != nil { // will be running
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e1.SubmitSpec("demo", spec, block(nil, nil)); err != nil { // still queued
+		t.Fatal(err)
+	}
+	e1.Close() // both finish as cancelled in memory, but not in the journal
+	if st, err := e1.Get("j1"); err != nil || st.State != StateCancelled {
+		t.Fatalf("drained job in memory: %+v, %v", st, err)
+	}
+	j1.Close()
+
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Workers: 1, Journal: j2, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	for _, id := range []string{"j1", "j2"} {
+		if st := waitState(t, e2, id, StateDone); st.Result != "after-drain" {
+			t.Fatalf("drained job %s did not re-run: %+v", id, st)
+		}
+	}
+	if st := e2.Stats(); st.Journal.Replay.Restarted != 2 {
+		t.Fatalf("replay stats %+v", st.Journal.Replay)
+	}
+}
+
+// TestCompactionKeepsUnjournalableResultFailed: a done job whose
+// result could not be marshaled is journaled as failed by the worker;
+// a later compaction must preserve that verdict instead of writing a
+// done record with a missing payload.
+func TestCompactionKeepsUnjournalableResultFailed(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Journal: j1})
+	if _, err := e1.SubmitSpec("nan", json.RawMessage(`{"job":"nan"}`), quickJob(math.NaN())); err != nil {
+		t.Fatal(err)
+	}
+	// The live store serves the real value; the journal holds a failed
+	// record (NaN does not marshal).
+	if st := waitState(t, e1, "j1", StateDone); st.Result == nil {
+		t.Fatalf("live result lost: %+v", st)
+	}
+	e1.mu.Lock()
+	e1.compactLocked()
+	e1.mu.Unlock()
+	e1.Close()
+	j1.Close()
+
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	st, err := e2.Get("j1")
+	if err != nil || st.State != StateFailed || st.Result != nil {
+		t.Fatalf("compacted unjournalable result replayed as %+v, %v", st, err)
+	}
+}
+
+// TestCompactionPreservesCancelIntent: Cancel on a running job
+// journals the cancellation immediately; a compaction while the body
+// is still running must not rewrite the job as merely running, or a
+// crash would re-run work the caller cancelled.
+func TestCompactionPreservesCancelIntent(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j1 := openJournal(t, dir, journal.Options{})
+	e1 := New(Config{Workers: 1, Journal: j1})
+	started := make(chan struct{})
+	if _, err := e1.SubmitSpec("demo", json.RawMessage(`{"job":"demo","result":"zombie"}`), block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e1.Cancel("j1"); err != nil {
+		t.Fatal(err)
+	}
+	// The body has not returned; compact while the cancel is in flight.
+	e1.mu.Lock()
+	e1.compactLocked()
+	e1.mu.Unlock()
+	// Crash before the body ever returns.
+
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	if _, err := e2.Get("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancelled job resurrected through compaction: %v", err)
+	}
+	if st := e2.Stats(); st.Journal.Replay.Restarted != 0 {
+		t.Fatalf("replay stats %+v", st.Journal.Replay)
+	}
+}
+
+// TestSeqWatermarkSurvivesCompaction: even when every journaled job
+// has expired and compaction emptied the log, a restart must not reuse
+// ids — a stale client id would silently resolve to a new job's data.
+func TestSeqWatermarkSurvivesCompaction(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	clock := &fakeClock{t: time.Unix(7000, 0)}
+	j1 := openJournal(t, dir, journal.Options{CompactBytes: 1})
+	e1 := New(Config{Workers: 2, Journal: j1, Now: clock.Now, TTL: time.Second})
+	for i := 1; i <= 3; i++ {
+		if _, err := e1.SubmitSpec("demo", json.RawMessage(`{"job":"demo"}`), quickJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		waitState(t, e1, "j"+string(rune('0'+i)), StateDone)
+	}
+	clock.Advance(2 * time.Second)
+	sweepStats := e1.Stats() // sweep: expire all three, retire, compact
+	if sweepStats.Totals.Expired != 3 || sweepStats.Journal.Compactions == 0 {
+		t.Fatalf("churn did not compact: %+v", sweepStats)
+	}
+	e1.Close()
+	j1.Close()
+
+	j2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Journal: j2, Now: clock.Now, TTL: time.Second, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	st, err := e2.SubmitSpec("demo", json.RawMessage(`{"job":"demo"}`), quickJob("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j4" || st.Seq != 4 {
+		t.Fatalf("id sequence reset after compaction: %+v", st)
+	}
+}
+
+// TestSubmitSpecWithoutJournal: the spec path is inert on a
+// non-durable engine.
+func TestSubmitSpecWithoutJournal(t *testing.T) {
+	t.Parallel()
+	e := New(Config{})
+	defer e.Close()
+	if _, err := e.SubmitSpec("demo", json.RawMessage(`{"a":1}`), quickJob("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, e, "j1", StateDone); st.Result != "ok" {
+		t.Fatalf("status %+v", st)
+	}
+	if st := e.Stats(); st.Journal != nil {
+		t.Fatalf("journal stats on a non-durable engine: %+v", st.Journal)
+	}
+}

@@ -1,0 +1,547 @@
+// Package journal is the durable half of the async job engine: an
+// append-only, fsync-on-record log of job lifecycle events from which
+// the engine's state is deterministically reconstructed after a crash.
+// The design is the accountability discipline of an append-only ledger
+// — current state is never authoritative on its own; it is whatever
+// replaying the log yields.
+//
+// Framing. Each record is one frame on disk:
+//
+//	+----------------+----------------+------------------------+
+//	| length (4B BE) | CRC32 (4B BE)  | payload (length bytes) |
+//	+----------------+----------------+------------------------+
+//
+// The payload is the Record as compact JSON and the checksum is
+// IEEE CRC32 over the payload. A torn tail write — a partial frame, a
+// length that runs past the file, a checksum mismatch, or unparsable
+// JSON — ends replay at the last clean frame: Open truncates the
+// segment there and drops any later segments, so a crash mid-append
+// loses at most the record being written, never the log.
+//
+// Segments. The log is a directory of numbered segment files
+// (jrnl-00000001.seg, …). Appends go to the highest-numbered segment
+// and roll to a fresh one once it exceeds SegmentBytes. Byte ownership
+// is tracked per job id; Retire(id) moves a job's bytes to the dead
+// count, and once dead bytes exceed CompactBytes the owner rewrites
+// the live records into a single fresh segment (Compact) and deletes
+// the old files, so the journal is bounded by the live set, not by
+// history.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Type tags one lifecycle record.
+type Type string
+
+const (
+	TypeSubmit    Type = "submit"
+	TypeStart     Type = "start"
+	TypeDone      Type = "done"
+	TypeFailed    Type = "failed"
+	TypeCancelled Type = "cancelled"
+	// TypeCheckpoint is the compaction barrier: everything before it in
+	// the log is stale and discarded at Open, and its Seq carries the
+	// admission-sequence watermark, so ids are never reused even after
+	// every journaled job has been compacted away. Compact callers lead
+	// their live set with one.
+	TypeCheckpoint Type = "checkpoint"
+)
+
+// Record is one journal entry. Submit records carry the admission
+// sequence, kind, spec (the opaque re-submittable job description),
+// and creation time; terminal records carry the outcome, the progress
+// counters, and the finish time. Times are Unix nanoseconds so the
+// payload is plain JSON with no layout ambiguity.
+type Record struct {
+	Type   Type            `json:"type"`
+	ID     string          `json:"id"`
+	Seq    int64           `json:"seq,omitempty"`
+	Kind   string          `json:"kind,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Done   int64           `json:"done,omitempty"`
+	Total  int64           `json:"total,omitempty"`
+	Time   int64           `json:"time"`
+}
+
+// When returns the record's timestamp.
+func (r Record) When() time.Time { return time.Unix(0, r.Time) }
+
+// frameHeader is the fixed per-record overhead: 4-byte length plus
+// 4-byte CRC32, both big-endian.
+const frameHeader = 8
+
+// maxPayloadBytes rejects absurd frame lengths during decode, so a
+// corrupted length field cannot ask for gigabytes.
+const maxPayloadBytes = 16 << 20
+
+// Options tunes a Journal. The zero value is usable: 1 MiB segments,
+// compaction once 256 KiB of dead bytes accumulate.
+type Options struct {
+	// SegmentBytes rolls the active segment once it exceeds this size;
+	// 0 means 1 MiB.
+	SegmentBytes int64
+	// CompactBytes is the dead-byte threshold beyond which ShouldCompact
+	// reports true; 0 means 256 KiB.
+	CompactBytes int64
+}
+
+// Stats is the journal's bookkeeping, surfaced on /v1/stats and
+// /metrics by the service layer.
+type Stats struct {
+	// Segments is the number of segment files on disk.
+	Segments int `json:"segments"`
+	// LiveBytes is the on-disk footprint still owned by live jobs.
+	LiveBytes int64 `json:"live_bytes"`
+	// DeadBytes is the footprint of retired jobs, reclaimed by the next
+	// compaction.
+	DeadBytes int64 `json:"dead_bytes"`
+	// Appends counts records written over the journal's lifetime.
+	Appends uint64 `json:"appends"`
+	// Compactions counts completed compaction passes.
+	Compactions uint64 `json:"compactions"`
+	// Truncated counts bytes dropped at Open by torn-tail recovery.
+	Truncated int64 `json:"truncated_bytes"`
+}
+
+// Journal is an open journal directory. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	active    *os.File
+	activeNum int
+	activeLen int64
+	segments  []int // sorted segment numbers, including the active one
+
+	totalBytes int64
+	bytesByID  map[string]int64
+	deadBytes  int64
+	appends    uint64
+	compacts   uint64
+	truncated  int64
+
+	replay []Record // records recovered at Open, handed to the engine once
+	closed bool
+	broken bool // a failed append could not be repaired; see Append
+}
+
+func segName(n int) string { return fmt.Sprintf("jrnl-%08d.seg", n) }
+
+// segNum parses a segment file name; ok is false for foreign files.
+func segNum(name string) (int, bool) {
+	rest, found := strings.CutPrefix(name, "jrnl-")
+	if !found {
+		return 0, false
+	}
+	rest, found = strings.CutSuffix(rest, ".seg")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open opens (creating if needed) the journal directory, replays every
+// segment in order, repairs the tail — the first torn or corrupt frame
+// truncates its segment and drops all later segments, keeping the log
+// a clean prefix — and leaves the journal ready to append. The
+// recovered records are available once through Replay.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = 256 << 10
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var nums []int
+	for _, ent := range entries {
+		if n, ok := segNum(ent.Name()); ok && !ent.IsDir() {
+			nums = append(nums, n)
+		}
+		// A .tmp file is a compaction that crashed before its rename:
+		// never part of the log, safe to clear.
+		if strings.HasSuffix(ent.Name(), ".seg.tmp") && !ent.IsDir() {
+			_ = os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+	sort.Ints(nums)
+
+	j := &Journal{dir: dir, opts: opts, bytesByID: make(map[string]int64)}
+	for i, n := range nums {
+		data, err := os.ReadFile(filepath.Join(dir, segName(n)))
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		recs, sizes, clean := DecodeAll(data)
+		for k, rec := range recs {
+			if rec.Type == TypeCheckpoint {
+				// Compaction barrier: everything before it is stale — even
+				// records from orphaned older segments a failed cleanup
+				// left behind.
+				j.replay = nil
+				j.bytesByID = make(map[string]int64)
+				j.totalBytes = 0
+			}
+			j.replay = append(j.replay, rec)
+			j.bytesByID[rec.ID] += sizes[k]
+			j.totalBytes += sizes[k]
+		}
+		j.segments = append(j.segments, n)
+		if clean < len(data) {
+			// Torn or corrupt tail: keep the clean prefix of this segment
+			// and drop everything after the corruption horizon, including
+			// later segments — the log stays a clean prefix of history.
+			j.truncated += int64(len(data) - clean)
+			if err := os.Truncate(filepath.Join(dir, segName(n)), int64(clean)); err != nil {
+				return nil, fmt.Errorf("journal: repair %s: %w", segName(n), err)
+			}
+			for _, later := range nums[i+1:] {
+				st, err := os.Stat(filepath.Join(dir, segName(later)))
+				if err == nil {
+					j.truncated += st.Size()
+				}
+				if err := os.Remove(filepath.Join(dir, segName(later))); err != nil {
+					return nil, fmt.Errorf("journal: repair %s: %w", segName(later), err)
+				}
+			}
+			break
+		}
+	}
+	if len(j.segments) == 0 {
+		j.segments = []int{1}
+	}
+	j.activeNum = j.segments[len(j.segments)-1]
+	f, err := os.OpenFile(filepath.Join(dir, segName(j.activeNum)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.active = f
+	j.activeLen = st.Size()
+	if err := j.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Replay returns the records recovered at Open, in append order, and
+// releases them (the engine consumes them exactly once).
+func (j *Journal) Replay() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs := j.replay
+	j.replay = nil
+	return recs
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// encodeRecord frames one record: header plus compact-JSON payload.
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// DecodeAll scans data as a sequence of frames and returns the decoded
+// records, the on-disk size of each, and the clean offset — the byte
+// position of the first torn or corrupt frame (len(data) when the
+// whole input is clean). It never panics on malformed input; replay
+// recovers every record before the first corruption and nothing after.
+func DecodeAll(data []byte) (recs []Record, sizes []int64, clean int) {
+	off := 0
+	for {
+		if len(data)-off < frameHeader {
+			return recs, sizes, off
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if n > maxPayloadBytes || len(data)-off-frameHeader < n {
+			return recs, sizes, off
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[off+4:off+8]) {
+			return recs, sizes, off
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, sizes, off
+		}
+		recs = append(recs, rec)
+		sizes = append(sizes, int64(frameHeader+n))
+		off += frameHeader + n
+	}
+}
+
+// Append frames rec, writes it to the active segment, and fsyncs before
+// returning — once Append returns nil the record survives a crash. The
+// active segment rolls to a fresh file once it exceeds SegmentBytes.
+//
+// A failed write or fsync must not leave a torn frame in the middle of
+// the segment: replay stops at the first corruption, so records
+// appended after a tear would be acknowledged and then silently
+// discarded on the next Open. Append therefore truncates the segment
+// back to its last clean length on failure; if even that repair fails,
+// the journal marks itself broken and refuses all further appends
+// (callers reject submissions / count the errors) rather than risk
+// acknowledging unrecoverable records.
+func (j *Journal) Append(rec Record) error {
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.broken {
+		return fmt.Errorf("journal: broken by an earlier unrepairable append failure")
+	}
+	if _, err := j.active.Write(frame); err != nil {
+		j.repairTailLocked()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.active.Sync(); err != nil {
+		j.repairTailLocked()
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.activeLen += int64(len(frame))
+	j.totalBytes += int64(len(frame))
+	j.bytesByID[rec.ID] += int64(len(frame))
+	j.appends++
+	if j.activeLen >= j.opts.SegmentBytes {
+		// The record is already durable, so a rotation failure must not
+		// fail the append — the caller would disown a record that WILL
+		// replay. Rotation simply retries on the next append.
+		_ = j.rotateLocked()
+	}
+	return nil
+}
+
+// repairTailLocked cuts the active segment back to its last clean
+// length after a failed append, so the possibly-torn frame cannot
+// shadow later records at replay. An unrepairable tail breaks the
+// journal permanently (fail-stop beats silent data loss).
+func (j *Journal) repairTailLocked() {
+	if err := j.active.Truncate(j.activeLen); err != nil {
+		j.broken = true
+		return
+	}
+	if err := j.active.Sync(); err != nil {
+		j.broken = true
+	}
+}
+
+// rotateLocked starts the next segment. The new file is opened (and
+// the directory fsynced) before the old handle is touched, so a
+// failure leaves the journal appending to the old segment, never to a
+// closed handle; the old handle's close error is irrelevant — its
+// contents are already fsynced.
+func (j *Journal) rotateLocked() error {
+	next := j.activeNum + 1
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(next)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if err := j.syncDir(); err != nil {
+		f.Close()
+		_ = os.Remove(filepath.Join(j.dir, segName(next)))
+		return err
+	}
+	old := j.active
+	j.active = f
+	j.activeNum = next
+	j.activeLen = 0
+	j.segments = append(j.segments, next)
+	_ = old.Close()
+	return nil
+}
+
+// Retire marks a job's records dead: its bytes move to the dead count
+// and are reclaimed by the next compaction. Call it once a job will
+// never be consulted again (expired from the store, or dropped at
+// replay).
+func (j *Journal) Retire(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n, ok := j.bytesByID[id]; ok {
+		j.deadBytes += n
+		delete(j.bytesByID, id)
+	}
+}
+
+// ShouldCompact reports whether dead bytes crossed the compaction
+// threshold.
+func (j *Journal) ShouldCompact() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadBytes >= j.opts.CompactBytes
+}
+
+// Compact rewrites the given live records — the owner's reconstruction
+// of every job still worth replaying, led by a TypeCheckpoint barrier
+// carrying the sequence watermark — into a single fresh segment and
+// deletes all older segments. The new segment is written to a temp
+// file, fsynced, and renamed into place before the old files go, so a
+// crash at any point leaves either the old log or the new one, never
+// neither; and because replay discards everything before a checkpoint,
+// an old segment that survives a failed removal is merely wasted disk
+// (reclaimed by the next compaction's directory sweep), never wrong
+// state.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	newNum := j.activeNum + 1
+	tmpPath := filepath.Join(j.dir, segName(newNum)+".tmp")
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	bytesByID := make(map[string]int64, len(live))
+	var total int64
+	for _, rec := range live {
+		frame, err := encodeRecord(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		bytesByID[rec.ID] += int64(len(frame))
+		total += int64(len(frame))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(j.dir, segName(newNum))); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	// The new segment is durable. Open its append handle BEFORE
+	// touching the old one, so a failure here leaves the journal on the
+	// old (still complete) log — but then the new segment must go too,
+	// or appends to the lower-numbered old active would land before the
+	// new checkpoint in replay order and be discarded by it.
+	af, err := os.OpenFile(filepath.Join(j.dir, segName(newNum)),
+		os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		if rmErr := os.Remove(filepath.Join(j.dir, segName(newNum))); rmErr != nil {
+			j.broken = true // can't go forward, can't go back: fail stop
+		}
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	old := j.active
+	j.active = af
+	j.activeNum = newNum
+	j.activeLen = total
+	j.segments = []int{newNum}
+	_ = old.Close() // contents already fsynced; the handle is done either way
+	// Best-effort cleanup by directory listing, so segments orphaned by
+	// an earlier failed removal are retried too. A leftover is harmless:
+	// replay discards everything before the new checkpoint.
+	if ents, err := os.ReadDir(j.dir); err == nil {
+		for _, ent := range ents {
+			if n, ok := segNum(ent.Name()); ok && n != newNum && !ent.IsDir() {
+				_ = os.Remove(filepath.Join(j.dir, ent.Name()))
+			}
+		}
+	}
+	_ = j.syncDir()
+	j.totalBytes = total
+	j.bytesByID = bytesByID
+	j.deadBytes = 0
+	j.compacts++
+	return nil
+}
+
+// Stats returns the journal's bookkeeping.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Segments:    len(j.segments),
+		LiveBytes:   j.totalBytes - j.deadBytes,
+		DeadBytes:   j.deadBytes,
+		Appends:     j.appends,
+		Compactions: j.compacts,
+		Truncated:   j.truncated,
+	}
+}
+
+// Close closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.active.Close()
+}
+
+// syncDir fsyncs the journal directory so segment creation, rename,
+// and removal are durable, not just the file contents.
+func (j *Journal) syncDir() error {
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,490 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// rec builds a small submit record for test traffic.
+func rec(i int) Record {
+	return Record{
+		Type: TypeSubmit,
+		ID:   fmt.Sprintf("j%d", i),
+		Seq:  int64(i),
+		Kind: "demo",
+		Spec: json.RawMessage(`{"job":"demo"}`),
+		Time: int64(1000 + i),
+	}
+}
+
+// segPaths lists the journal's segment files, sorted.
+func segPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if _, ok := segNum(e.Name()); ok {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+// dirBytes sums the size of every segment file.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	for _, p := range segPaths(t, dir) {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	return total
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Replay(); len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(got))
+	}
+	want := []Record{rec(1), rec(2),
+		{Type: TypeStart, ID: "j1", Time: 1100},
+		{Type: TypeDone, ID: "j1", Result: json.RawMessage(`{"ok":true}`), Done: 3, Total: 3, Time: 1200},
+		{Type: TypeFailed, ID: "j2", Error: "boom", Time: 1300},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Appends != 5 || st.Segments != 1 || st.DeadBytes != 0 || st.LiveBytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Replay()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Replay hands the records over exactly once.
+	if again := j2.Replay(); len(again) != 0 {
+		t.Fatalf("second Replay returned %d records", len(again))
+	}
+}
+
+// TestTornTailTruncated pins the recovery contract: a partial frame at
+// the tail is truncated away, every record before it survives, and the
+// repaired file appends cleanly.
+func TestTornTailTruncated(t *testing.T) {
+	t.Parallel()
+	for _, cut := range []int{1, 3, 7, 9} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			j, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 3; i++ {
+				if err := j.Append(rec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			j.Close()
+			seg := segPaths(t, dir)[0]
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tear the tail: drop the last `cut` bytes, then add half a
+			// header of garbage so the torn region is not even frame-shaped.
+			torn := append(append([]byte{}, data[:len(data)-cut]...), 0xFF, 0xFF, 0xFF)
+			if err := os.WriteFile(seg, torn, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := j2.Replay()
+			if len(got) != 2 || got[0].ID != "j1" || got[1].ID != "j2" {
+				t.Fatalf("after torn tail, replay %+v", got)
+			}
+			if st := j2.Stats(); st.Truncated == 0 {
+				t.Fatalf("truncation not counted: %+v", st)
+			}
+			// The repaired journal appends and replays cleanly.
+			if err := j2.Append(rec(9)); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			j3, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			if got := j3.Replay(); len(got) != 3 || got[2].ID != "j9" {
+				t.Fatalf("after repair+append, replay %+v", got)
+			}
+		})
+	}
+}
+
+// TestCorruptionDropsLaterSegments: a corrupt record in a middle
+// segment ends replay there — the log is a clean prefix of history, so
+// segments past the corruption horizon are removed.
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 64}) // force rotation quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs := segPaths(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("rotation produced only %d segments", len(segs))
+	}
+	// Flip a payload bit in the second segment.
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+2] ^= 0x40
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Replay()
+	// Everything from segment 1 survives; the corrupt record and all
+	// later history is gone.
+	if len(got) == 0 || len(got) >= 8 {
+		t.Fatalf("replay recovered %d of 8 records", len(got))
+	}
+	for i, r := range got {
+		if r.ID != fmt.Sprintf("j%d", i+1) {
+			t.Fatalf("record %d is %+v", i, r)
+		}
+	}
+	if remaining := segPaths(t, dir); len(remaining) >= len(segs) {
+		t.Fatalf("later segments survived corruption: %v", remaining)
+	}
+}
+
+// TestPrefixRecoveryAtEveryCut corrupts a clean multi-record segment at
+// every byte offset and asserts DecodeAll recovers exactly the records
+// whose frames end before the corrupted byte.
+func TestPrefixRecoveryAtEveryCut(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	var ends []int
+	for i := 1; i <= 4; i++ {
+		frame, err := encodeRecord(rec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+		ends = append(ends, buf.Len())
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		mut := append([]byte{}, data...)
+		mut[cut] ^= 0x01
+		wantRecs := 0
+		for _, end := range ends {
+			if end <= cut {
+				wantRecs++
+			}
+		}
+		recs, _, clean := DecodeAll(mut)
+		if len(recs) != wantRecs {
+			t.Fatalf("flip at %d: recovered %d records, want %d", cut, len(recs), wantRecs)
+		}
+		wantClean := 0
+		if wantRecs > 0 {
+			wantClean = ends[wantRecs-1]
+		}
+		if clean != wantClean {
+			t.Fatalf("flip at %d: clean offset %d, want %d", cut, clean, wantClean)
+		}
+	}
+}
+
+func TestRotation(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("no rotation after 10 appends over a 100-byte bound: %+v", st)
+	}
+	if got := len(segPaths(t, dir)); got != st.Segments {
+		t.Fatalf("stats say %d segments, disk has %d", st.Segments, got)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replay(); len(got) != 10 {
+		t.Fatalf("replay across segments: %d records", len(got))
+	}
+}
+
+// TestRetireAndCompact: retiring jobs accumulates dead bytes, compaction
+// rewrites the live set into one segment, and replay afterwards yields
+// exactly the live records.
+func TestRetireAndCompact(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 128, CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dirBytes(t, dir)
+	for i := 1; i <= 19; i++ {
+		j.Retire(fmt.Sprintf("j%d", i))
+	}
+	if !j.ShouldCompact() {
+		t.Fatalf("dead bytes below threshold after 19 retires: %+v", j.Stats())
+	}
+	live := []Record{rec(20)}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Segments != 1 || st.DeadBytes != 0 || st.Compactions != 1 {
+		t.Fatalf("post-compaction stats %+v", st)
+	}
+	if after := dirBytes(t, dir); after >= before {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d bytes", before, after)
+	}
+	// The compacted journal still appends and replays.
+	if err := j.Append(Record{Type: TypeStart, ID: "j20", Time: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Replay()
+	if len(got) != 2 || got[0].ID != "j20" || got[1].Type != TypeStart {
+		t.Fatalf("replay after compaction: %+v", got)
+	}
+}
+
+// TestCheckpointDiscardsOrphanSegments: a checkpoint record is the
+// compaction barrier — records before it, including a whole stale
+// segment that a failed cleanup left behind, are discarded at Open.
+func TestCheckpointDiscardsOrphanSegments(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stash the pre-compaction segment, compact, then "fail" the
+	// cleanup by restoring the stale file.
+	seg1 := segPaths(t, dir)[0]
+	stale, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []Record{
+		{Type: TypeCheckpoint, Seq: 9, Time: 5000},
+		rec(9),
+	}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(seg1, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := j2.Replay()
+	if len(got) != 2 || got[0].Type != TypeCheckpoint || got[0].Seq != 9 || got[1].ID != "j9" {
+		t.Fatalf("orphan segment leaked past the checkpoint: %+v", got)
+	}
+	// The next compaction's directory sweep clears the orphan.
+	if err := j2.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(seg1); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment survived the compaction sweep: %v", err)
+	}
+	j2.Close()
+}
+
+// TestRotationFailureDoesNotFailAppend: once a record is fsynced it
+// WILL replay, so a failed rotation (here: the next segment name is
+// blocked by a directory) must not make Append report failure.
+func TestRotationFailureDoesNotFailAppend(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 1}) // rotate after every record
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, segName(2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatalf("append %d failed on a durable record: %v", i, err)
+		}
+	}
+	// Unblock: the next append rotates after all.
+	if err := os.Remove(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Segments < 2 {
+		t.Fatalf("rotation never recovered: %+v", st)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replay(); len(got) != 4 {
+		t.Fatalf("replay after blocked rotation: %d records", len(got))
+	}
+}
+
+// TestForeignFilesIgnored: non-segment files in the directory are left
+// alone and do not confuse replay.
+func TestForeignFilesIgnored(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replay(); len(got) != 1 {
+		t.Fatalf("replay %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("foreign file disturbed: %v", err)
+	}
+}
+
+// TestAppendFailureBreaksNotTears: when an append fails and the tail
+// cannot be repaired, the journal must refuse all further appends —
+// acknowledged records written after a torn frame would be silently
+// discarded by the next Open, which is strictly worse than failing.
+func TestAppendFailureBreaksNotTears(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the active segment's descriptor behind the journal's
+	// back: the next write fails, and so does the truncate repair.
+	j.active.Close()
+	if err := j.Append(rec(2)); err == nil {
+		t.Fatal("append on a dead descriptor succeeded")
+	}
+	if err := j.Append(rec(3)); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("broken journal kept accepting appends: %v", err)
+	}
+	// Everything acknowledged before the failure is still recoverable.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replay(); len(got) != 1 || got[0].ID != "j1" {
+		t.Fatalf("replay after breakage: %+v", got)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	t.Parallel()
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(rec(1)); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}

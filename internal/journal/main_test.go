@@ -1,0 +1,14 @@
+package journal
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/journaltest"
+)
+
+// TestMain wraps the package in the tmpdir-hygiene guard: a journal
+// test that writes outside t.TempDir() fails the run.
+func TestMain(m *testing.M) {
+	os.Exit(journaltest.GuardTempDirs(m))
+}

@@ -1,0 +1,191 @@
+// Package journaltest is the crash-recovery test harness for the
+// durable job store: it runs a real lphd process, kills it with
+// SIGKILL mid-job (no shutdown path runs — the only survivor is what
+// the journal fsynced), restarts it on the same journal directory, and
+// lets tests assert over the HTTP API that done results survived
+// byte-for-byte and interrupted jobs re-ran.
+//
+// The lphd binary is whatever the caller passes — cmd/lphd's tests
+// re-exec their own test binary through a TestMain hook, so the
+// harness needs no `go build` step and the whole kill/restart cycle
+// runs under -race.
+//
+// The package also hosts GuardTempDirs, the tmpdir-hygiene TestMain
+// wrapper used by the journal-adjacent packages: tests that leak files
+// outside t.TempDir() (into the package directory or os.TempDir())
+// fail the run.
+package journaltest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// listenLine matches lphd's startup line; keep in sync with cmd/lphd.
+var listenLine = regexp.MustCompile(`lphd: listening on http://(\S+)`)
+
+// Proc is one managed lphd process.
+type Proc struct {
+	tb      testing.TB
+	cmd     *exec.Cmd
+	logPath string
+	// Addr is the host:port scraped from the startup line.
+	Addr string
+}
+
+// Start launches bin with the given args and extra environment,
+// captures its output in a log file under t.TempDir(), and waits for
+// the listening line. The process is killed at test cleanup if the
+// test did not kill it itself.
+func Start(tb testing.TB, bin string, env []string, args ...string) *Proc {
+	tb.Helper()
+	logPath := filepath.Join(tb.TempDir(), "lphd.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		tb.Fatalf("journaltest: start %s: %v", bin, err)
+	}
+	logFile.Close() // the child holds its own descriptor
+	p := &Proc{tb: tb, cmd: cmd, logPath: logPath}
+	tb.Cleanup(p.Kill)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(p.Log()); m != nil {
+			p.Addr = m[1]
+			return p
+		}
+		if state := cmd.ProcessState; state != nil {
+			tb.Fatalf("journaltest: lphd exited before listening:\n%s", p.Log())
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("journaltest: lphd never printed the listen line:\n%s", p.Log())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Log returns the process output captured so far.
+func (p *Proc) Log() string {
+	data, err := os.ReadFile(p.logPath)
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// Kill sends SIGKILL and reaps the process — the crash under test: no
+// handler runs, no flush happens, nothing survives but fsynced bytes.
+// Safe to call twice.
+func (p *Proc) Kill() {
+	if p.cmd.Process != nil && p.cmd.ProcessState == nil {
+		_ = p.cmd.Process.Kill()
+		_, _ = p.cmd.Process.Wait()
+	}
+}
+
+// URL joins a path onto the process's base URL.
+func (p *Proc) URL(path string) string { return "http://" + p.Addr + path }
+
+// Do issues one HTTP request and returns the status code and raw body
+// bytes (raw, so crash tests can assert byte identity across restarts).
+func (p *Proc) Do(method, path, body string) (int, []byte) {
+	p.tb.Helper()
+	req, err := http.NewRequest(method, p.URL(path), strings.NewReader(body))
+	if err != nil {
+		p.tb.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		p.tb.Fatalf("journaltest: %s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.tb.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// WaitJob polls GET /v1/jobs/{id} until the body reports the wanted
+// state, returning the raw body of the matching response.
+func (p *Proc) WaitJob(id, want string, timeout time.Duration) []byte {
+	p.tb.Helper()
+	needle := fmt.Sprintf("%q:%q", "state", want)
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body := p.Do(http.MethodGet, "/v1/jobs/"+id, "")
+		if code == http.StatusOK && strings.Contains(string(body), needle) {
+			return body
+		}
+		if time.Now().After(deadline) {
+			p.tb.Fatalf("journaltest: job %s never reached %s; last body (status %d): %s\nprocess log:\n%s",
+				id, want, code, body, p.Log())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// guardPrefixes are the os.TempDir() names our packages would create if
+// they bypassed t.TempDir(); only these are checked there, so t.TempDir
+// churn from concurrently running test packages cannot flake the guard.
+var guardPrefixes = []string{"jrnl", "journal", "lphd"}
+
+// GuardTempDirs runs m and fails the package if the run left new files
+// behind in the package directory or journal-shaped files in
+// os.TempDir() — every test must confine its files to t.TempDir().
+// Use from TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(journaltest.GuardTempDirs(m)) }
+func GuardTempDirs(m *testing.M) int {
+	before := guardSnapshot()
+	code := m.Run()
+	var leaked []string
+	for name := range guardSnapshot() {
+		if !before[name] {
+			leaked = append(leaked, name)
+		}
+	}
+	if len(leaked) > 0 {
+		fmt.Fprintf(os.Stderr, "tmpdir hygiene: tests leaked files outside t.TempDir(): %v\n", leaked)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// guardSnapshot lists the guarded locations: everything in the package
+// directory, and journal-shaped names in os.TempDir().
+func guardSnapshot() map[string]bool {
+	seen := make(map[string]bool)
+	if ents, err := os.ReadDir("."); err == nil {
+		for _, e := range ents {
+			seen["./"+e.Name()] = true
+		}
+	}
+	if ents, err := os.ReadDir(os.TempDir()); err == nil {
+		for _, e := range ents {
+			for _, prefix := range guardPrefixes {
+				if strings.HasPrefix(e.Name(), prefix) {
+					seen[filepath.Join(os.TempDir(), e.Name())] = true
+				}
+			}
+		}
+	}
+	return seen
+}

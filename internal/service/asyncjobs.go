@@ -1,10 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/jobs"
@@ -14,9 +19,16 @@ import (
 // This file is the async half of the service: POST /v1/jobs admits
 // long-running work — whole experiment sweeps, single experiments, the
 // long games — into the bounded job engine (429 on queue overflow),
+// GET /v1/jobs lists jobs in admission order behind an opaque cursor,
 // GET /v1/jobs/{id} serves progress and the TTL'd result, and DELETE
 // /v1/jobs/{id} cancels whether the job is still queued or already
 // running (the job's context reaches every search engine).
+//
+// When the server runs with a journal, the validated request is
+// re-marshaled and journaled as the job's spec; after a crash the
+// engine replays it through rehydrateJob — the same buildJob catalog
+// validation as a live submission — so interrupted jobs re-run from
+// scratch with their original ids.
 
 // JobNames lists the submittable job kinds.
 func JobNames() []string { return []string{"experiment", "game", "sweep"} }
@@ -109,6 +121,24 @@ func (s *Server) buildJob(req *Request) (jobs.Func, error) {
 	}
 }
 
+// rehydrateJob rebuilds a journaled job body after a crash: the spec
+// is the canonical re-marshal of the originally validated request, so
+// it goes back through DecodeRequest and buildJob — catalog changes
+// between restarts surface as a durable failed job, not a panic.
+func (s *Server) rehydrateJob(kind string, spec json.RawMessage) (jobs.Func, error) {
+	if len(spec) == 0 {
+		return nil, errors.New("empty job spec")
+	}
+	req, err := DecodeRequest(bytes.NewReader(spec))
+	if err != nil {
+		return nil, err
+	}
+	if req.Job != kind {
+		return nil, fmt.Errorf("journaled kind %q does not match spec kind %q", kind, req.Job)
+	}
+	return s.buildJob(req)
+}
+
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	req, err := DecodeRequest(r.Body)
@@ -121,12 +151,111 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	st, err := s.jobs.Submit(req.Job, fn)
+	// The spec journaled for crash recovery is the re-marshal of the
+	// decoded request — canonical, bounded, and guaranteed to decode.
+	spec, err := json.Marshal(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	st, err := s.jobs.SubmitSpec(req.Job, spec, fn)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// cursorPrefix versions the opaque pagination token so its encoding
+// can change without breaking old clients loudly.
+const cursorPrefix = "v1:"
+
+// encodeCursor wraps the last-seen admission sequence in an opaque
+// token. Clients must treat it as a black box.
+func encodeCursor(seq int64) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + strconv.FormatInt(seq, 10)))
+}
+
+// decodeCursor unwraps a pagination token; every malformation is a
+// client error.
+func decodeCursor(token string) (int64, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad cursor", ErrBadRequest)
+	}
+	rest, ok := strings.CutPrefix(string(raw), cursorPrefix)
+	if !ok {
+		return 0, fmt.Errorf("%w: bad cursor", ErrBadRequest)
+	}
+	seq, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("%w: bad cursor", ErrBadRequest)
+	}
+	return seq, nil
+}
+
+// jobListMaxLimit bounds one page of GET /v1/jobs.
+const jobListMaxLimit = 500
+
+// JobListResponse answers GET /v1/jobs: one page of jobs in admission
+// order plus the cursor for the next page (absent on the last page).
+type JobListResponse struct {
+	Jobs       []jobs.Status `json:"jobs"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
+// handleJobList serves cursor-paginated job listings: stable admission
+// order (by sequence number), an opaque cursor token, and optional
+// state filters (?state=done,running). Walking the cursor yields every
+// surviving job exactly once even as jobs complete or expire between
+// pages — a job's position never changes, it can only disappear.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query()
+	after := int64(0)
+	if token := q.Get("cursor"); token != "" {
+		var err error
+		if after, err = decodeCursor(token); err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	limit := 50
+	if lv := q.Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n <= 0 || n > jobListMaxLimit {
+			s.fail(w, fmt.Errorf("%w: limit must be in [1,%d]", ErrBadRequest, jobListMaxLimit))
+			return
+		}
+		limit = n
+	}
+	var states map[jobs.State]bool
+	if sv := q.Get("state"); sv != "" {
+		states = make(map[jobs.State]bool)
+		for _, name := range strings.Split(sv, ",") {
+			st := jobs.State(name)
+			if !knownState(st) {
+				s.fail(w, fmt.Errorf("%w: unknown state %q", ErrBadRequest, name))
+				return
+			}
+			states[st] = true
+		}
+	}
+	items, next, more := s.jobs.Page(after, limit, states)
+	resp := JobListResponse{Jobs: items}
+	if more {
+		resp.NextCursor = encodeCursor(next)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func knownState(st jobs.State) bool {
+	for _, s := range jobs.States() {
+		if s == st {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

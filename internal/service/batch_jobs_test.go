@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -340,11 +341,17 @@ func metricValue(t *testing.T, body, name string) uint64 {
 	return 0
 }
 
-// TestStatsMetricsAgree drives known traffic and asserts /metrics and
-// /v1/stats report the same counters — both render one Snapshot, so a
-// field present in one must equal the other.
+// TestStatsMetricsAgree drives known traffic over a journal-enabled
+// server and asserts /metrics and /v1/stats report the same counters —
+// both render one Snapshot, so a field present in one must equal the
+// other. The journal gauges are part of the contract.
 func TestStatsMetricsAgree(t *testing.T) {
-	_, ts := newTestServer(t, service.Config{Workers: 3, CacheSize: 4})
+	jnl, err := journal.Open(t.TempDir(), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jnl.Close() })
+	_, ts := newTestServer(t, service.Config{Workers: 3, CacheSize: 4, Journal: jnl})
 	post(t, ts, "/v1/decide", `{"graph":`+triangleJSON+`,"property":"all-selected"}`) // miss
 	post(t, ts, "/v1/decide", `{"graph":`+triangleJSON+`,"property":"all-equal"}`)    // hit
 	post(t, ts, "/v1/decide", `{"graph":`+triangleJSON+`,"property":"nope"}`)         // failure
@@ -353,6 +360,9 @@ func TestStatsMetricsAgree(t *testing.T) {
 	waitJob(t, ts, sub.ID, jobs.StateDone)
 
 	st := getStats(t, ts)
+	if st.Jobs.Journal == nil || st.Jobs.Journal.Appends == 0 {
+		t.Fatalf("journal-enabled server reports no journal stats: %+v", st.Jobs.Journal)
+	}
 	_, body := get(t, ts, "/metrics")
 	for name, want := range map[string]uint64{
 		"lphd_requests_total":                      st.Requests.Total,
@@ -366,6 +376,15 @@ func TestStatsMetricsAgree(t *testing.T) {
 		"lphd_jobs_done_total":                     st.Jobs.Totals.Done,
 		"lphd_jobs_rejected_total":                 st.Jobs.Totals.Rejected,
 		"lphd_workers_budget":                      3,
+		"lphd_journal_segments":                    uint64(st.Jobs.Journal.Segments),
+		"lphd_journal_live_bytes":                  uint64(st.Jobs.Journal.LiveBytes),
+		"lphd_journal_dead_bytes":                  uint64(st.Jobs.Journal.DeadBytes),
+		"lphd_journal_appends_total":               st.Jobs.Journal.Appends,
+		"lphd_journal_append_errors_total":         st.Jobs.Journal.AppendErrors,
+		"lphd_journal_compactions_total":           st.Jobs.Journal.Compactions,
+		"lphd_journal_replayed_total":              st.Jobs.Journal.Replay.Replayed,
+		"lphd_journal_restarted_total":             st.Jobs.Journal.Replay.Restarted,
+		"lphd_journal_expired_on_replay_total":     st.Jobs.Journal.Replay.Expired,
 		fmt.Sprintf("lphd_jobs{state=%q}", "done"): uint64(st.Jobs.States[jobs.StateDone]),
 	} {
 		if got := metricValue(t, body, name); got != want {

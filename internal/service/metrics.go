@@ -142,6 +142,18 @@ func renderMetrics(st StatsResponse) string {
 	for _, state := range states {
 		fmt.Fprintf(&b, "lphd_jobs{state=%q} %d\n", state, st.Jobs.States[jobs.State(state)])
 	}
+	if jn := st.Jobs.Journal; jn != nil {
+		gauge("lphd_journal_segments", "Journal segment files on disk.", jn.Segments)
+		gauge("lphd_journal_live_bytes", "Journal bytes owned by live jobs.", jn.LiveBytes)
+		gauge("lphd_journal_dead_bytes", "Journal bytes awaiting compaction.", jn.DeadBytes)
+		counter("lphd_journal_appends_total", "Records fsynced to the journal.", jn.Appends)
+		counter("lphd_journal_append_errors_total", "Lifecycle records that failed to persist.", jn.AppendErrors)
+		counter("lphd_journal_compactions_total", "Completed journal compaction passes.", jn.Compactions)
+		counter("lphd_journal_truncated_bytes_total", "Bytes dropped by torn-tail recovery at startup.", uint64(jn.Truncated))
+		counter("lphd_journal_replayed_total", "Finished results restored by the startup replay.", jn.Replay.Replayed)
+		counter("lphd_journal_restarted_total", "Interrupted jobs re-admitted by the startup replay.", jn.Replay.Restarted)
+		counter("lphd_journal_expired_on_replay_total", "Results whose TTL elapsed while the server was down.", jn.Replay.Expired)
+	}
 	counter("lphd_jobs_submitted_total", "Jobs admitted to the queue.", st.Jobs.Totals.Submitted)
 	counter("lphd_jobs_rejected_total", "Jobs rejected by the queue bound.", st.Jobs.Totals.Rejected)
 	counter("lphd_jobs_done_total", "Jobs finished successfully.", st.Jobs.Totals.Done)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/journal"
 )
 
 // TestLatenciesHistogram pins the bucket math: observations land in the
@@ -55,6 +56,11 @@ func TestRenderMetricsGolden(t *testing.T) {
 			jobs.StateFailed: 0, jobs.StateCancelled: 1,
 		},
 		Totals: jobs.LifetimeTotals{Submitted: 5, Rejected: 1, Done: 2, Failed: 0, Cancelled: 1, Expired: 1},
+		Journal: &jobs.JournalStats{
+			Stats:        journal.Stats{Segments: 2, LiveBytes: 4096, DeadBytes: 512, Appends: 17, Compactions: 3, Truncated: 9},
+			Replay:       jobs.ReplayStats{Replayed: 4, Restarted: 2, Expired: 1},
+			AppendErrors: 1,
+		},
 	}
 	st.Latency = LatencyStats{
 		Count: 9, SumSeconds: 1.25,
@@ -82,6 +88,16 @@ func TestRenderMetricsGolden(t *testing.T) {
 		"lphd_jobs_submitted_total 5\n",
 		"lphd_jobs_rejected_total 1\n",
 		"lphd_jobs_expired_total 1\n",
+		"# TYPE lphd_journal_segments gauge\nlphd_journal_segments 2\n",
+		"lphd_journal_live_bytes 4096\n",
+		"lphd_journal_dead_bytes 512\n",
+		"# TYPE lphd_journal_appends_total counter\nlphd_journal_appends_total 17\n",
+		"lphd_journal_append_errors_total 1\n",
+		"lphd_journal_compactions_total 3\n",
+		"lphd_journal_truncated_bytes_total 9\n",
+		"lphd_journal_replayed_total 4\n",
+		"lphd_journal_restarted_total 2\n",
+		"lphd_journal_expired_on_replay_total 1\n",
 		"# TYPE lphd_request_duration_seconds histogram\n" +
 			"lphd_request_duration_seconds_bucket{le=\"0.001\"} 3\n" +
 			"lphd_request_duration_seconds_bucket{le=\"+Inf\"} 9\n" +

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/graphio"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/search"
 	"repro/internal/simulate"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	// JobTTL is how long finished job results stay retrievable; 0 means
 	// 15 minutes.
 	JobTTL time.Duration
+	// Journal, when non-nil, makes the job engine durable: lifecycle
+	// records are fsynced to it and replayed on startup (finished
+	// results come back, interrupted jobs re-run). The journal's
+	// lifetime belongs to the caller — Close does not close it.
+	Journal *journal.Journal
 }
 
 // Server is the HTTP/JSON front end over the operation layer:
@@ -50,6 +56,7 @@ type Config struct {
 //	POST   /v1/game       {"game":"figure1", "workers":N}
 //	POST   /v1/batch      {"op":"decide|verify", "property":…, "graphs":[…], "workers":N}
 //	POST   /v1/jobs       {"job":"sweep|experiment|game", "name":…, "game":…, "workers":N}
+//	GET    /v1/jobs       ?cursor=…&limit=N&state=done,running  (admission order)
 //	GET    /v1/jobs/{id}
 //	DELETE /v1/jobs/{id}
 //	GET    /v1/healthz
@@ -93,16 +100,23 @@ func New(cfg Config) *Server {
 		budget:  budget,
 		timeout: cfg.Timeout,
 		cache:   NewCache(cfg.CacheSize),
-		jobs:    jobs.New(jobs.Config{Workers: cfg.JobWorkers, Queue: jobQueue, TTL: cfg.JobTTL}),
 		lat:     newLatencies(),
 		mux:     http.NewServeMux(),
 	}
+	// The engine is built after s exists: the rehydrate hook replays
+	// journaled specs through the same buildJob validation as live
+	// submissions.
+	s.jobs = jobs.New(jobs.Config{
+		Workers: cfg.JobWorkers, Queue: jobQueue, TTL: cfg.JobTTL,
+		Journal: cfg.Journal, Rehydrate: s.rehydrateJob,
+	})
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
 	s.mux.HandleFunc("POST /v1/game", s.handleGame)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
