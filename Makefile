@@ -1,13 +1,22 @@
-# Single verify entry point: `make check` runs formatting, vet, build,
+# Single verify entry point: `make check` runs formatting, vet, the
+# custom lint suite (cmd/lphlint), the optional deep static gate
+# (staticcheck + govulncheck, skipped when unobtainable offline), build,
 # the full race-enabled test suite, and short fuzz smokes of the graph
 # JSON decoder and the service request decoder (see DESIGN.md).
 # `make help` lists the targets.
 
 GO ?= go
 
-.PHONY: check fmt vet vet-journal build test fuzz bench bench-json serve-smoke help
+# Pinned external analyzers for the deep-static gate. The hermetic image
+# has no module proxy, so the targets probe for the tool (on PATH or via
+# `go run pkg@version`) and skip with a notice when neither works;
+# on a networked machine the same targets enforce for real.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
+GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-check: fmt vet vet-journal build test fuzz
+.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test fuzz bench bench-json serve-smoke help
+
+check: fmt vet vet-journal lint staticcheck govulncheck build test fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -23,6 +32,31 @@ vet:
 # vet-clean even if the repo-wide vet list ever narrows.
 vet-journal:
 	$(GO) vet ./internal/journal ./internal/journaltest ./internal/jobs
+
+# lint runs the repository's own go/analysis suite (internal/lint via
+# cmd/lphlint): cancellation polling in the engines, clock injection,
+# stats/metrics parity, fsync-before-rename in the journal, and
+# goroutine supervision. See DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/lphlint ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif GOFLAGS= $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		GOFLAGS= $(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck: not on PATH and $(STATICCHECK) unobtainable (hermetic build); skipped"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif GOFLAGS= $(GO) run $(GOVULNCHECK) -version >/dev/null 2>&1; then \
+		GOFLAGS= $(GO) run $(GOVULNCHECK) ./...; \
+	else \
+		echo "govulncheck: not on PATH and $(GOVULNCHECK) unobtainable (hermetic build); skipped"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -48,8 +82,8 @@ bench:
 # benchmark once, through `go test -json`, post-processed by
 # cmd/benchjson into a sorted JSON array (see DESIGN.md).
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr5.json
-	@echo "wrote BENCH_pr5.json"
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr6.json
+	@echo "wrote BENCH_pr6.json"
 
 # serve-smoke boots lphd on a random port and walks the documented API
 # end to end: decide, verify, healthz (exact bodies), a two-graph
@@ -162,13 +196,16 @@ serve-smoke:
 	echo "serve-smoke OK (incl. crash recovery)"
 
 help:
-	@echo "make check       - fmt + vet + build + race tests + decoder fuzz smokes (the verify entry point)"
+	@echo "make check       - fmt + vet + lint + static gate + build + race tests + decoder fuzz smokes (the verify entry point)"
 	@echo "make fmt         - fail if gofmt would change any file"
 	@echo "make vet         - go vet ./..."
 	@echo "make vet-journal - explicit vet gate on journal/journaltest/jobs"
+	@echo "make lint        - run the custom go/analysis suite (cmd/lphlint) over the repo"
+	@echo "make staticcheck - pinned staticcheck; skips with a notice when unobtainable offline"
+	@echo "make govulncheck - pinned govulncheck; skips with a notice when unobtainable offline"
 	@echo "make build       - go build ./..."
 	@echo "make test        - go test -race ./..."
 	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzReplayJournal"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr5.json"
+	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr6.json"
 	@echo "make serve-smoke - boot lphd, walk the API, then SIGKILL a journaled lphd mid-sweep and verify recovery"

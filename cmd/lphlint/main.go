@@ -1,0 +1,59 @@
+// Command lphlint runs the repository's custom static-analysis suite
+// (internal/lint) over the given package patterns, vet-style:
+//
+//	go run ./cmd/lphlint ./...
+//
+// Each analyzer is applied only to the packages its invariant is stated
+// over (lint.Suite's scopes). Diagnostics print as
+// file:line:col: message (analyzer); the exit status is 0 when clean,
+// 1 when there are findings, and 2 when loading or analysis itself
+// failed. make lint wires this into the make check gate.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load(driver.Config{}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lphlint:", err)
+		os.Exit(2)
+	}
+	suite := lint.Suite()
+	findings := 0
+	for _, pkg := range pkgs {
+		var analyzers []*analysis.Analyzer
+		for _, rule := range suite {
+			if rule.InScope(pkg.PkgPath) {
+				analyzers = append(analyzers, rule.Analyzer)
+			}
+		}
+		if len(analyzers) == 0 {
+			continue
+		}
+		diags, err := driver.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lphlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lphlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

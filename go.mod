@@ -1,3 +1,11 @@
 module repro
 
 go 1.24
+
+// The lint suite (internal/lint, cmd/lphlint) builds on the go/analysis
+// API. The build is hermetic/offline, so the x/tools subset is vendored
+// under third_party/ (copied from the Go toolchain's own vendor tree)
+// and wired in by the replace below instead of a proxy download.
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -143,6 +143,7 @@ func (a *Arbiter) GameValuePrepared(prep *simulate.Prepared, domains []cert.Doma
 		return ev.leaf(nil)
 	}
 	chosen := make([]cert.Assignment, len(ev.enums))
+	//lint:coarse allocation pass bounded by the level's alternation depth
 	for i, e := range ev.enums {
 		chosen[i] = make(cert.Assignment, e.Len())
 	}
@@ -205,6 +206,7 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 		prefix := chosen[:i-1]
 		scratch := search.NewScratch(func() []cert.Assignment {
 			suffix := make([]cert.Assignment, len(ev.enums)-(i-1))
+			//lint:coarse allocation pass bounded by the level's alternation depth
 			for j := range suffix {
 				suffix[j] = make(cert.Assignment, ev.enums[i-1+j].Len())
 			}

@@ -183,6 +183,7 @@ func Proposition24Opt(n int, machines []*simulate.Machine, o search.Options) (*R
 	if err != nil {
 		return nil, fmt.Errorf("on glued C%d: %w", 2*n, err)
 	}
+	//lint:coarse report assembly over already-computed batch results
 	for i, m := range machines {
 		a, b := resOdd[i], resEven[i]
 		same := true

@@ -266,7 +266,7 @@ func New(cfg Config) *Engine {
 	}
 	now := cfg.Now
 	if now == nil {
-		now = time.Now
+		now = time.Now //lint:wallclock production default; tests inject Config.Now
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{

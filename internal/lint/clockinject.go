@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ClockInject forbids direct wall-clock access in the packages whose
+// tests depend on an injectable clock (internal/jobs, internal/journal,
+// internal/service). Durations measured with time.Now/time.Since and
+// waits via time.Sleep/time.After in those packages make behavior
+// untestable and nondeterministic under replay; they must route through
+// the injected `now func() time.Time` instead. A sanctioned access —
+// e.g. the production default `now = time.Now` — carries
+// //lint:wallclock <reason>.
+//
+// Pure value constructors (time.Unix, time.Date, time.Duration
+// arithmetic) are fine: they do not read the clock.
+var ClockInject = &analysis.Analyzer{
+	Name: "clockinject",
+	Doc:  "clock-sensitive packages must use the injectable clock; direct time.Now/Sleep/... needs //lint:wallclock <reason>",
+	Run:  runClockInject,
+}
+
+// clockFuncs are the package-level functions of "time" that read or
+// wait on the wall clock.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runClockInject(pass *analysis.Pass) (any, error) {
+	ann := gatherAnnotations(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if ann.allowed(pass, sel.Pos(), "wallclock", true) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"direct time.%s in a clock-injected package: route through the injected clock or annotate //lint:wallclock <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CtxPoll enforces the cancellation invariant of the engine packages
+// (internal/search, internal/core, internal/cert, internal/experiments):
+// inside any function that receives a cancellation port (a
+// context.Context or a search.Options), every for/range loop that does
+// real work — calls module code or an opaque function value — must stay
+// cancellable. A loop satisfies the invariant when its body
+//
+//   - polls the context (a .Err() or .Done() call on a context.Context,
+//     e.g. o.Ctx.Err()), or
+//   - delegates to a callee that itself accepts a context.Context or
+//     search.Options (cancellation flows into the callee — the
+//     search.Exists/ForAll/Map pattern), or
+//   - calls a local closure whose body does either (the recursive
+//     enumerator pattern: rec := func(...){ ... o.Ctx.Err() ... }),
+//
+// or when it is explicitly annotated //lint:coarse (deliberately
+// uncancellable coarse-grained work, e.g. search.Map's contract that
+// result slices are never partially filled).
+//
+// Loops ranging directly over a composite literal are exempt: their
+// trip count is a visible constant, so they cannot run unbounded work
+// by themselves.
+var CtxPoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "enumeration loops in engine packages must poll the cancellation context, delegate it, or be //lint:coarse",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	ann := gatherAnnotations(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Only functions that can see a cancellation port are in
+			// scope: the repo's design is that cancellation enters the
+			// engines exclusively through context/Options parameters.
+			// FuncLits with their own port (experiment runners) count too.
+			scopes := collectScopes(fn)
+			if len(scopes) == 0 {
+				continue
+			}
+			closures := collectClosures(pass.TypesInfo, fn)
+			seen := make(map[ast.Stmt]bool)
+			for _, scope := range scopes {
+				ast.Inspect(scope, func(n ast.Node) bool {
+					loop, ok := n.(ast.Stmt)
+					if !ok {
+						return true
+					}
+					switch loop.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+					default:
+						return true
+					}
+					if seen[loop] {
+						return true
+					}
+					seen[loop] = true
+					checkLoop(pass, ann, closures, loop)
+					return true
+				})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectScopes returns the function bodies in fn that have a
+// cancellation port in their parameters: fn's own body if fn does, plus
+// any nested FuncLit that declares one.
+func collectScopes(fn *ast.FuncDecl) []ast.Node {
+	var scopes []ast.Node
+	if fieldListHasPort(fn.Type.Params) {
+		scopes = append(scopes, fn.Body)
+		return scopes // nested literals are inside this scope already
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && fieldListHasPort(lit.Type.Params) {
+			scopes = append(scopes, lit.Body)
+			return false
+		}
+		return true
+	})
+	return scopes
+}
+
+func fieldListHasPort(fl *ast.FieldList) bool {
+	if fl == nil {
+		return false
+	}
+	for _, f := range fl.List {
+		if sel, ok := typeExprIsPort(f.Type); ok && sel {
+			return true
+		}
+	}
+	return false
+}
+
+// typeExprIsPort decides syntactically whether a parameter type is
+// context.Context or (a pointer to) search.Options; syntax suffices
+// because scope detection runs before any call resolution.
+func typeExprIsPort(e ast.Expr) (bool, bool) {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		// An unqualified Options inside the search package itself.
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "Options", true
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false, true
+	}
+	return (pkg.Name == "context" && sel.Sel.Name == "Context") ||
+		(pkg.Name == "search" && sel.Sel.Name == "Options"), true
+}
+
+// collectClosures maps local func-typed variables to the FuncLit bodies
+// assigned to them, so calls like rec(pos+1) can be expanded when
+// looking for a poll.
+func collectClosures(info *types.Info, fn *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkLoop reports the loop unless it is annotated, statically
+// bounded, not suspect, or satisfied by a poll/delegation.
+func checkLoop(pass *analysis.Pass, ann annotations, closures map[types.Object]*ast.FuncLit, loop ast.Stmt) {
+	if ann.allowed(pass, loop.Pos(), "coarse", false) {
+		return
+	}
+	if r, ok := loop.(*ast.RangeStmt); ok {
+		if _, lit := ast.Unparen(r.X).(*ast.CompositeLit); lit {
+			return
+		}
+	}
+	s := &loopScan{pass: pass, ann: ann, closures: closures, visited: make(map[*ast.FuncLit]bool)}
+	s.scan(loop, loop)
+	if s.suspect && !s.polled {
+		kind := "for"
+		if _, ok := loop.(*ast.RangeStmt); ok {
+			kind = "range"
+		}
+		pass.Reportf(loop.Pos(),
+			"%s loop runs work without polling the cancellation context: poll Ctx.Err()/Ctx.Done(), delegate to a context-taking callee, or annotate //lint:coarse", kind)
+	}
+}
+
+type loopScan struct {
+	pass     *analysis.Pass
+	ann      annotations
+	closures map[types.Object]*ast.FuncLit
+	visited  map[*ast.FuncLit]bool
+	suspect  bool
+	polled   bool
+}
+
+// scan walks the loop subtree. Goroutine bodies are excluded (their
+// loops are separate schedulable work, checked on their own), as are
+// nested loops already annotated //lint:coarse — their acknowledged
+// work must not implicate the enclosing loop.
+func (s *loopScan) scan(root ast.Node, loop ast.Stmt) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				s.visited[lit] = true // don't re-enter via a closure call
+			}
+			for _, arg := range n.Call.Args {
+				s.scan(arg, loop)
+			}
+			return false
+		case ast.Stmt:
+			if n != loop {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					if _, ok := s.ann.find(s.pass.Fset, n.Pos(), "coarse"); ok {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			s.call(n, loop)
+		}
+		return true
+	})
+}
+
+// call classifies one call: a context poll or a delegating callee
+// satisfies the loop; a call into module code or through an opaque
+// function value makes it suspect.
+func (s *loopScan) call(call *ast.CallExpr, loop ast.Stmt) {
+	info := s.pass.TypesInfo
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && len(call.Args) == 0 {
+			if tv, ok := info.Types[sel.X]; ok && isContext(tv.Type) {
+				s.polled = true
+				return
+			}
+		}
+	}
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		return // conversion or builtin
+	}
+	if hasEnginePort(sig) {
+		s.polled = true
+		return
+	}
+	switch obj := calleeObject(info, call).(type) {
+	case *types.Func:
+		pkg := obj.Pkg()
+		if pkg == nil {
+			return
+		}
+		// Module code: the analyzed package itself or a sibling under
+		// the same module root. Standard-library calls are not suspect.
+		if pkg == s.pass.Pkg || firstSegment(pkg.Path()) == firstSegment(s.pass.Pkg.Path()) {
+			s.suspect = true
+		}
+	case *types.Var:
+		// An opaque function value (parameter, field, local). If it is
+		// a local closure whose body we can see, its body speaks for
+		// the loop; otherwise it is unbounded work we cannot vouch for.
+		if lit, ok := s.closures[obj]; ok {
+			s.suspect = true
+			if !s.visited[lit] {
+				s.visited[lit] = true
+				s.scan(lit.Body, loop)
+			}
+			return
+		}
+		s.suspect = true
+	}
+}

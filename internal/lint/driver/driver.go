@@ -1,0 +1,244 @@
+// Package driver loads Go packages with full type information and runs
+// go/analysis analyzers over them, in process and offline.
+//
+// It is the repository's stand-in for golang.org/x/tools/go/packages +
+// multichecker, which are not part of the vendored x/tools subset (the
+// build is hermetic). The loader shells out to the already-installed go
+// tool: `go list -e -export -json -deps` yields, for every dependency,
+// the path of its compiled export data, and the target packages are
+// then parsed and type-checked from source against that export data via
+// go/importer's "gc" lookup mode — the same division of labor the real
+// go/packages performs. Because the export data is produced by the very
+// toolchain that runs the linter, the formats always agree.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Config adjusts a Load call.
+type Config struct {
+	// Dir is the working directory for the `go list` invocation
+	// (defaults to the current directory). Patterns like ./... are
+	// resolved relative to it.
+	Dir string
+	// Env, when non-nil, replaces the environment of the `go list`
+	// invocation (linttest uses this to load GOPATH-mode fixture trees).
+	Env []string
+}
+
+// Load resolves patterns to packages and type-checks each matched
+// (non-dependency) package from source. Dependencies — standard
+// library, module-internal, and vendored alike — are consumed as
+// compiled export data, so loading N targets costs N typecheck passes
+// regardless of the dependency graph's size.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = cfg.Env
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decode go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(a, b int) bool { return targets[a].ImportPath < targets[b].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(t.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("driver: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:        make(map[ast.Expr]types.TypeAndValue),
+			Instances:    make(map[*ast.Ident]types.Instance),
+			Defs:         make(map[*ast.Ident]types.Object),
+			Uses:         make(map[*ast.Ident]types.Object),
+			Implicits:    make(map[ast.Node]types.Object),
+			Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:       make(map[ast.Node]*types.Scope),
+			FileVersions: make(map[*ast.File]string),
+		}
+		tc := &types.Config{Importer: imp}
+		tpkg, err := tc.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("driver: typecheck %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   t.ImportPath,
+			Dir:       t.Dir,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Diagnostic is one analyzer finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer *analysis.Analyzer
+	Pkg      *Package
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer.Name)
+}
+
+// Run executes the analyzers (and, transitively, their Requires) on one
+// package and returns the diagnostics in position order. Fact-based
+// analyzers are not supported — none of the repository's suite uses
+// facts — and requesting fact machinery panics rather than silently
+// returning nothing.
+func Run(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]any)
+	var diags []Diagnostic
+
+	var run func(a *analysis.Analyzer) error
+	run = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		deps := make(map[*analysis.Analyzer]any)
+		for _, req := range a.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+			deps[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   deps,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a,
+					Pkg:      pkg,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { panic("driver: facts unsupported") },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { panic("driver: facts unsupported") },
+			ExportObjectFact:  func(types.Object, analysis.Fact) { panic("driver: facts unsupported") },
+			ExportPackageFact: func(analysis.Fact) { panic("driver: facts unsupported") },
+			AllObjectFacts:    func() []analysis.ObjectFact { panic("driver: facts unsupported") },
+			AllPackageFacts:   func() []analysis.PackageFact { panic("driver: facts unsupported") },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		if a.ResultType != nil && res == nil {
+			return fmt.Errorf("driver: %s on %s returned nil, want %v", a.Name, pkg.PkgPath, a.ResultType)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := run(a); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer.Name < diags[j].Analyzer.Name
+	})
+	return diags, nil
+}

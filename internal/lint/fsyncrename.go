@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+)
+
+// FsyncBeforeRename enforces the journal's durability discipline: an
+// os.Rename (the atomic-publish step of write-tmp, fsync, rename) must
+// be dominated by a (*os.File).Sync call — on every control-flow path
+// from function entry to the rename, a Sync happens first. Without the
+// fsync, a crash between rename and writeback can publish a file whose
+// contents never reached the disk, which is exactly the corruption the
+// journal's replay machinery assumes cannot happen.
+//
+// A rename that genuinely needs no fsync (renaming a file this process
+// never wrote, say) carries //lint:unsynced <reason>.
+//
+// The check is intraprocedural over go/cfg: a path is "protected" once
+// it passes a Sync call, and any rename reachable on an unprotected
+// path is reported. Helper indirection (calling a function that itself
+// syncs) is therefore not recognized — keep the Sync visible in the
+// function that renames, as internal/journal already does.
+var FsyncBeforeRename = &analysis.Analyzer{
+	Name: "fsyncbeforerename",
+	Doc:  "os.Rename in the journal must be dominated by a File.Sync (or carry //lint:unsynced <reason>)",
+	Run:  runFsyncBeforeRename,
+}
+
+func runFsyncBeforeRename(pass *analysis.Pass) (any, error) {
+	ann := gatherAnnotations(pass)
+	check := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		g := cfg.New(body, func(*ast.CallExpr) bool { return true })
+		reported := make(map[*ast.CallExpr]bool)
+		visited := make(map[*cfg.Block]bool)
+		var visit func(b *cfg.Block)
+		visit = func(b *cfg.Block) {
+			if visited[b] {
+				return
+			}
+			visited[b] = true
+			for _, n := range b.Nodes {
+				protected := false
+				ast.Inspect(n, func(x ast.Node) bool {
+					call, ok := x.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if isFileSync(pass.TypesInfo, call) {
+						protected = true
+					}
+					if !protected && isOSRename(pass.TypesInfo, call) && !reported[call] {
+						reported[call] = true
+						if !ann.allowed(pass, call.Pos(), "unsynced", true) {
+							pass.Reportf(call.Pos(),
+								"os.Rename not dominated by a File.Sync: fsync the temp file before publishing it (or annotate //lint:unsynced <reason>)")
+						}
+					}
+					return true
+				})
+				if protected {
+					return // every path through this node is now synced
+				}
+			}
+			for _, succ := range b.Succs {
+				visit(succ)
+			}
+		}
+		if len(g.Blocks) > 0 {
+			visit(g.Blocks[0])
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Body)
+			case *ast.FuncLit:
+				check(n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFileSync reports whether the call is (*os.File).Sync.
+func isFileSync(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return isNamed(s.Recv(), "os", "File")
+}
+
+// isOSRename reports whether the call is os.Rename.
+func isOSRename(info *types.Info, call *ast.CallExpr) bool {
+	obj, ok := calleeObject(info, call).(*types.Func)
+	if !ok || obj.Name() != "Rename" || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os"
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// GoroutineCtx keeps goroutines from silently outliving shutdown: a go
+// statement must be cancellable or supervised. A go statement passes
+// when any of the following holds:
+//
+//   - its call receives a context.Context or search.Options (by
+//     argument value or in the callee's signature), so cancellation
+//     reaches the goroutine;
+//   - its function-literal body references a context.Context or a
+//     sync.WaitGroup (the worker selects on ctx.Done, or calls
+//     wg.Done under defer);
+//   - the immediately preceding statement in the same block is a
+//     wg.Add call — the repo's worker-pool launch idiom
+//     (wg.Add(1); go e.worker());
+//
+// and otherwise it needs //lint:detached <reason> to acknowledge that
+// nothing can wait for or cancel it.
+var GoroutineCtx = &analysis.Analyzer{
+	Name: "goroutinectx",
+	Doc:  "go statements must receive a context or register with a WaitGroup (or carry //lint:detached <reason>)",
+	Run:  runGoroutineCtx,
+}
+
+func runGoroutineCtx(pass *analysis.Pass) (any, error) {
+	ann := gatherAnnotations(pass)
+	checkList := func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			gs, ok := stmt.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if goSupervised(pass.TypesInfo, gs) {
+				continue
+			}
+			if i > 0 && isWaitGroupAdd(pass.TypesInfo, stmts[i-1]) {
+				continue
+			}
+			if ann.allowed(pass, gs.Pos(), "detached", true) {
+				continue
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine is neither cancellable nor supervised: pass a context.Context, register with a sync.WaitGroup, or annotate //lint:detached <reason>")
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(n.List)
+			case *ast.CaseClause:
+				checkList(n.Body)
+			case *ast.CommClause:
+				checkList(n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goSupervised reports whether the go statement's call visibly receives
+// cancellation or supervision.
+func goSupervised(info *types.Info, gs *ast.GoStmt) bool {
+	call := gs.Call
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && (isContext(tv.Type) || isEngineOptions(tv.Type)) {
+			return true
+		}
+	}
+	if hasEnginePort(calleeSignature(info, call)) {
+		return true
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok && bodyReferencesSupervisor(info, lit.Body) {
+		return true
+	}
+	return false
+}
+
+// bodyReferencesSupervisor reports whether the body mentions a value of
+// type context.Context, search.Options, or sync.WaitGroup — captured
+// supervision is supervision.
+func bodyReferencesSupervisor(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[e]
+		if !ok {
+			return true
+		}
+		if isContext(tv.Type) || isEngineOptions(tv.Type) || isNamed(tv.Type, "sync", "WaitGroup") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupAdd reports whether the statement is a wg.Add(...) call on
+// a sync.WaitGroup.
+func isWaitGroupAdd(info *types.Info, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return isNamed(s.Recv(), "sync", "WaitGroup")
+}

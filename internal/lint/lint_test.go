@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture package proves both a caught violation and an allowed
+// (annotated or structurally satisfying) form of the same invariant.
+
+func TestCtxPoll(t *testing.T) { linttest.Run(t, lint.CtxPoll, "ctxpoll") }
+
+func TestClockInject(t *testing.T) { linttest.Run(t, lint.ClockInject, "clockinject") }
+
+func TestSnapshotParity(t *testing.T) { linttest.Run(t, lint.SnapshotParity, "snapshotparity") }
+
+func TestFsyncBeforeRename(t *testing.T) {
+	linttest.Run(t, lint.FsyncBeforeRename, "fsyncbeforerename")
+}
+
+func TestGoroutineCtx(t *testing.T) { linttest.Run(t, lint.GoroutineCtx, "goroutinectx") }
+
+func TestSuiteScopes(t *testing.T) {
+	suite := lint.Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(suite))
+	}
+	byName := make(map[string]lint.Rule)
+	for _, r := range suite {
+		byName[r.Analyzer.Name] = r
+	}
+	cases := []struct {
+		analyzer string
+		pkgPath  string
+		want     bool
+	}{
+		{"ctxpoll", "repro/internal/search", true},
+		{"ctxpoll", "repro/internal/service", false},
+		{"clockinject", "repro/internal/jobs", true},
+		{"clockinject", "repro/internal/core", false},
+		{"snapshotparity", "repro/internal/service", true},
+		{"fsyncbeforerename", "repro/internal/journal", true},
+		{"fsyncbeforerename", "repro/internal/jobs", false},
+		{"goroutinectx", "repro/cmd/lphsvc", true}, // unscoped: everywhere
+	}
+	for _, c := range cases {
+		r, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("suite is missing analyzer %q", c.analyzer)
+		}
+		if got := r.InScope(c.pkgPath); got != c.want {
+			t.Errorf("%s.InScope(%q) = %v, want %v", c.analyzer, c.pkgPath, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package linttest runs lint analyzers against fixture packages and
+// checks their diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which is not part of the
+// vendored x/tools subset).
+//
+// Fixtures live under testdata/src/<pkg>/ relative to the calling
+// test's directory and are loaded in GOPATH mode (GOPATH=testdata,
+// GO111MODULE=off), so a fixture tree can model the real engine
+// packages — e.g. testdata/src/search stands in for internal/search.
+//
+// An expectation is a trailing comment on the line where a diagnostic
+// must appear:
+//
+//	for i := 0; i < n; i++ { // want `polling the cancellation context`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match exactly one diagnostic on that line, and every diagnostic
+// must be matched by some expectation; both directions are errors.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/driver"
+)
+
+// Run loads each fixture package and applies the analyzer, failing t on
+// any mismatch between diagnostics and // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	gopath, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := append(os.Environ(),
+		"GOPATH="+gopath,
+		"GO111MODULE=off",
+		"GOFLAGS=",
+	)
+	for _, fixture := range fixturePkgs {
+		pkgs, err := driver.Load(driver.Config{Dir: gopath, Env: env}, fixture)
+		if err != nil {
+			t.Fatalf("%s: load fixture %s: %v", a.Name, fixture, err)
+		}
+		if len(pkgs) == 0 {
+			t.Fatalf("%s: fixture %s matched no packages", a.Name, fixture)
+		}
+		for _, pkg := range pkgs {
+			check(t, a, pkg)
+		}
+	}
+}
+
+// key identifies a source line.
+type key struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, a *analysis.Analyzer, pkg *driver.Package) {
+	t.Helper()
+	diags, err := driver.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+	}
+
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %s: %v", a.Name, pkg.Fset.Position(c.Pos()), err)
+				}
+				if len(res) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, re := range wants[k] {
+			if !matched[re] && re.MatchString(d.Message) {
+				matched[re] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, d.Pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s: missing diagnostic at %s:%d matching %q", a.Name, k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the expectation regexps from a comment, returning
+// nil when the comment is not a want comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	for body = strings.TrimSpace(body); body != ""; body = strings.TrimSpace(body) {
+		quote := body[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want expectation must be a quoted regexp, got %q", body)
+		}
+		end := strings.IndexByte(body[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expectation %q", body)
+		}
+		re, err := regexp.Compile(body[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp: %v", err)
+		}
+		out = append(out, re)
+		body = body[2+end:]
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SnapshotParity keeps /v1/stats and /metrics from drifting: every
+// exported numeric field reachable from the service's StatsResponse
+// struct must be referenced inside renderMetrics, the function that
+// formats the Prometheus exposition. A field that is deliberately not a
+// metric (say, a build identifier) carries //lint:unmetered <reason> on
+// its declaration.
+//
+// Reachability follows the snapshot shape: named/anonymous struct
+// fields recurse; maps and slices of numeric element types count as one
+// renderable unit (renderMetrics must mention the field itself);
+// strings and booleans are exempt, since the exposition format has no
+// canonical rendering for them.
+var SnapshotParity = &analysis.Analyzer{
+	Name: "snapshotparity",
+	Doc:  "every numeric field reachable from StatsResponse must be rendered by renderMetrics (or carry //lint:unmetered <reason>)",
+	Run:  runSnapshotParity,
+}
+
+const (
+	statsTypeName   = "StatsResponse"
+	renderFuncName  = "renderMetrics"
+	snapshotMaxDeep = 8 // cycle/blowup guard; the snapshot shape is shallow
+)
+
+func runSnapshotParity(pass *analysis.Pass) (any, error) {
+	root := pass.Pkg.Scope().Lookup(statsTypeName)
+	if root == nil {
+		return nil, nil // package doesn't define a snapshot; nothing to check
+	}
+	render := findFuncBody(pass, renderFuncName)
+	if render == nil {
+		pass.Reportf(root.Pos(), "%s exists but %s was not found in this package", statsTypeName, renderFuncName)
+		return nil, nil
+	}
+
+	// Every field object whose selection appears in renderMetrics.
+	rendered := make(map[*types.Var]bool)
+	ast.Inspect(render, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				rendered[v] = true
+			}
+		}
+		return true
+	})
+
+	ann := gatherAnnotations(pass)
+	seen := make(map[*types.Struct]bool)
+	var walk func(s *types.Struct, path string, depth int)
+	walk = func(s *types.Struct, path string, depth int) {
+		if seen[s] || depth > snapshotMaxDeep {
+			return
+		}
+		seen[s] = true
+		for i := 0; i < s.NumFields(); i++ {
+			f := s.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			name := path + f.Name()
+			switch shape := fieldShape(f.Type()); shape {
+			case shapeStruct:
+				walk(structUnder(f.Type()), name+".", depth+1)
+			case shapeNumeric, shapeContainer:
+				if rendered[f] {
+					continue
+				}
+				if ann.allowed(pass, f.Pos(), "unmetered", true) {
+					continue
+				}
+				pass.Reportf(f.Pos(),
+					"%s field %s is not rendered by %s: add it to the exposition or annotate //lint:unmetered <reason>",
+					statsTypeName, name, renderFuncName)
+			case shapeExempt:
+			}
+		}
+	}
+	st := structUnder(root.Type())
+	if st == nil {
+		return nil, nil
+	}
+	walk(st, "", 0)
+	return nil, nil
+}
+
+type shape int
+
+const (
+	shapeExempt shape = iota
+	shapeNumeric
+	shapeStruct
+	shapeContainer
+)
+
+// fieldShape classifies a snapshot field's type for the parity walk.
+func fieldShape(t types.Type) shape {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsNumeric != 0 {
+			return shapeNumeric
+		}
+		return shapeExempt
+	case *types.Struct:
+		return shapeStruct
+	case *types.Pointer:
+		return fieldShape(u.Elem())
+	case *types.Map:
+		if elementRenderable(u.Elem()) {
+			return shapeContainer
+		}
+		return shapeExempt
+	case *types.Slice:
+		if elementRenderable(u.Elem()) {
+			return shapeContainer
+		}
+		return shapeExempt
+	}
+	return shapeExempt
+}
+
+// elementRenderable reports whether a container element carries numbers
+// (directly or as a struct holding some).
+func elementRenderable(t types.Type) bool {
+	switch fieldShape(t) {
+	case shapeNumeric, shapeStruct, shapeContainer:
+		return true
+	}
+	return false
+}
+
+// structUnder unwraps t (through pointers/aliases/named) to its struct
+// underlying type, or nil.
+func structUnder(t types.Type) *types.Struct {
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+// findFuncBody returns the body of the package-level function or method
+// with the given name, or nil.
+func findFuncBody(pass *analysis.Pass, name string) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name && fn.Body != nil {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package clockinject exercises the clockinject analyzer: direct
+// wall-clock access must route through the injected clock or carry
+// //lint:wallclock <reason>.
+package clockinject
+
+import "time"
+
+var now = time.Now //lint:wallclock production default, tests inject a fake
+
+// T measures durations with the injected clock: allowed.
+type T struct {
+	start time.Time
+}
+
+func (t *T) Latency() time.Duration { return now().Sub(t.start) }
+
+// Stamp reads the wall clock directly: caught.
+func Stamp() time.Time {
+	return time.Now() // want `direct time.Now in a clock-injected package`
+}
+
+// Wait sleeps on the real clock: caught.
+func Wait() {
+	time.Sleep(time.Second) // want `direct time.Sleep in a clock-injected package`
+}
+
+// Epoch constructs a time value without reading the clock: allowed.
+func Epoch() time.Time { return time.Unix(0, 0) }
+
+// Bare carries the annotation but no justification, which is itself
+// reported.
+func Bare() time.Time {
+	//lint:wallclock
+	return time.Now() // want `//lint:wallclock needs a reason`
+}

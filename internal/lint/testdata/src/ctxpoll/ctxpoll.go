@@ -1,0 +1,116 @@
+// Package ctxpoll exercises the ctxpoll analyzer: enumeration loops in
+// functions holding a cancellation port must poll, delegate, or be
+// annotated //lint:coarse.
+package ctxpoll
+
+import (
+	"context"
+
+	"search"
+)
+
+func work(i int) int { return i * i }
+
+func sub(o search.Options, i int) int { return i }
+
+// Unpolled runs module work in a loop without ever consulting the
+// context: caught.
+func Unpolled(o search.Options, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `without polling the cancellation context`
+		total += work(i)
+	}
+	return total
+}
+
+// Polled checks o.Ctx.Err() each iteration: allowed.
+func Polled(o search.Options, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if o.Ctx.Err() != nil {
+			return total
+		}
+		total += work(i)
+	}
+	return total
+}
+
+// Delegating hands the Options port to its callee, so cancellation
+// flows into the work: allowed.
+func Delegating(o search.Options, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += sub(o, i)
+	}
+	return total
+}
+
+// Opaque calls a function value it cannot vouch for: caught.
+func Opaque(ctx context.Context, f func(int) int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `without polling the cancellation context`
+		total += f(i)
+	}
+	return total
+}
+
+// Selecting polls via ctx.Done() in a select: allowed.
+func Selecting(ctx context.Context, f func(int) int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += f(i)
+	}
+	return total
+}
+
+// Coarse is deliberately not cancellable and says so: allowed.
+func Coarse(o search.Options, n int) int {
+	total := 0
+	//lint:coarse results must never be partially filled
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}
+
+// Bounded ranges a composite literal — statically bounded trip count,
+// exempt.
+func Bounded(o search.Options) int {
+	total := 0
+	for _, v := range []int{1, 2, 3} {
+		total += work(v)
+	}
+	return total
+}
+
+// Recursive drives a local closure whose body polls: the closure's body
+// speaks for the loop, allowed.
+func Recursive(o search.Options, n int) int {
+	total := 0
+	var rec func(int)
+	rec = func(i int) {
+		if o.Ctx.Err() != nil {
+			return
+		}
+		total += work(i)
+	}
+	for i := 0; i < n; i++ {
+		rec(i)
+	}
+	return total
+}
+
+// NotInScope holds no cancellation port, so its loops are out of scope
+// by design (cancellation cannot reach them anyway).
+func NotInScope(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}

@@ -1,0 +1,40 @@
+// Package fsyncbeforerename exercises the fsyncbeforerename analyzer:
+// os.Rename must be dominated by a (*os.File).Sync.
+package fsyncbeforerename
+
+import "os"
+
+// PublishSynced follows the write-tmp, fsync, rename discipline:
+// allowed.
+func PublishSynced(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// PublishUnsynced publishes without flushing: caught.
+func PublishUnsynced(f *os.File, tmp, final string) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os.Rename not dominated by a File.Sync`
+}
+
+// PublishBranch syncs on only one control-flow path, so the rename is
+// not dominated: caught.
+func PublishBranch(f *os.File, tmp, final string, flush bool) error {
+	if flush {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmp, final) // want `os.Rename not dominated by a File.Sync`
+}
+
+// MoveForeign relocates a file this process never wrote; the
+// acknowledgment makes that explicit: allowed.
+func MoveForeign(oldpath, newpath string) error {
+	//lint:unsynced relocating a foreign file, no writes of ours to flush
+	return os.Rename(oldpath, newpath)
+}

@@ -1,0 +1,50 @@
+// Package goroutinectx exercises the goroutinectx analyzer: a go
+// statement must be cancellable or supervised, or carry
+// //lint:detached <reason>.
+package goroutinectx
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+// Bare spawns a goroutine nothing can cancel or wait for: caught.
+func Bare() {
+	go work() // want `neither cancellable nor supervised`
+}
+
+// CtxArg hands the goroutine a context: allowed.
+func CtxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+// PoolLaunch uses the repo's worker-pool idiom — wg.Add immediately
+// before the go statement: allowed.
+func PoolLaunch(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			work()
+		}()
+	}
+}
+
+// CapturedWaitGroup registers completion inside the body: allowed even
+// without a sibling Add.
+func CapturedWaitGroup(wg *sync.WaitGroup) {
+	work()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Detached is an acknowledged fire-and-forget: allowed.
+func Detached() {
+	//lint:detached best-effort cleanup, droppable at process exit
+	go work()
+}

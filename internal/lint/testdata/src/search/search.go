@@ -1,0 +1,11 @@
+// Package search models the engine's search package for lint fixtures:
+// Options is the cancellation port the analyzers recognize (by package
+// and type name, so this stand-in behaves like internal/search).
+package search
+
+import "context"
+
+// Options carries the cancellation context into engine enumerations.
+type Options struct {
+	Ctx context.Context
+}

@@ -1,0 +1,37 @@
+// Package snapshotparity exercises the snapshotparity analyzer: every
+// numeric field reachable from StatsResponse must appear in
+// renderMetrics or carry //lint:unmetered <reason>.
+package snapshotparity
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheStats is a nested snapshot struct; its fields are reachable.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// StatsResponse is the fixture's stats snapshot.
+type StatsResponse struct {
+	Uptime   float64
+	Requests int64 // want `field Requests is not rendered`
+	Cache    CacheStats
+	Jobs     map[string]int64
+	Build    string // non-numeric: exempt
+	//lint:unmetered transient debug counter, not part of the exposition
+	Debug int64
+}
+
+func renderMetrics(s StatsResponse) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime_seconds %v\n", s.Uptime)
+	fmt.Fprintf(&b, "cache_hits %d\n", s.Cache.Hits)
+	fmt.Fprintf(&b, "cache_misses %d\n", s.Cache.Misses)
+	for state, n := range s.Jobs {
+		fmt.Fprintf(&b, "jobs{state=%q} %d\n", state, n)
+	}
+	return b.String()
+}

@@ -286,12 +286,14 @@ func splitDepth(o Options, s Space) (depth, prefixes int) {
 	prefixes = 1
 	depth = 0
 	if o.SplitDepth > 0 {
+		//lint:coarse bounded by SplitDepth and maxPrefixes, no unbounded work
 		for depth < s.Len && depth < o.SplitDepth && prefixes <= maxPrefixes {
 			prefixes *= s.Size(depth)
 			depth++
 		}
 		return depth, prefixes
 	}
+	//lint:coarse bounded by the prefix target and maxPrefixes, no unbounded work
 	for depth < s.Len && prefixes < target && prefixes <= maxPrefixes {
 		prefixes *= s.Size(depth)
 		depth++
@@ -337,6 +339,7 @@ func (s *Scratch[T]) Get() (T, func()) {
 func Map[T any](o Options, n int, f func(int) T) []T {
 	out := make([]T, n)
 	if o.pool() == 1 || n <= 1 {
+		//lint:coarse Map's contract: the result slice is never partially filled
 		for i := 0; i < n; i++ {
 			out[i] = f(i)
 		}
@@ -352,6 +355,7 @@ func Map[T any](o Options, n int, f func(int) T) []T {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//lint:coarse Map's contract: the result slice is never partially filled
 			for {
 				i := int(cursor.Add(1) - 1)
 				if i >= n {

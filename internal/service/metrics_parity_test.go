@@ -1,0 +1,136 @@
+package service
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMetricsRenderEveryStatsField is the runtime twin of the
+// snapshotparity analyzer: it fills every numeric field reachable from
+// StatsResponse with a distinct sentinel value via reflection and
+// asserts the rendered exposition contains each one. A field added to
+// the snapshot but forgotten in renderMetrics fails here even on a
+// machine that never runs make lint. Strings and booleans are exempt
+// (no canonical exposition rendering); maps and slices get one entry so
+// their element fields are exercised too.
+func TestMetricsRenderEveryStatsField(t *testing.T) {
+	t.Parallel()
+	var st StatsResponse
+
+	sentinel := 100003
+	type want struct {
+		path  string
+		forms []string // any acceptable rendering of the sentinel
+	}
+	var wants []want
+
+	// intForms accepts the raw integer and its seconds rendering
+	// (renderMetrics divides millisecond fields by 1000).
+	intForms := func(n int) []string {
+		return []string{
+			strconv.Itoa(n),
+			strconv.FormatFloat(float64(n)/1000, 'g', -1, 64),
+		}
+	}
+
+	var hasNumeric func(t reflect.Type) bool
+	hasNumeric = func(t reflect.Type) bool {
+		switch t.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64:
+			return true
+		case reflect.Pointer, reflect.Slice, reflect.Map:
+			return hasNumeric(t.Elem())
+		case reflect.Struct:
+			for i := 0; i < t.NumField(); i++ {
+				if t.Field(i).IsExported() && hasNumeric(t.Field(i).Type) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var fill func(v reflect.Value, path string)
+	fill = func(v reflect.Value, path string) {
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(int64(sentinel))
+			wants = append(wants, want{path, intForms(sentinel)})
+			sentinel += 2
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			v.SetUint(uint64(sentinel))
+			wants = append(wants, want{path, intForms(sentinel)})
+			sentinel += 2
+		case reflect.Float32, reflect.Float64:
+			f := float64(sentinel) + 0.5
+			v.SetFloat(f)
+			wants = append(wants, want{path, []string{strconv.FormatFloat(f, 'g', -1, 64)}})
+			sentinel += 2
+		case reflect.Pointer:
+			if !hasNumeric(v.Type()) {
+				return
+			}
+			if v.IsNil() {
+				v.Set(reflect.New(v.Type().Elem()))
+			}
+			fill(v.Elem(), path)
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				sf := v.Type().Field(i)
+				if !sf.IsExported() {
+					continue
+				}
+				fill(v.Field(i), path+"."+sf.Name)
+			}
+		case reflect.Map:
+			if !hasNumeric(v.Type().Elem()) {
+				return
+			}
+			key := reflect.New(v.Type().Key()).Elem()
+			if key.Kind() == reflect.String {
+				key.SetString("sentinel")
+			}
+			elem := reflect.New(v.Type().Elem()).Elem()
+			fill(elem, path+"[sentinel]")
+			v.Set(reflect.MakeMap(v.Type()))
+			v.SetMapIndex(key, elem)
+		case reflect.Slice:
+			if !hasNumeric(v.Type().Elem()) {
+				return
+			}
+			elem := reflect.New(v.Type().Elem()).Elem()
+			fill(elem, path+"[0]")
+			v.Set(reflect.Append(v, elem))
+		}
+	}
+	fill(reflect.ValueOf(&st).Elem(), "StatsResponse")
+
+	// Sanity-floor the walk itself: the snapshot currently carries well
+	// over 30 numeric fields, so a collapse of the reflection traversal
+	// must not silently pass an empty check.
+	if len(wants) < 30 {
+		t.Fatalf("reflection walk found only %d numeric fields, expected the full snapshot", len(wants))
+	}
+
+	out := renderMetrics(st)
+	for _, w := range wants {
+		found := false
+		for _, form := range w.forms {
+			if strings.Contains(out, form) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s (sentinel %s) is missing from the rendered metrics — renderMetrics does not cover it",
+				w.path, strings.Join(w.forms, " / "))
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+}

@@ -46,6 +46,10 @@ type Config struct {
 	// results come back, interrupted jobs re-run). The journal's
 	// lifetime belongs to the caller — Close does not close it.
 	Journal *journal.Journal
+	// Now is the injectable clock: it times request latencies and is
+	// handed to the job engine for TTL/runtime accounting. nil means
+	// time.Now; tests inject a fake to make timing deterministic.
+	Now func() time.Time
 }
 
 // Server is the HTTP/JSON front end over the operation layer:
@@ -79,6 +83,7 @@ type Server struct {
 	jobs    *jobs.Engine
 	lat     *latencies
 	mux     *http.ServeMux
+	now     func() time.Time
 
 	requests  atomic.Uint64 // all operation requests handled (including failures)
 	failures  atomic.Uint64 // requests answered with a non-2xx status
@@ -96,19 +101,24 @@ func New(cfg Config) *Server {
 	if jobQueue == 0 {
 		jobQueue = 16
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now //lint:wallclock production default; tests inject cfg.Now
+	}
 	s := &Server{
 		budget:  budget,
 		timeout: cfg.Timeout,
 		cache:   NewCache(cfg.CacheSize),
 		lat:     newLatencies(),
 		mux:     http.NewServeMux(),
+		now:     now,
 	}
 	// The engine is built after s exists: the rehydrate hook replays
 	// journaled specs through the same buildJob validation as live
 	// submissions.
 	s.jobs = jobs.New(jobs.Config{
 		Workers: cfg.JobWorkers, Queue: jobQueue, TTL: cfg.JobTTL,
-		Journal: cfg.Journal, Rehydrate: s.rehydrateJob,
+		Journal: cfg.Journal, Rehydrate: s.rehydrateJob, Now: now,
 	})
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -134,11 +144,11 @@ func (s *Server) Close() { s.jobs.Close() }
 // the per-route counters), ready for http.Server or httptest.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := s.now()
 		s.mux.ServeHTTP(w, r)
 		// ServeMux stamps the matched pattern onto the request; an
 		// unmatched request keeps Pattern empty and is labeled as such.
-		s.lat.observe(r.Pattern, time.Since(start))
+		s.lat.observe(r.Pattern, s.now().Sub(start))
 	})
 }
 

@@ -1,0 +1,9 @@
+// Local vendor of the golang.org/x/tools subset this repository's
+// lint suite builds on (go/analysis, go/ast/inspector, go/cfg and the
+// inspect pass). The files are copied verbatim from the Go toolchain's
+// own vendored copy (GOROOT/src/cmd/vendor/golang.org/x/tools,
+// x/tools v0.28.1 era) because the build environment is offline; the
+// main module reaches it through a replace directive. See LICENSE.
+module golang.org/x/tools
+
+go 1.24

@@ -1,0 +1,13 @@
+//go:build tools
+
+// Package tools pins the import paths of the external dev tools the
+// Makefile gate runs (versions live next to them in the Makefile
+// STATICCHECK/GOVULNCHECK variables). The build tag keeps them out of
+// every real build; the hermetic image cannot resolve these modules,
+// which is fine because nothing builds with -tags tools.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
