@@ -14,9 +14,9 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test fuzz bench bench-json serve-smoke help
+.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz bench bench-json serve-smoke help
 
-check: fmt vet vet-journal lint staticcheck govulncheck build test fuzz
+check: fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -64,15 +64,26 @@ build:
 test:
 	$(GO) test -race ./...
 
-# fuzz smoke-runs the three decoders for 5s each: FuzzReadGraph over
+# test-lifecycle re-runs the zero-downtime suite — graceful drain,
+# load-shedding, idempotent submits, and the SIGTERM fault-injection
+# harness — twice under the race detector. -count=2 defeats test
+# caching and catches order- and state-dependent flakes in exactly the
+# code whose whole point is concurrent shutdown.
+test-lifecycle:
+	$(GO) test -race -count=2 -run 'Drain|Idempoten|Shed|Saturat|RetryStorm' \
+		./internal/jobs ./internal/service ./cmd/lphd
+
+# fuzz smoke-runs the four fuzzers for 5s each: FuzzReadGraph over
 # the malformed-graph corpus (trailing data, truncated arrays),
 # FuzzDecodeRequest over service request bodies wrapping that corpus,
-# and FuzzReplayJournal over truncated/bit-flipped/garbage-extended
+# FuzzIdempotencyKey over the strict Idempotency-Key validator, and
+# FuzzReplayJournal over truncated/bit-flipped/garbage-extended
 # journal segments. Invariant for all: no panics; the journal replay
 # additionally recovers every record before the first corruption.
 fuzz:
 	$(GO) test -run=- -fuzz=FuzzReadGraph -fuzztime=5s ./internal/graphio
 	$(GO) test -run=- -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/service
+	$(GO) test -run=- -fuzz=FuzzIdempotencyKey -fuzztime=5s ./internal/service
 	$(GO) test -run=- -fuzz=FuzzReplayJournal -fuzztime=5s ./internal/journal
 
 bench:
@@ -82,8 +93,8 @@ bench:
 # benchmark once, through `go test -json`, post-processed by
 # cmd/benchjson into a sorted JSON array (see DESIGN.md).
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr6.json
-	@echo "wrote BENCH_pr6.json"
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr7.json
+	@echo "wrote BENCH_pr7.json"
 
 # serve-smoke boots lphd on a random port and walks the documented API
 # end to end: decide, verify, healthz (exact bodies), a two-graph
@@ -91,7 +102,12 @@ bench-json:
 # /metrics scrape — then the full crash-recovery walk: a journaled
 # lphd takes SIGKILL mid-sweep and is restarted on the same journal
 # dir, which must serve the finished result byte-identically and
-# re-run the interrupted and queued jobs to done.
+# re-run the interrupted and queued jobs to done. It closes with the
+# zero-downtime drain walk: SIGTERM mid-sweep must answer 503 to new
+# writes while draining, let the sweep finish, exit 0 with a drained
+# summary, and the next restart must replay everything as finished
+# (restarted=0 — a graceful drain re-runs nothing); finally
+# POST /v1/admin/drain must drain an idle instance the same way.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -163,7 +179,7 @@ serve-smoke:
 	case "$$state" in *'"state":"running"'*) ;; *) echo "j2 never started: $$state"; exit 1;; esac; \
 	curl -sf -X POST -d '{"job":"experiment","name":"figure4"}' http://$$jaddr/v1/jobs >/dev/null; \
 	kill -9 $$jpid; wait $$jpid 2>/dev/null || true; \
-	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/journal >$$tmp/crash2 2>&1 & jpid=$$!; \
+	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/journal -drain-timeout 2m >$$tmp/crash2 2>&1 & jpid=$$!; \
 	jaddr=""; \
 	for i in $$(seq 1 100); do \
 		jaddr=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/crash2); \
@@ -193,7 +209,39 @@ serve-smoke:
 	page2=$$(curl -sf "http://$$jaddr/v1/jobs?limit=2&cursor=$$cursor"); \
 	case "$$page2" in *'"id":"j3"'*) ;; \
 		*) echo "cursor page wrong: $$page2"; exit 1;; esac; \
-	echo "serve-smoke OK (incl. crash recovery)"
+	echo "crash-recovery walk OK; starting drain walk"; \
+	curl -sf -X POST -d '{"job":"sweep"}' http://$$jaddr/v1/jobs >/dev/null; \
+	for i in $$(seq 1 300); do \
+		state=$$(curl -sf http://$$jaddr/v1/jobs/j4); \
+		case "$$state" in *'"state":"running"'*) break;; esac; sleep 0.05; \
+	done; \
+	case "$$state" in *'"state":"running"'*) ;; *) echo "j4 never started: $$state"; exit 1;; esac; \
+	kill -TERM $$jpid; \
+	hz=""; \
+	for i in $$(seq 1 100); do \
+		hz=$$(curl -s http://$$jaddr/v1/healthz); \
+		case "$$hz" in *'"draining":true'*) break;; esac; sleep 0.05; \
+	done; \
+	case "$$hz" in *'"draining":true'*) ;; *) echo "healthz never reported draining: $$hz"; exit 1;; esac; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"job":"experiment","name":"figure4"}' http://$$jaddr/v1/jobs); \
+	[ "$$code" = "503" ] || { echo "submit while draining answered $$code, want 503"; exit 1; }; \
+	rc=0; wait $$jpid || rc=$$?; \
+	[ "$$rc" = "0" ] || { echo "drained lphd exited $$rc, want 0:"; cat $$tmp/crash2; exit 1; }; \
+	grep -q '^lphd: drained finished=1 ' $$tmp/crash2 || { echo "no drained summary:"; cat $$tmp/crash2; exit 1; }; \
+	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/journal >$$tmp/drain2 2>&1 & jpid=$$!; \
+	jaddr=""; \
+	for i in $$(seq 1 100); do \
+		jaddr=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/drain2); \
+		[ -n "$$jaddr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$jaddr" ] || { echo "post-drain lphd never came up:"; cat $$tmp/drain2; exit 1; }; \
+	grep -q 'restarted=0' $$tmp/drain2 || { echo "graceful drain must re-run nothing:"; cat $$tmp/drain2; exit 1; }; \
+	body=$$(curl -sf -X POST http://$$jaddr/v1/admin/drain); \
+	[ "$$body" = '{"draining":true}' ] || { echo "admin drain body: $$body"; exit 1; }; \
+	rc=0; wait $$jpid || rc=$$?; \
+	[ "$$rc" = "0" ] || { echo "admin-drained lphd exited $$rc, want 0:"; cat $$tmp/drain2; exit 1; }; \
+	grep -q '^lphd: drained finished=0 interrupted=0 queued=0' $$tmp/drain2 || { echo "idle admin drain summary wrong:"; cat $$tmp/drain2; exit 1; }; \
+	echo "serve-smoke OK (incl. crash recovery + graceful drain)"
 
 help:
 	@echo "make check       - fmt + vet + lint + static gate + build + race tests + decoder fuzz smokes (the verify entry point)"
@@ -205,7 +253,8 @@ help:
 	@echo "make govulncheck - pinned govulncheck; skips with a notice when unobtainable offline"
 	@echo "make build       - go build ./..."
 	@echo "make test        - go test -race ./..."
-	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzReplayJournal"
+	@echo "make test-lifecycle - drain/shed/idempotency suite twice under -race (defeats caching, shakes out flakes)"
+	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzIdempotencyKey + FuzzReplayJournal"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr6.json"
-	@echo "make serve-smoke - boot lphd, walk the API, then SIGKILL a journaled lphd mid-sweep and verify recovery"
+	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr7.json"
+	@echo "make serve-smoke - boot lphd, walk the API, SIGKILL + recovery, then SIGTERM drain + restarted=0 + admin drain"

@@ -8,17 +8,23 @@
 //
 //	lphd [-addr :8080] [-workers N] [-cache N] [-timeout D]
 //	     [-job-workers N] [-queue N] [-ttl D] [-journal DIR]
+//	     [-drain-timeout D] [-shed-wait D]
 //
-//	-addr        listen address; use ":0" for a random free port (the
-//	             chosen address is printed on startup)
-//	-workers     server-wide worker budget per request (0 = all CPUs)
-//	-cache       Prepared-cache capacity in graphs (0 disables caching)
-//	-timeout     per-request evaluation deadline (0 = none), e.g. 30s
-//	-job-workers async job engine worker pool (0 = 1)
-//	-queue       job admission-queue depth; overflow answers 429 (0 = 16)
-//	-ttl         job result retention after completion (0 = 15m)
-//	-journal     directory for the durable job journal (empty = jobs
-//	             are in-memory only and a restart discards them)
+//	-addr          listen address; use ":0" for a random free port (the
+//	               chosen address is printed on startup)
+//	-workers       server-wide worker budget per request (0 = all CPUs)
+//	-cache         Prepared-cache capacity in graphs (0 disables caching)
+//	-timeout       per-request evaluation deadline (0 = none), e.g. 30s
+//	-job-workers   async job engine worker pool (0 = 1)
+//	-queue         job admission-queue depth; overflow answers 429 (0 = 16)
+//	-ttl           job result retention after completion (0 = 15m)
+//	-journal       directory for the durable job journal (empty = jobs
+//	               are in-memory only and a restart discards them)
+//	-drain-timeout how long a graceful drain (SIGTERM/SIGINT or
+//	               POST /v1/admin/drain) waits for running jobs before
+//	               cancelling the stragglers (default 30s)
+//	-shed-wait     how long a synchronous request waits for worker
+//	               budget before being shed with 429 (default 1s)
 //
 // Routes:
 //
@@ -31,6 +37,7 @@
 //	GET    /v1/jobs     ?cursor=…&limit=N&state=…  (paginated listing)
 //	GET    /v1/jobs/{id}
 //	DELETE /v1/jobs/{id}
+//	POST   /v1/admin/drain   (start a graceful drain; 202)
 //	GET    /v1/healthz
 //	GET    /v1/stats
 //	GET    /metrics     (Prometheus text exposition)
@@ -44,14 +51,28 @@
 // the journal: finished results come back byte-identical (until their
 // original TTL), jobs that were queued or running when the process
 // died re-run from scratch, and cancelled or expired jobs stay dead.
+//
+// SIGTERM, SIGINT, and POST /v1/admin/drain all trigger the same
+// zero-downtime drain: the write routes immediately answer 503 +
+// Retry-After (health checks and reads stay live), running jobs get up
+// to -drain-timeout to finish — their verdicts are journaled and a
+// restart serves them byte-identical — queued jobs stay journaled as
+// queued and re-admit on the next start, stragglers are cancelled and
+// re-run exactly as after a crash, and the process exits 0 after
+// printing a "lphd: drained" summary. Retried submissions carrying an
+// Idempotency-Key answer with their original job id on the restarted
+// instance instead of double-running.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/journal"
@@ -73,13 +94,15 @@ func run(args []string) int {
 	queue := fs.Int("queue", 0, "job admission-queue depth, 429 beyond it (0 = 16)")
 	ttl := fs.Duration("ttl", 0, "job result retention after completion (0 = 15m)")
 	journalDir := fs.String("journal", "", "durable job journal directory (empty = in-memory jobs)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain wait for running jobs before cancelling them")
+	shedWait := fs.Duration("shed-wait", 0, "bounded wait for sync worker budget before 429 (0 = 1s)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *timeout < 0 ||
-		*jobWorkers < 0 || *queue < 0 || *ttl < 0 {
+		*jobWorkers < 0 || *queue < 0 || *ttl < 0 || *drainTimeout < 0 || *shedWait < 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-timeout D] [-job-workers N] [-queue N] [-ttl D] [-journal DIR]")
+			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-timeout D] [-job-workers N] [-queue N] [-ttl D] [-journal DIR] [-drain-timeout D] [-shed-wait D]")
 		return 2
 	}
 	var jnl *journal.Journal
@@ -102,7 +125,7 @@ func run(args []string) int {
 	svc := service.New(service.Config{
 		Workers: *workers, CacheSize: *cache, Timeout: *timeout,
 		JobWorkers: *jobWorkers, JobQueue: *queue, JobTTL: *ttl,
-		Journal: jnl,
+		Journal: jnl, ShedWait: *shedWait,
 	})
 	defer svc.Close()
 	if jnl != nil {
@@ -116,9 +139,38 @@ func run(args []string) int {
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "lphd:", err)
-		return 1
+	errc := make(chan error, 1)
+	//lint:detached the goroutine ends when Serve returns — on listener error or on the Shutdown below — and errc is always drained
+	go func() { errc <- srv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lphd:", err)
+			return 1
+		}
+		return 0
+	case <-sigc:
+	case <-svc.DrainRequested():
 	}
+	// Zero-downtime drain: stop admitting (the write routes answer 503 +
+	// Retry-After), give running jobs up to -drain-timeout to finish —
+	// their journaled verdicts survive the restart — then cancel the
+	// stragglers (replay re-runs them, exactly as after a crash) while
+	// queued jobs stay journaled as queued. In-flight HTTP responses
+	// finish before the listener closes.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	res := svc.Drain(drainCtx)
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	_ = srv.Shutdown(shutCtx)
+	<-errc
+	// The drain harness (cmd/lphd tests, make serve-smoke) scrapes this
+	// line; keep its shape stable.
+	fmt.Printf("lphd: drained finished=%d interrupted=%d queued=%d\n",
+		res.Finished, res.Interrupted, res.Queued)
 	return 0
 }

@@ -1,0 +1,318 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// waitDraining polls until BeginDrain's flag is visible in Stats —
+// the drain tests race a Drain goroutine against submissions and need
+// the flag up before asserting rejection.
+func waitDraining(t *testing.T, e *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !e.Stats().Draining {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDrainWaitsForRunningKeepsQueued is the drain state machine in
+// one scene: the running job gets to finish (its result is a real
+// verdict, not a cancellation), the queued job is never started, and
+// submissions during the drain bounce with ErrDraining.
+func TestDrainWaitsForRunningKeepsQueued(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("running", block(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e.Submit("queued", quickJob("never-ran")); err != nil {
+		t.Fatal(err)
+	}
+
+	resCh := make(chan DrainResult, 1)
+	go func() { resCh <- e.Drain(context.Background()) }()
+	waitDraining(t, e)
+
+	if _, err := e.Submit("late", quickJob("x")); err != ErrDraining {
+		t.Fatalf("submit while draining: err=%v, want ErrDraining", err)
+	}
+	// The drain must be blocked on the running job, not completed.
+	select {
+	case res := <-resCh:
+		t.Fatalf("drain finished while a job was still running: %+v", res)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	res := <-resCh
+	if res.Finished != 1 || res.Interrupted != 0 || res.Queued != 1 {
+		t.Fatalf("drain result %+v, want finished=1 interrupted=0 queued=1", res)
+	}
+	// The finished job carries its real verdict; the queued one is still
+	// exactly queued — not cancelled, not run.
+	if st, err := e.Get("j1"); err != nil || st.State != StateDone || st.Result != "released" {
+		t.Fatalf("j1 after drain: %+v, %v", st, err)
+	}
+	if st, err := e.Get("j2"); err != nil || st.State != StateQueued {
+		t.Fatalf("j2 after drain: %+v, %v (want queued)", st, err)
+	}
+	if _, err := e.Submit("after-close", quickJob("x")); err != ErrClosed {
+		t.Fatalf("submit after drain completed: err=%v, want ErrClosed", err)
+	}
+}
+
+// TestDrainDeadlineInterrupts pins the timeout half on a durable
+// engine: a job that cannot finish in time is cancelled without a
+// journaled verdict, so the next incarnation re-runs it — drain
+// degrades into exactly the crash contract, never worse.
+func TestDrainDeadlineInterrupts(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "jrnl")
+	jnl := openJournal(t, dir, journal.Options{})
+	e := New(Config{Workers: 1, Journal: jnl})
+	started := make(chan struct{})
+	if _, err := e.SubmitSpec("stuck", json.RawMessage(`{"result":"redone"}`), block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the deadline has already passed: interrupt immediately
+	res := e.Drain(ctx)
+	if res.Finished != 0 || res.Interrupted != 1 || res.Queued != 0 {
+		t.Fatalf("drain result %+v, want finished=0 interrupted=1 queued=0", res)
+	}
+	if st, err := e.Get("j1"); err != nil || st.State != StateCancelled {
+		t.Fatalf("interrupted job after drain: %+v, %v (want cancelled in memory)", st, err)
+	}
+	jnl.Close()
+
+	jnl2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Workers: 1, Journal: jnl2, Rehydrate: rehydrateQuick})
+	defer e2.Close()
+	if got := e2.Stats().Journal.Replay.Restarted; got != 1 {
+		t.Fatalf("restarted=%d, want 1 (interruption must replay like a crash)", got)
+	}
+	if st := waitState(t, e2, "j1", StateDone); st.Result != "redone" {
+		t.Fatalf("re-run result %v, want %q", st.Result, "redone")
+	}
+}
+
+// TestIdempotentSubmitSingleFlight is the concurrency property: any
+// number of simultaneous submissions sharing a key admit exactly one
+// job, execute it exactly once, and all read back the same id.
+func TestIdempotentSubmitSingleFlight(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	var executed atomic.Int64
+	fn := func(context.Context, *Progress) (any, error) {
+		executed.Add(1)
+		return "once", nil
+	}
+
+	const stormers = 32
+	ids := make([]string, stormers)
+	var wg sync.WaitGroup
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, _, err := e.SubmitIdem("demo", "storm-key", nil, fn)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id != "j1" {
+			t.Fatalf("submission %d got id %q, want j1 for every stormer", i, id)
+		}
+	}
+	waitState(t, e, "j1", StateDone)
+	if n := executed.Load(); n != 1 {
+		t.Fatalf("job body executed %d times, want exactly 1", n)
+	}
+	st := e.Stats()
+	if st.Totals.Submitted != 1 || st.Totals.IdemHits != stormers-1 {
+		t.Fatalf("totals %+v, want submitted=1 idempotent_hits=%d", st.Totals, stormers-1)
+	}
+}
+
+// TestIdempotencyAcrossRestart pins the durable half of the property:
+// a key bound to a job that never got to run (it was queued behind a
+// blocked worker when the engine went down) must, after replay, still
+// answer with the original id — and the work still runs exactly once,
+// in the second incarnation.
+func TestIdempotencyAcrossRestart(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "jrnl")
+	jnl := openJournal(t, dir, journal.Options{})
+	e := New(Config{Workers: 1, Journal: jnl})
+	started := make(chan struct{})
+	if _, err := e.SubmitSpec("blocker", json.RawMessage(`{"result":"blocker"}`), block(started, nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var firstRuns atomic.Int64
+	st, dup, err := e.SubmitIdem("keyed", "K", json.RawMessage(`{"result":"keyed"}`),
+		func(ctx context.Context, _ *Progress) (any, error) {
+			// Honor the context, per the Func contract: when Close pops this
+			// job against the cancelled base context it must finish as
+			// cancelled (and replay), not sneak in an execution.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			firstRuns.Add(1)
+			return "keyed", nil
+		})
+	if err != nil || dup {
+		t.Fatalf("submit keyed: dup=%v err=%v", dup, err)
+	}
+	keyedID := st.ID
+	// A concurrent duplicate before shutdown sees the queued original.
+	if st, dup, err := e.SubmitIdem("keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID {
+		t.Fatalf("pre-restart duplicate: %+v dup=%v err=%v", st, dup, err)
+	}
+	e.Close()
+	jnl.Close()
+	if n := firstRuns.Load(); n != 0 {
+		t.Fatalf("keyed job ran %d times behind a blocked worker, want 0", n)
+	}
+
+	var secondRuns atomic.Int64
+	jnl2 := openJournal(t, dir, journal.Options{})
+	e2 := New(Config{Workers: 1, Journal: jnl2, Rehydrate: func(kind string, spec json.RawMessage) (Func, error) {
+		fn, err := rehydrateQuick(kind, spec)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, p *Progress) (any, error) {
+			if kind == "keyed" {
+				secondRuns.Add(1)
+			}
+			return fn(ctx, p)
+		}, nil
+	}})
+	defer e2.Close()
+	// The duplicate after restart answers with the original id, whether
+	// the replayed job has re-run yet or not.
+	if st, dup, err := e2.SubmitIdem("keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID {
+		t.Fatalf("post-restart duplicate: %+v dup=%v err=%v", st, dup, err)
+	}
+	waitState(t, e2, keyedID, StateDone)
+	if n := secondRuns.Load(); n != 1 {
+		t.Fatalf("keyed job ran %d times after replay, want exactly 1", n)
+	}
+	// Still one id for the key, now bound to the finished job.
+	if st, dup, err := e2.SubmitIdem("keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID || st.State != StateDone {
+		t.Fatalf("settled duplicate: %+v dup=%v err=%v", st, dup, err)
+	}
+}
+
+// TestIdempotentDuplicateDuringDrain pins the interaction the HTTP
+// retry story depends on: a draining engine refuses new work but still
+// answers duplicates of keys it already admitted.
+func TestIdempotentDuplicateDuringDrain(t *testing.T) {
+	t.Parallel()
+	e := New(Config{Workers: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, _, err := e.SubmitIdem("keyed", "K", nil, block(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	e.BeginDrain()
+	if _, _, err := e.SubmitIdem("fresh", "other", nil, quickJob("x")); err != ErrDraining {
+		t.Fatalf("fresh key while draining: err=%v, want ErrDraining", err)
+	}
+	st, dup, err := e.SubmitIdem("keyed", "K", nil, nil)
+	if err != nil || !dup || st.ID != "j1" {
+		t.Fatalf("duplicate while draining: %+v dup=%v err=%v", st, dup, err)
+	}
+	close(release)
+	e.Drain(context.Background())
+}
+
+// TestIdemKeyFreesOnExpiry: the binding lives exactly as long as the
+// job's record — once the TTL sweeps the job away, the same key admits
+// fresh work instead of pointing into the void.
+func TestIdemKeyFreesOnExpiry(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	e := New(Config{Workers: 1, TTL: time.Minute, Now: clk.Now})
+	defer e.Close()
+	st, dup, err := e.SubmitIdem("demo", "K", nil, quickJob("first"))
+	if err != nil || dup {
+		t.Fatalf("first submit: dup=%v err=%v", dup, err)
+	}
+	first := st.ID
+	waitState(t, e, first, StateDone)
+	clk.Advance(2 * time.Minute)
+	st2, dup, err := e.SubmitIdem("demo", "K", nil, quickJob("second"))
+	if err != nil || dup {
+		t.Fatalf("post-expiry submit: dup=%v err=%v", dup, err)
+	}
+	if st2.ID == first {
+		t.Fatalf("expired key still answered the old job %s", first)
+	}
+	if _, err := e.Get(first); err != ErrNotFound {
+		t.Fatalf("expired job lookup: %v, want ErrNotFound", err)
+	}
+}
+
+// TestDrainManyWorkersAllFinish exercises the running-count accounting
+// under -race with a full pool: every running job finishes, the drain
+// reports all of them, and the counters stay consistent.
+func TestDrainManyWorkersAllFinish(t *testing.T) {
+	t.Parallel()
+	const workers = 4
+	e := New(Config{Workers: workers})
+	release := make(chan struct{})
+	var wgStarted sync.WaitGroup
+	wgStarted.Add(workers)
+	for i := 0; i < workers; i++ {
+		_, err := e.Submit(fmt.Sprintf("w%d", i), func(ctx context.Context, _ *Progress) (any, error) {
+			wgStarted.Done()
+			select {
+			case <-release:
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wgStarted.Wait()
+	resCh := make(chan DrainResult, 1)
+	go func() { resCh <- e.Drain(context.Background()) }()
+	waitDraining(t, e)
+	close(release)
+	res := <-resCh
+	if res.Finished != workers || res.Interrupted != 0 || res.Queued != 0 {
+		t.Fatalf("drain result %+v, want finished=%d", res, workers)
+	}
+	if got := e.Stats().Totals.Done; got != workers {
+		t.Fatalf("done total %d, want %d", got, workers)
+	}
+}

@@ -12,6 +12,18 @@
 // that polls the context — every engine in this repository does —
 // aborts mid-search.
 //
+// The engine also owns the zero-downtime half of the lifecycle.
+// BeginDrain flips it into drain mode — new submissions fail with
+// ErrDraining, idle workers park, and queued jobs are deliberately not
+// started, so their journaled submit records re-admit them in the next
+// incarnation — and Drain waits (bounded by its context) for running
+// jobs to finish before closing. Submissions may carry an idempotency
+// key: a key already bound to a live job answers with that job's
+// status instead of admitting a duplicate, the binding is journaled
+// with the submit record, and replay rebuilds it, so client retries
+// across a crash or drain/restart boundary yield exactly one execution
+// and one id.
+//
 // Durability is opt-in: an Engine constructed with a journal appends a
 // fsynced record at every lifecycle transition and replays the journal
 // on startup. Replay restores finished results into the store with
@@ -66,6 +78,12 @@ var (
 	ErrQueueFull = errors.New("jobs: admission queue full")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("jobs: engine closed")
+	// ErrDraining is returned by Submit once BeginDrain has been called:
+	// the engine is winding down for a restart and admits no new work.
+	// Callers map it to HTTP 503 + Retry-After (the restarted instance
+	// will accept the retry). Idempotent duplicates of already-admitted
+	// keys are still answered — that is the point of the key.
+	ErrDraining = errors.New("jobs: engine draining")
 	// ErrNotFound is returned for ids that never existed or whose result
 	// already expired from the TTL'd store.
 	ErrNotFound = errors.New("jobs: no such job")
@@ -138,6 +156,7 @@ type job struct {
 	seq        int64
 	kind       string
 	spec       json.RawMessage // journaled re-submission payload
+	idemKey    string          // client idempotency key, "" when none
 	fn         Func
 	progress   Progress
 	state      State
@@ -174,11 +193,14 @@ type Status struct {
 // state, queue occupancy, monotone lifetime counters, and — when the
 // engine is durable — the journal's bookkeeping.
 type Stats struct {
-	Workers       int            `json:"workers"`
-	QueueDepth    int            `json:"queue_depth"`
-	QueueCapacity int            `json:"queue_capacity"`
-	States        map[State]int  `json:"states"`
-	Totals        LifetimeTotals `json:"totals"`
+	Workers       int           `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	States        map[State]int `json:"states"`
+	// Draining reports whether BeginDrain has been called: the engine
+	// is refusing new work while running jobs finish.
+	Draining bool           `json:"draining"`
+	Totals   LifetimeTotals `json:"totals"`
 	// Journal is nil when the engine runs without persistence.
 	Journal *JournalStats `json:"journal,omitempty"`
 }
@@ -192,6 +214,9 @@ type LifetimeTotals struct {
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
 	Expired   uint64 `json:"expired"`
+	// IdemHits counts submissions answered with an existing job because
+	// their idempotency key was already bound — work the dedup saved.
+	IdemHits uint64 `json:"idempotent_hits"`
 }
 
 // ReplayStats counts what the startup replay did.
@@ -230,6 +255,19 @@ type Engine struct {
 	depth  int    // admission bound on len(queue)
 	seq    int64
 	closed bool
+
+	// draining is the graceful-shutdown latch: once set, submissions
+	// fail with ErrDraining, idle workers park instead of popping, and
+	// queued jobs stay queued (their journaled submit records re-admit
+	// them in the next incarnation).
+	draining bool
+	// running counts jobs currently executing a body; Drain waits for it
+	// to reach zero. The cond is broadcast on every decrement while
+	// draining.
+	running int
+	// idem maps a live idempotency key to the job id it admitted; the
+	// binding is journaled with the submit record and dies with the job.
+	idem map[string]string
 
 	workers int
 	ttl     time.Duration
@@ -271,6 +309,7 @@ func New(cfg Config) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		jobs:       make(map[string]*job),
+		idem:       make(map[string]string),
 		depth:      depth,
 		workers:    workers,
 		ttl:        ttl,
@@ -322,6 +361,7 @@ func (e *Engine) replayJournal() {
 				seq:     rec.Seq,
 				kind:    rec.Kind,
 				spec:    rec.Spec,
+				idemKey: rec.Idem,
 				state:   StateQueued,
 				created: rec.When(),
 			}
@@ -400,6 +440,16 @@ func (e *Engine) replayJournal() {
 			e.replay.Restarted++
 		}
 	}
+	// Rebind idempotency keys for every job that survived replay — a
+	// duplicate submission after the restart answers with the original
+	// job, whatever state it is in. Expired and cancelled jobs free
+	// their keys instead: their outcome is gone, so a retry legitimately
+	// runs fresh work.
+	for id, j := range e.jobs {
+		if j.idemKey != "" {
+			e.idem[j.idemKey] = id
+		}
+	}
 }
 
 // rehydrateJob rebuilds the body of a replayed job.
@@ -439,6 +489,68 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
+// DrainResult reports what a graceful drain accomplished.
+type DrainResult struct {
+	// Finished counts jobs that were running when the drain began and
+	// completed within the deadline — their verdicts are journaled and
+	// survive the restart.
+	Finished int `json:"finished"`
+	// Interrupted counts running jobs still unfinished at the deadline;
+	// they are cancelled in memory only, so — exactly like a crash —
+	// replay re-runs them on the next start.
+	Interrupted int `json:"interrupted"`
+	// Queued counts jobs still waiting when the engine closed; their
+	// journaled submit records re-admit them on the next start.
+	Queued int `json:"queued"`
+}
+
+// BeginDrain flips the engine into drain mode: submissions fail with
+// ErrDraining (idempotent duplicates of admitted keys still answer
+// with the original job), idle workers park, and no queued job is
+// started — the queue stays journaled as queued for the next
+// incarnation. Running jobs keep running; Drain waits for them.
+// Idempotent; there is no way back short of a restart.
+func (e *Engine) BeginDrain() {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// Drain gracefully winds the engine down: BeginDrain, wait for the
+// running jobs to finish until ctx expires, then Close. Jobs that beat
+// the deadline keep their journaled verdicts; stragglers are cancelled
+// through the base context and re-run after restart, exactly as if the
+// process had crashed. Queued jobs are never started — they replay as
+// queued. Safe to call once; the engine is closed when it returns.
+func (e *Engine) Drain(ctx context.Context) DrainResult {
+	e.BeginDrain()
+	// Wake the wait loop when the deadline passes. context.AfterFunc
+	// (rather than a timer) keeps the bounded wait on the caller's
+	// context tree.
+	stop := context.AfterFunc(ctx, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	e.mu.Lock()
+	began := e.running
+	for e.running > 0 && ctx.Err() == nil {
+		e.cond.Wait()
+	}
+	res := DrainResult{
+		Finished:    began - e.running,
+		Interrupted: e.running,
+		Queued:      len(e.queue),
+	}
+	e.mu.Unlock()
+	stop()
+	e.Close()
+	return res
+}
+
 // Submit admits a job of the given kind. It never blocks: when the
 // queue is full the job is rejected with ErrQueueFull. On success the
 // returned Status is the freshly queued job (ids are "j1", "j2", … in
@@ -456,15 +568,41 @@ func (e *Engine) Submit(kind string, fn Func) (Status, error) {
 // rejects the submission rather than accepting work that could not be
 // made durable.
 func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, fn Func) (Status, error) {
+	st, _, err := e.SubmitIdem(kind, "", spec, fn)
+	return st, err
+}
+
+// SubmitIdem admits a job like SubmitSpec, deduplicated by the
+// caller's idempotency key (empty means none). A key already bound to
+// a live job returns that job's current status with dup=true and
+// admits nothing — even while the engine drains, so a client retrying
+// through a drain/restart gets the original job instead of a second
+// execution. The binding is journaled inside the submit record and
+// rebuilt by replay, so the dedup holds across crash and drain/restart
+// boundaries; it ends when the job's record expires from the store.
+func (e *Engine) SubmitIdem(kind, key string, spec json.RawMessage, fn Func) (Status, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return Status{}, ErrClosed
+		return Status{}, false, ErrClosed
 	}
 	e.sweepLocked()
+	if key != "" {
+		if id, ok := e.idem[key]; ok {
+			if j, ok := e.jobs[id]; ok {
+				e.totals.IdemHits++
+				return e.statusLocked(j), true, nil
+			}
+			// The bound job expired from the store; the key is free again.
+			delete(e.idem, key)
+		}
+	}
+	if e.draining {
+		return Status{}, false, ErrDraining
+	}
 	if len(e.queue) >= e.depth {
 		e.totals.Rejected++
-		return Status{}, ErrQueueFull
+		return Status{}, false, ErrQueueFull
 	}
 	seq := e.seq + 1
 	j := &job{
@@ -472,6 +610,7 @@ func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, fn Func) (Status,
 		seq:     seq,
 		kind:    kind,
 		spec:    spec,
+		idemKey: key,
 		fn:      fn,
 		state:   StateQueued,
 		created: e.now(),
@@ -479,18 +618,21 @@ func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, fn Func) (Status,
 	if e.jnl != nil {
 		rec := journal.Record{
 			Type: journal.TypeSubmit, ID: j.id, Seq: seq,
-			Kind: kind, Spec: spec, Time: j.created.UnixNano(),
+			Kind: kind, Spec: spec, Idem: key, Time: j.created.UnixNano(),
 		}
 		if err := e.jnl.Append(rec); err != nil {
-			return Status{}, fmt.Errorf("jobs: journal submit: %w", err)
+			return Status{}, false, fmt.Errorf("jobs: journal submit: %w", err)
 		}
 	}
 	e.seq = seq
 	e.queue = append(e.queue, j)
 	e.jobs[j.id] = j
+	if key != "" {
+		e.idem[key] = j.id
+	}
 	e.totals.Submitted++
 	e.cond.Signal()
-	return e.statusLocked(j), nil
+	return e.statusLocked(j), false, nil
 }
 
 // Get returns the job's status, or ErrNotFound for unknown/expired ids.
@@ -612,6 +754,7 @@ func (e *Engine) Stats() Stats {
 		QueueDepth:    states[StateQueued],
 		QueueCapacity: e.depth,
 		States:        states,
+		Draining:      e.draining,
 		Totals:        e.totals,
 	}
 	if e.jnl != nil {
@@ -655,6 +798,11 @@ func (e *Engine) sweepLocked() {
 	for id, j := range e.jobs {
 		if j.state.Finished() && j.finished.Before(cutoff) {
 			delete(e.jobs, id)
+			if j.idemKey != "" && e.idem[j.idemKey] == id {
+				// The key dies with the job: a later submission with the
+				// same key legitimately runs fresh work.
+				delete(e.idem, j.idemKey)
+			}
 			e.totals.Expired++
 			if e.jnl != nil {
 				e.jnl.Retire(id)
@@ -686,7 +834,7 @@ func (e *Engine) compactLocked() {
 	for _, j := range live {
 		recs = append(recs, journal.Record{
 			Type: journal.TypeSubmit, ID: j.id, Seq: j.seq,
-			Kind: j.kind, Spec: j.spec, Time: j.created.UnixNano(),
+			Kind: j.kind, Spec: j.spec, Idem: j.idemKey, Time: j.created.UnixNano(),
 		})
 		switch j.state {
 		case StateRunning:
@@ -738,8 +886,17 @@ func (e *Engine) worker() {
 	defer e.wg.Done()
 	e.mu.Lock()
 	for {
-		for len(e.queue) == 0 && !e.closed {
+		for len(e.queue) == 0 && !e.closed && !e.draining {
 			e.cond.Wait()
+		}
+		if e.draining {
+			// Graceful drain: park without popping, whatever the queue
+			// holds — queued jobs must stay queued (their journaled submit
+			// records re-admit them on the next start), not run against a
+			// cancelled context and finish as cancelled the way a plain
+			// Close's leftovers do below.
+			e.mu.Unlock()
+			return
 		}
 		if len(e.queue) == 0 { // closed and drained
 			e.mu.Unlock()
@@ -747,6 +904,7 @@ func (e *Engine) worker() {
 		}
 		j := e.queue[0]
 		e.queue = e.queue[1:]
+		e.running++
 		// Cancelled jobs never reach here — Cancel removes them from the
 		// waiting line — so j is always genuinely queued.
 		ctx, cancel := context.WithCancel(e.baseCtx)
@@ -761,6 +919,12 @@ func (e *Engine) worker() {
 		cancel()
 
 		e.mu.Lock()
+		e.running--
+		if e.draining {
+			// Drain blocks on running reaching zero; every finish while
+			// draining is a potential last one.
+			e.cond.Broadcast()
+		}
 		j.finished = e.now()
 		done, total := j.progress.Snapshot()
 		switch {

@@ -65,11 +65,16 @@ const (
 // counters, and the finish time. Times are Unix nanoseconds so the
 // payload is plain JSON with no layout ambiguity.
 type Record struct {
-	Type   Type            `json:"type"`
-	ID     string          `json:"id"`
-	Seq    int64           `json:"seq,omitempty"`
-	Kind   string          `json:"kind,omitempty"`
-	Spec   json.RawMessage `json:"spec,omitempty"`
+	Type Type            `json:"type"`
+	ID   string          `json:"id"`
+	Seq  int64           `json:"seq,omitempty"`
+	Kind string          `json:"kind,omitempty"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Idem is the client's idempotency key, carried on submit records so
+	// replay can rebind key → job id: a duplicate submission after a
+	// crash or drain/restart answers with the original job instead of
+	// running the work a second time.
+	Idem   string          `json:"idem,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Done   int64           `json:"done,omitempty"`

@@ -1,9 +1,11 @@
-// Package journaltest is the crash-recovery test harness for the
-// durable job store: it runs a real lphd process, kills it with
-// SIGKILL mid-job (no shutdown path runs — the only survivor is what
-// the journal fsynced), restarts it on the same journal directory, and
+// Package journaltest is the fault-injection test harness for the
+// durable job store: it runs a real lphd process and subjects it to
+// the failure under test — SIGKILL mid-job (no shutdown path runs; the
+// only survivor is what the journal fsynced) or SIGTERM (the graceful
+// drain: running jobs finish, queued jobs stay journaled, the process
+// exits clean) — then restarts it on the same journal directory and
 // lets tests assert over the HTTP API that done results survived
-// byte-for-byte and interrupted jobs re-ran.
+// byte-for-byte, interrupted jobs re-ran, and nothing ran twice.
 //
 // The lphd binary is whatever the caller passes — cmd/lphd's tests
 // re-exec their own test binary through a TestMain hook, so the
@@ -37,6 +39,7 @@ type Proc struct {
 	tb      testing.TB
 	cmd     *exec.Cmd
 	logPath string
+	waited  bool // set once WaitExit reaped the process
 	// Addr is the host:port scraped from the startup line.
 	Addr string
 }
@@ -90,12 +93,45 @@ func (p *Proc) Log() string {
 
 // Kill sends SIGKILL and reaps the process — the crash under test: no
 // handler runs, no flush happens, nothing survives but fsynced bytes.
-// Safe to call twice.
+// Safe to call twice, and a no-op after WaitExit reaped the process.
 func (p *Proc) Kill() {
-	if p.cmd.Process != nil && p.cmd.ProcessState == nil {
+	if !p.waited && p.cmd.Process != nil && p.cmd.ProcessState == nil {
 		_ = p.cmd.Process.Kill()
 		_, _ = p.cmd.Process.Wait()
 	}
+}
+
+// Signal forwards sig to the process. SIGTERM is the graceful-drain
+// trigger under test — the shutdown handler runs, unlike Kill's
+// SIGKILL, which is precisely the contrast the drain tests assert.
+func (p *Proc) Signal(sig os.Signal) {
+	p.tb.Helper()
+	if p.cmd.Process == nil {
+		p.tb.Fatal("journaltest: Signal before Start")
+	}
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		p.tb.Fatalf("journaltest: signal %v: %v", sig, err)
+	}
+}
+
+// WaitExit waits for the process to exit on its own and returns its
+// exit code — drain tests assert a clean 0 after SIGTERM, where the
+// SIGKILL harness never sees a voluntary exit. A process still alive
+// after the timeout is killed and the test fails.
+func (p *Proc) WaitExit(timeout time.Duration) int {
+	p.tb.Helper()
+	watchdog := time.AfterFunc(timeout, func() { _ = p.cmd.Process.Kill() })
+	err := p.cmd.Wait()
+	timedOut := !watchdog.Stop()
+	p.waited = true
+	if timedOut {
+		p.tb.Fatalf("journaltest: process did not exit within %v (killed):\n%s", timeout, p.Log())
+	}
+	code := p.cmd.ProcessState.ExitCode()
+	if err != nil && code == -1 {
+		p.tb.Fatalf("journaltest: wait: %v\n%s", err, p.Log())
+	}
+	return code
 }
 
 // URL joins a path onto the process's base URL.
@@ -105,9 +141,19 @@ func (p *Proc) URL(path string) string { return "http://" + p.Addr + path }
 // bytes (raw, so crash tests can assert byte identity across restarts).
 func (p *Proc) Do(method, path, body string) (int, []byte) {
 	p.tb.Helper()
+	return p.DoHeader(method, path, body, nil)
+}
+
+// DoHeader is Do with extra request headers — the idempotency tests
+// set Idempotency-Key on retried submits.
+func (p *Proc) DoHeader(method, path, body string, hdr map[string]string) (int, []byte) {
+	p.tb.Helper()
 	req, err := http.NewRequest(method, p.URL(path), strings.NewReader(body))
 	if err != nil {
 		p.tb.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

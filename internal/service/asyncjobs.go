@@ -22,7 +22,10 @@ import (
 // GET /v1/jobs lists jobs in admission order behind an opaque cursor,
 // GET /v1/jobs/{id} serves progress and the TTL'd result, and DELETE
 // /v1/jobs/{id} cancels whether the job is still queued or already
-// running (the job's context reaches every search engine).
+// running (the job's context reaches every search engine). A submit
+// may carry an Idempotency-Key header: a retry with the same key —
+// concurrent, later, or on the other side of a crash or drain/restart
+// — answers 200 with the original job instead of 202 with a duplicate.
 //
 // When the server runs with a journal, the validated request is
 // re-marshaled and journaled as the job's spec; after a crash the
@@ -139,8 +142,56 @@ func (s *Server) rehydrateJob(kind string, spec json.RawMessage) (jobs.Func, err
 	return s.buildJob(req)
 }
 
+// maxIdemKeyBytes bounds one Idempotency-Key header value; the key is
+// journaled inside every submit record, so it must stay small.
+const maxIdemKeyBytes = 128
+
+// IdempotencyKey extracts and validates the Idempotency-Key header:
+// absent means no key (""), present means exactly one value of 1 to
+// 128 visible-ASCII bytes. The alphabet is pinned hard — no spaces, no
+// control bytes, nothing multi-byte — because the key is persisted in
+// JSON journal records and echoed in responses, and a permissive
+// parser here would make every replay a parsing liability. Exported
+// for the fuzz harness.
+func IdempotencyKey(h http.Header) (string, error) {
+	vals := h.Values("Idempotency-Key")
+	switch len(vals) {
+	case 0:
+		return "", nil
+	case 1:
+		return ValidateIdemKey(vals[0])
+	default:
+		return "", fmt.Errorf("%w: repeated Idempotency-Key header", ErrBadRequest)
+	}
+}
+
+// ValidateIdemKey enforces the key contract on one header value.
+func ValidateIdemKey(key string) (string, error) {
+	if key == "" {
+		return "", fmt.Errorf("%w: empty Idempotency-Key", ErrBadRequest)
+	}
+	if len(key) > maxIdemKeyBytes {
+		return "", fmt.Errorf("%w: Idempotency-Key exceeds %d bytes", ErrBadRequest, maxIdemKeyBytes)
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= 0x20 || key[i] >= 0x7f {
+			return "", fmt.Errorf("%w: Idempotency-Key byte %d is not visible ASCII", ErrBadRequest, i)
+		}
+	}
+	return key, nil
+}
+
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	key, err := IdempotencyKey(r.Header)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// No shedDraining check here: a draining engine still answers
+	// idempotent duplicates of keys it already admitted — that is the
+	// whole point of the key during a drain/restart — so the drain
+	// rejection happens inside SubmitIdem, after the dedup lookup.
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		s.fail(w, err)
@@ -158,9 +209,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	st, err := s.jobs.SubmitSpec(req.Job, spec, fn)
+	st, dup, err := s.jobs.SubmitIdem(req.Job, key, spec, fn)
 	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if dup {
+		// The original admission's outcome, replayed: 200, not 202 — the
+		// client can tell a dedup hit from a fresh admission.
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)

@@ -45,6 +45,9 @@ type BatchResponse struct {
 // failing the whole batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.shedDraining(w) {
+		return
+	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		s.fail(w, err)
@@ -79,6 +82,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, cancel := s.engine(r.Context(), req.Workers)
 	defer cancel()
+	release, err := s.acquireBudget(r.Context(), engine.Workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
 	inner := search.Options{Workers: 1, Ctx: engine.Ctx}
 	results := search.Map(engine, len(req.Graphs), func(i int) BatchItem {
 		item := BatchItem{Index: i}

@@ -2,6 +2,8 @@ package service
 
 import (
 	"bytes"
+	"errors"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -82,6 +84,63 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if !g.Equal(h) {
 			t.Fatalf("round trip changed the graph:\n%v\nvs\n%v", g, h)
+		}
+	})
+}
+
+// FuzzIdempotencyKey fuzzes the Idempotency-Key validator. The key is
+// journaled verbatim and rebound at replay, so the contract is strict:
+// accepted keys are non-empty visible ASCII of at most maxIdemKeyBytes
+// bytes and come back unchanged (both from ValidateIdemKey and through
+// a real http.Header), everything else is an ErrBadRequest — never a
+// panic, never a silent truncation or normalization.
+func FuzzIdempotencyKey(f *testing.F) {
+	for _, key := range []string{
+		"retry-1",
+		strings.Repeat("k", maxIdemKeyBytes),   // exactly at the limit
+		strings.Repeat("k", maxIdemKeyBytes+1), // one byte over
+		"",
+		" ",
+		"has space",
+		"tab\there",
+		"new\nline",
+		"café", // multi-byte UTF-8
+		"\x7f", // DEL: first byte past visible ASCII
+		"\x1f", // unit separator: last byte before it
+		"!~",   // the visible-ASCII boundary characters
+		"ключ", // non-Latin
+		"null\x00byte",
+	} {
+		f.Add(key)
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		got, err := ValidateIdemKey(key)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("reject of %q is not an ErrBadRequest: %v", key, err)
+			}
+			if got != "" {
+				t.Fatalf("ValidateIdemKey(%q) returned both %q and %v", key, got, err)
+			}
+			return
+		}
+		if got != key {
+			t.Fatalf("accepted key changed: %q -> %q", key, got)
+		}
+		if len(key) == 0 || len(key) > maxIdemKeyBytes {
+			t.Fatalf("accepted key length %d outside (0,%d]", len(key), maxIdemKeyBytes)
+		}
+		for i := 0; i < len(key); i++ {
+			if key[i] <= 0x20 || key[i] >= 0x7f {
+				t.Fatalf("accepted key has non-visible byte %#x at %d", key[i], i)
+			}
+		}
+		// The same key must survive a real header round trip — visible
+		// ASCII is untouched by net/http's header handling.
+		h := make(http.Header)
+		h.Set("Idempotency-Key", key)
+		if back, err := IdempotencyKey(h); err != nil || back != key {
+			t.Fatalf("header round trip of %q: %q, %v", key, back, err)
 		}
 	})
 }

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests cover the zero-downtime lifecycle from inside the
+// package: the shedder's semaphore discipline at the unit level, then
+// the HTTP contracts — 429 + Retry-After under saturation, 503 +
+// Retry-After during a drain, a health check that stays live through
+// both, and idempotent submits answering with the original job. They
+// hold the budget gate directly, so saturation is deterministic
+// instead of depending on slow evaluations racing the assertions.
+
+const triangleGraph = `{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]}`
+
+// expiredCtx returns an already-cancelled context: an acquire under it
+// never waits, turning the bounded wait into an immediate verdict.
+func expiredCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestShedderFIFOAllOrNothing(t *testing.T) {
+	t.Parallel()
+	sh := newShedder(4)
+	if err := sh.acquire(context.Background(), 3); err != nil {
+		t.Fatalf("uncontended acquire: %v", err)
+	}
+
+	// A wide request parks at the head of the line; a narrow one behind
+	// it must NOT slip past (FIFO, not best-fit).
+	wideDone := make(chan error, 1)
+	var startedWG sync.WaitGroup
+	startedWG.Add(1)
+	go func() {
+		startedWG.Done()
+		wideDone <- sh.acquire(context.Background(), 4)
+	}()
+	startedWG.Wait()
+	waitFor(t, func() bool { return sh.stats().Waiting == 1 })
+
+	narrowDone := make(chan error, 1)
+	go func() { narrowDone <- sh.acquire(context.Background(), 1) }()
+	waitFor(t, func() bool { return sh.stats().Waiting == 2 })
+	select {
+	case err := <-narrowDone:
+		t.Fatalf("narrow acquire jumped the FIFO line: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Releasing the 3 slots grants the wide head first, then the narrow
+	// one once the wide releases — strict arrival order.
+	sh.release(3)
+	if err := <-wideDone; err != nil {
+		t.Fatalf("wide acquire after release: %v", err)
+	}
+	select {
+	case err := <-narrowDone:
+		t.Fatalf("narrow acquire granted while the wide one holds everything: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	sh.release(4)
+	if err := <-narrowDone; err != nil {
+		t.Fatalf("narrow acquire after wide release: %v", err)
+	}
+	sh.release(1)
+
+	st := sh.stats()
+	if st.InUse != 0 || st.Waiting != 0 || st.Acquired != 3 || st.Shed != 0 {
+		t.Fatalf("final stats %+v, want in_use=0 waiting=0 acquired=3 shed=0", st)
+	}
+}
+
+func TestShedderBoundedWaitSheds(t *testing.T) {
+	t.Parallel()
+	sh := newShedder(2)
+	if err := sh.acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.acquire(expiredCtx(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated acquire: %v, want ErrSaturated", err)
+	}
+	// Abandoning a wide waiter unblocks narrower requests queued behind
+	// it: head needs 2 (never fits), the 1 behind it fits once the head
+	// gives up.
+	sh.release(2)
+	if err := sh.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	headCtx, cancelHead := context.WithCancel(context.Background())
+	headDone := make(chan error, 1)
+	go func() { headDone <- sh.acquire(headCtx, 2) }()
+	waitFor(t, func() bool { return sh.stats().Waiting == 1 })
+	tailDone := make(chan error, 1)
+	go func() { tailDone <- sh.acquire(context.Background(), 1) }()
+	waitFor(t, func() bool { return sh.stats().Waiting == 2 })
+	cancelHead()
+	if err := <-headDone; !errors.Is(err, ErrSaturated) {
+		t.Fatalf("abandoned head: %v, want ErrSaturated", err)
+	}
+	if err := <-tailDone; err != nil {
+		t.Fatalf("tail after head abandoned: %v", err)
+	}
+	st := sh.stats()
+	if st.Shed != 2 || st.InUse != 2 {
+		t.Fatalf("stats %+v, want shed=2 in_use=2", st)
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// do issues one request against the handler and returns the recorder.
+func do(h http.Handler, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestSyncSaturationTable fills the worker budget and walks every
+// synchronous route: each answers 429 with a sane Retry-After within
+// the bounded wait, /v1/healthz stays live throughout, and once the
+// budget frees the same requests succeed.
+func TestSyncSaturationTable(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 2, CacheSize: 4, ShedWait: 30 * time.Millisecond})
+	defer s.Close()
+	h := s.Handler()
+
+	routes := []struct {
+		name, path, body string
+	}{
+		{"decide", "/v1/decide", `{"graph":` + triangleGraph + `,"property":"all-selected"}`},
+		{"verify", "/v1/verify", `{"graph":` + triangleGraph + `,"property":"one-selected"}`},
+		{"reduce", "/v1/reduce", `{"graph":` + triangleGraph + `,"reduction":"eulerian"}`},
+		{"game", "/v1/game", `{"game":"figure1","workers":1}`},
+		{"batch", "/v1/batch", `{"op":"decide","property":"all-selected","graphs":[` + triangleGraph + `]}`},
+	}
+
+	// Saturate: the whole budget is held, so every sync route must shed.
+	if err := s.shed.acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	shedBefore := s.shed.stats().Shed
+	for _, rt := range routes {
+		t.Run("saturated-"+rt.name, func(t *testing.T) {
+			start := time.Now()
+			w := do(h, http.MethodPost, rt.path, rt.body, nil)
+			elapsed := time.Since(start)
+			if w.Code != http.StatusTooManyRequests {
+				t.Fatalf("status %d, want 429; body %s", w.Code, w.Body)
+			}
+			if ra := w.Header().Get("Retry-After"); ra != shedRetryAfter {
+				t.Fatalf("Retry-After %q, want %q", ra, shedRetryAfter)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("shed took %v, want the bounded wait (~30ms)", elapsed)
+			}
+		})
+	}
+	if got := s.shed.stats().Shed - shedBefore; got != uint64(len(routes)) {
+		t.Fatalf("shed counter advanced %d, want %d", got, len(routes))
+	}
+	// Liveness under saturation: the health check never touches the
+	// budget gate.
+	if w := do(h, http.MethodGet, "/v1/healthz", "", nil); w.Code != http.StatusOK || strings.TrimSpace(w.Body.String()) != `{"ok":true}` {
+		t.Fatalf("healthz under saturation: %d %s", w.Code, w.Body)
+	}
+	// The saturation is visible on the snapshot and the scrape.
+	if st := s.Snapshot(); st.Shed.InUse != 2 || st.Shed.Capacity != 2 || st.Shed.WaitBoundMS != 30 {
+		t.Fatalf("snapshot shed %+v, want in_use=2 capacity=2 wait_bound_ms=30", st.Shed)
+	}
+	if w := do(h, http.MethodGet, "/metrics", "", nil); !strings.Contains(w.Body.String(), "lphd_shed_total 5") {
+		t.Fatalf("metrics miss the shed counter:\n%s", w.Body)
+	}
+
+	// Release the budget: the same requests now run.
+	s.shed.release(2)
+	for _, rt := range routes {
+		t.Run("freed-"+rt.name, func(t *testing.T) {
+			if w := do(h, http.MethodPost, rt.path, rt.body, nil); w.Code != http.StatusOK {
+				t.Fatalf("status %d after release, want 200; body %s", w.Code, w.Body)
+			}
+		})
+	}
+}
+
+// TestDrainShedsWritesKeepsReads pins the drain contract at the HTTP
+// layer: POST /v1/admin/drain flips the server, write routes answer
+// 503 + Retry-After, reads and the (now flagged) health check stay
+// live, and the lifecycle is visible in stats and metrics.
+func TestDrainShedsWritesKeepsReads(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 2, CacheSize: 4})
+	defer s.Close()
+	h := s.Handler()
+
+	// Pre-drain: a keyed submission is admitted (and starts running).
+	w := do(h, http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`,
+		map[string]string{"Idempotency-Key": "pre-drain"})
+	if w.Code != http.StatusAccepted || !strings.Contains(w.Body.String(), `"id":"j1"`) {
+		t.Fatalf("pre-drain submit: %d %s", w.Code, w.Body)
+	}
+	if w := do(h, http.MethodGet, "/v1/healthz", "", nil); strings.TrimSpace(w.Body.String()) != `{"ok":true}` {
+		t.Fatalf("healthz before drain: %s", w.Body)
+	}
+
+	if w := do(h, http.MethodPost, "/v1/admin/drain", "", nil); w.Code != http.StatusAccepted ||
+		strings.TrimSpace(w.Body.String()) != `{"draining":true}` {
+		t.Fatalf("admin drain: %d %s", w.Code, w.Body)
+	}
+	if !s.Draining() {
+		t.Fatal("server not draining after POST /v1/admin/drain")
+	}
+	select {
+	case <-s.DrainRequested():
+	default:
+		t.Fatal("DrainRequested channel not closed")
+	}
+
+	// Write routes bounce with 503 + Retry-After.
+	writes := []struct{ path, body string }{
+		{"/v1/decide", `{"graph":` + triangleGraph + `,"property":"all-selected"}`},
+		{"/v1/batch", `{"op":"decide","property":"all-selected","graphs":[` + triangleGraph + `]}`},
+		{"/v1/jobs", `{"job":"experiment","name":"figure4"}`},
+	}
+	for _, wr := range writes {
+		w := do(h, http.MethodPost, wr.path, wr.body, nil)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while draining: %d %s, want 503", wr.path, w.Code, w.Body)
+		}
+		if ra := w.Header().Get("Retry-After"); ra != drainRetryAfter {
+			t.Fatalf("%s Retry-After %q, want %q", wr.path, ra, drainRetryAfter)
+		}
+	}
+	// An idempotent retry of the pre-drain submission still answers with
+	// the original job — 200 through the very same draining engine.
+	w = do(h, http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`,
+		map[string]string{"Idempotency-Key": "pre-drain"})
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"id":"j1"`) {
+		t.Fatalf("idempotent retry while draining: %d %s", w.Code, w.Body)
+	}
+
+	// Reads, health, and observability stay live; health reports the
+	// lifecycle.
+	if w := do(h, http.MethodGet, "/v1/jobs", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("job listing while draining: %d %s", w.Code, w.Body)
+	}
+	if w := do(h, http.MethodGet, "/v1/jobs/j1", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("job get while draining: %d %s", w.Code, w.Body)
+	}
+	if w := do(h, http.MethodGet, "/v1/healthz", "", nil); w.Code != http.StatusOK ||
+		strings.TrimSpace(w.Body.String()) != `{"ok":true,"draining":true}` {
+		t.Fatalf("healthz while draining: %d %s", w.Code, w.Body)
+	}
+	st := s.Snapshot()
+	if st.Drain.Draining != 1 || st.Drain.Rejected < 3 || !st.Jobs.Draining {
+		t.Fatalf("snapshot drain %+v jobs.draining=%v, want draining=1 rejected>=3 true", st.Drain, st.Jobs.Draining)
+	}
+	if w := do(h, http.MethodGet, "/metrics", "", nil); !strings.Contains(w.Body.String(), "lphd_draining 1") {
+		t.Fatalf("metrics miss lphd_draining:\n%s", w.Body)
+	}
+}
+
+// TestIdempotentSubmitHTTP pins the header contract: duplicate keys
+// answer 200 with the original job, bad keys are 400 before any work,
+// and distinct keys admit distinct jobs.
+func TestIdempotentSubmitHTTP(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 2, JobWorkers: 1})
+	defer s.Close()
+	h := s.Handler()
+	body := `{"job":"experiment","name":"figure5"}`
+
+	w := do(h, http.MethodPost, "/v1/jobs", body, map[string]string{"Idempotency-Key": "k1"})
+	if w.Code != http.StatusAccepted || !strings.Contains(w.Body.String(), `"id":"j1"`) {
+		t.Fatalf("first submit: %d %s", w.Code, w.Body)
+	}
+	w = do(h, http.MethodPost, "/v1/jobs", body, map[string]string{"Idempotency-Key": "k1"})
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"id":"j1"`) {
+		t.Fatalf("duplicate submit: %d %s, want 200 with the original id", w.Code, w.Body)
+	}
+	w = do(h, http.MethodPost, "/v1/jobs", body, map[string]string{"Idempotency-Key": "k2"})
+	if w.Code != http.StatusAccepted || !strings.Contains(w.Body.String(), `"id":"j2"`) {
+		t.Fatalf("distinct key: %d %s, want a fresh 202 admission", w.Code, w.Body)
+	}
+	if hits := s.Jobs().Stats().Totals.IdemHits; hits != 1 {
+		t.Fatalf("idempotent hits %d, want 1", hits)
+	}
+
+	for name, hdr := range map[string]map[string]string{
+		"empty":     {"Idempotency-Key": ""},
+		"too-long":  {"Idempotency-Key": strings.Repeat("k", maxIdemKeyBytes+1)},
+		"space":     {"Idempotency-Key": "has space"},
+		"non-ascii": {"Idempotency-Key": "café"},
+	} {
+		if w := do(h, http.MethodPost, "/v1/jobs", body, hdr); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s key: %d %s, want 400", name, w.Code, w.Body)
+		}
+	}
+	// A repeated header is ambiguous and refused outright.
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body))
+	req.Header.Add("Idempotency-Key", "a")
+	req.Header.Add("Idempotency-Key", "b")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("repeated header: %d %s, want 400", rec.Code, rec.Body)
+	}
+}
+
+// TestAcquireBudgetClientGone: a client that disconnects during the
+// bounded wait is reported as a cancellation (503 path), not as
+// saturation — the 429 contract is reserved for genuine overload.
+func TestAcquireBudgetClientGone(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 1, ShedWait: time.Minute})
+	defer s.Close()
+	if err := s.shed.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	defer s.shed.release(1)
+	if _, err := s.acquireBudget(expiredCtx(), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("client-gone acquire: %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkShedding prices the admission gate itself: the uncontended
+// acquire/release pair every healthy sync request pays, versus the
+// cost of shedding a request off a saturated budget (which is the
+// floor of every 429 the server returns under overload). See DESIGN.md
+// for recorded numbers.
+func BenchmarkShedding(b *testing.B) {
+	b.Run("uncontended", func(b *testing.B) {
+		sh := newShedder(8)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sh.acquire(ctx, 2); err != nil {
+				b.Fatal(err)
+			}
+			sh.release(2)
+		}
+	})
+	b.Run("saturated", func(b *testing.B) {
+		sh := newShedder(8)
+		if err := sh.acquire(context.Background(), 8); err != nil {
+			b.Fatal(err)
+		}
+		ctx := expiredCtx() // the bounded wait is already over
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sh.acquire(ctx, 2); !errors.Is(err, ErrSaturated) {
+				b.Fatalf("acquire on a full budget: %v, want ErrSaturated", err)
+			}
+		}
+	})
+}

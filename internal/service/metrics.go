@@ -120,6 +120,16 @@ func renderMetrics(st StatsResponse) string {
 	counter("lphd_request_cancellations_total", "Evaluations aborted by disconnect or timeout.", st.Requests.Canceled)
 	counter("lphd_request_throttled_total", "Submissions rejected by admission control (429).", st.Requests.Throttled)
 
+	gauge("lphd_draining", "Whether the server is draining (1) or serving (0).", st.Drain.Draining)
+	counter("lphd_drain_rejected_total", "Write requests answered 503 while draining.", st.Drain.Rejected)
+
+	gauge("lphd_shed_capacity", "Worker-budget slots the synchronous routes share.", st.Shed.Capacity)
+	gauge("lphd_shed_in_use", "Budget slots held by running sync evaluations.", st.Shed.InUse)
+	gauge("lphd_shed_waiting", "Sync requests parked in the bounded budget wait.", st.Shed.Waiting)
+	gauge("lphd_shed_wait_bound_seconds", "Bounded wait before a sync request is shed with 429.", float64(st.Shed.WaitBoundMS)/1000)
+	counter("lphd_shed_acquired_total", "Successful sync budget acquisitions.", st.Shed.Acquired)
+	counter("lphd_shed_total", "Sync requests shed with 429 after the bounded wait.", st.Shed.Shed)
+
 	fmt.Fprintf(&b, "# HELP lphd_http_requests_total Requests served, by route pattern.\n# TYPE lphd_http_requests_total counter\n")
 	routes := make([]string, 0, len(st.Latency.ByRoute))
 	for route := range st.Latency.ByRoute {
@@ -160,6 +170,7 @@ func renderMetrics(st StatsResponse) string {
 	counter("lphd_jobs_failed_total", "Jobs finished with an error.", st.Jobs.Totals.Failed)
 	counter("lphd_jobs_cancelled_total", "Jobs cancelled while queued or running.", st.Jobs.Totals.Cancelled)
 	counter("lphd_jobs_expired_total", "Finished jobs dropped by the result TTL.", st.Jobs.Totals.Expired)
+	counter("lphd_jobs_idempotent_hits_total", "Submissions answered with an existing job via Idempotency-Key.", st.Jobs.Totals.IdemHits)
 
 	fmt.Fprintf(&b, "# HELP lphd_request_duration_seconds Wall-clock duration of served requests.\n# TYPE lphd_request_duration_seconds histogram\n")
 	for _, bucket := range st.Latency.Buckets {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,9 @@ type Config struct {
 	// Timeout bounds each request's evaluation; 0 means no deadline
 	// beyond the client's own connection lifetime.
 	Timeout time.Duration
+	// ShedWait bounds how long a synchronous request waits for worker
+	// budget before being shed with 429 + Retry-After; 0 means 1 second.
+	ShedWait time.Duration
 	// JobWorkers is the async job engine's worker pool (concurrently
 	// running jobs); 0 means 1, so background sweeps serialize instead
 	// of starving the synchronous path.
@@ -59,10 +63,11 @@ type Config struct {
 //	POST   /v1/reduce     {"graph":…, "reduction":…}
 //	POST   /v1/game       {"game":"figure1", "workers":N}
 //	POST   /v1/batch      {"op":"decide|verify", "property":…, "graphs":[…], "workers":N}
-//	POST   /v1/jobs       {"job":"sweep|experiment|game", "name":…, "game":…, "workers":N}
+//	POST   /v1/jobs       {"job":"sweep|experiment|game", "name":…, "game":…, "workers":N}   (Idempotency-Key honored)
 //	GET    /v1/jobs       ?cursor=…&limit=N&state=done,running  (admission order)
 //	GET    /v1/jobs/{id}
 //	DELETE /v1/jobs/{id}
+//	POST   /v1/admin/drain
 //	GET    /v1/healthz
 //	GET    /v1/stats
 //	GET    /metrics
@@ -70,25 +75,41 @@ type Config struct {
 // Every synchronous evaluation runs under the request's context — a
 // client disconnect or the configured timeout cancels the game
 // mid-search — and under a worker pool of min(request workers, server
-// budget). Batch requests fan their instance list out across that pool
-// through the Prepared cache. Jobs run asynchronously on the bounded
-// job engine: the admission queue answers 429 when full, progress and
-// results are served from the TTL'd store, and DELETE cancels queued
-// and running jobs alike. /v1/stats (JSON) and /metrics (Prometheus
-// text) render the same Snapshot, so the two views cannot drift.
+// budget), acquired from the shared budget gate before the evaluation
+// starts: when the budget stays saturated past the bounded wait the
+// request is shed with 429 + Retry-After instead of queueing
+// unboundedly. Batch requests fan their instance list out across that
+// pool through the Prepared cache. Jobs run asynchronously on the
+// bounded job engine: the admission queue answers 429 when full,
+// progress and results are served from the TTL'd store, DELETE cancels
+// queued and running jobs alike, and an Idempotency-Key header on the
+// submit makes retries — including across a drain/restart — return the
+// original job instead of double-running. POST /v1/admin/drain (or
+// SIGTERM, in cmd/lphd) starts the graceful drain: write routes answer
+// 503 + Retry-After while running jobs finish; /v1/healthz and the
+// read routes stay live throughout. /v1/stats (JSON) and /metrics
+// (Prometheus text) render the same Snapshot, so the two views cannot
+// drift.
 type Server struct {
-	budget  int
-	timeout time.Duration
-	cache   *Cache
-	jobs    *jobs.Engine
-	lat     *latencies
-	mux     *http.ServeMux
-	now     func() time.Time
+	budget   int
+	timeout  time.Duration
+	shedWait time.Duration
+	shed     *shedder
+	cache    *Cache
+	jobs     *jobs.Engine
+	lat      *latencies
+	mux      *http.ServeMux
+	now      func() time.Time
 
 	requests  atomic.Uint64 // all operation requests handled (including failures)
 	failures  atomic.Uint64 // requests answered with a non-2xx status
 	canceled  atomic.Uint64 // evaluations aborted by cancellation/timeout
 	throttled atomic.Uint64 // submissions rejected by admission control (429)
+
+	draining      atomic.Bool   // set once a drain begins; never unset
+	drainRejected atomic.Uint64 // write requests answered 503 while draining
+	drainOnce     sync.Once
+	drainCh       chan struct{} // closed when a drain is requested
 }
 
 // New builds a Server from the configuration.
@@ -105,13 +126,20 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = time.Now //lint:wallclock production default; tests inject cfg.Now
 	}
+	shedWait := cfg.ShedWait
+	if shedWait <= 0 {
+		shedWait = defaultShedWait
+	}
 	s := &Server{
-		budget:  budget,
-		timeout: cfg.Timeout,
-		cache:   NewCache(cfg.CacheSize),
-		lat:     newLatencies(),
-		mux:     http.NewServeMux(),
-		now:     now,
+		budget:   budget,
+		timeout:  cfg.Timeout,
+		shedWait: shedWait,
+		shed:     newShedder(budget),
+		cache:    NewCache(cfg.CacheSize),
+		lat:      newLatencies(),
+		mux:      http.NewServeMux(),
+		now:      now,
+		drainCh:  make(chan struct{}),
 	}
 	// The engine is built after s exists: the rehydrate hook replays
 	// journaled specs through the same buildJob validation as live
@@ -129,6 +157,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/admin/drain", s.handleAdminDrain)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -138,6 +167,39 @@ func New(cfg Config) *Server {
 // Close stops the job engine: running jobs are cancelled and the
 // workers drained. The synchronous routes stay usable.
 func (s *Server) Close() { s.jobs.Close() }
+
+// BeginDrain flips the server into drain mode: the write routes —
+// synchronous evaluations and new job submissions — answer 503 +
+// Retry-After, the job engine stops starting queued work, and
+// DrainRequested's channel closes so the process's signal loop can run
+// the exit sequence. Reads, health checks, observability routes, and
+// idempotent duplicates of already-admitted submissions keep working.
+// Idempotent; there is no way back short of a restart.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.jobs.BeginDrain()
+		close(s.drainCh)
+	})
+}
+
+// DrainRequested returns a channel closed once a drain has been
+// requested — by POST /v1/admin/drain or a direct BeginDrain call — so
+// cmd/lphd's signal loop and the admin route share one exit sequence.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainCh }
+
+// Draining reports whether a drain is in progress.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain winds the server down for a zero-downtime restart: BeginDrain,
+// then wait (bounded by ctx) for running jobs to finish before closing
+// the engine. Jobs that beat the deadline keep their journaled
+// verdicts; stragglers re-run after restart exactly as if the process
+// had crashed, and queued jobs replay as queued.
+func (s *Server) Drain(ctx context.Context) jobs.DrainResult {
+	s.BeginDrain()
+	return s.jobs.Drain(ctx)
+}
 
 // Handler returns the route multiplexer wrapped in the latency
 // middleware (every served request lands in the duration histogram and
@@ -218,6 +280,14 @@ type StatsResponse struct {
 		Canceled  uint64 `json:"canceled"`
 		Throttled uint64 `json:"throttled"`
 	} `json:"requests"`
+	// Drain is the lifecycle corner of the snapshot. Draining is 0 or 1
+	// — a gauge, not a bool, so it reaches /metrics.
+	Drain struct {
+		Draining uint64 `json:"draining"`
+		Rejected uint64 `json:"rejected"`
+	} `json:"drain"`
+	// Shed is the sync-route admission gate over the worker budget.
+	Shed    ShedStats           `json:"shed"`
 	Jobs    jobs.Stats          `json:"jobs"`
 	Latency LatencyStats        `json:"latency"`
 	Catalog map[string][]string `json:"catalog"`
@@ -230,11 +300,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone is the only failure; nothing to do
 }
 
+// Retry-After hints, in seconds: a shed request retries as soon as the
+// current evaluations release budget; a drained-away request retries
+// against the restarted instance.
+const (
+	shedRetryAfter  = "1"
+	drainRetryAfter = "5"
+)
+
 // fail maps an operation error to its HTTP shape: decode and catalog
 // errors are the client's fault (400), cancellation and timeout are
-// accounted separately (503), a full admission queue throttles (429,
-// with a Retry-After hint), job lookups miss (404), and anything else
-// is a server error (500).
+// accounted separately (503), a full admission queue or saturated
+// worker budget throttles (429, with a Retry-After hint), a draining
+// server turns work away (503 + Retry-After), job lookups miss (404),
+// and anything else is a server error (500).
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.failures.Add(1)
 	status := http.StatusInternalServerError
@@ -246,12 +325,56 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.throttled.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", shedRetryAfter)
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrSaturated):
+		s.throttled.Add(1)
+		w.Header().Set("Retry-After", shedRetryAfter)
+		status = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining):
+		s.drainRejected.Add(1)
+		w.Header().Set("Retry-After", drainRetryAfter)
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// shedDraining answers 503 + Retry-After when a drain is in progress;
+// the synchronous write handlers call it before doing any work, so a
+// draining server turns evaluations away at the door while reads and
+// health checks keep flowing.
+func (s *Server) shedDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.drainRejected.Add(1)
+	s.failures.Add(1)
+	w.Header().Set("Retry-After", drainRetryAfter)
+	writeJSON(w, http.StatusServiceUnavailable,
+		map[string]string{"error": "server draining; retry against the restarted instance"})
+	return true
+}
+
+// acquireBudget takes the request's clamped worker count from the
+// budget gate, waiting at most the configured shed bound. The wait
+// runs on its own timeout derived from the request context — the bound
+// must not eat into the evaluation's deadline — and the returned
+// release must be called once the evaluation is done.
+func (s *Server) acquireBudget(ctx context.Context, workers int) (release func(), err error) {
+	need := int64(workers)
+	waitCtx, cancel := context.WithTimeout(ctx, s.shedWait)
+	defer cancel()
+	if err := s.shed.acquire(waitCtx, need); err != nil {
+		if ctx.Err() != nil {
+			// The client vanished (or its deadline passed) during the wait;
+			// report that, not saturation.
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return func() { s.shed.release(need) }, nil
 }
 
 // verdict runs one cached-instance operation (Decide or Verify) for the
@@ -264,6 +387,9 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 	has func(name string) bool,
 	eval func(prep *simulate.Prepared, name string, o search.Options) (bool, error)) {
 	s.requests.Add(1)
+	if s.shedDraining(w) {
+		return
+	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		s.fail(w, err)
@@ -284,6 +410,12 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 	// instead of starting the game.
 	engine, cancel := s.engine(r.Context(), req.Workers)
 	defer cancel()
+	release, err := s.acquireBudget(r.Context(), engine.Workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
 	prep, cached, err := s.cache.Get(g)
 	if err != nil {
 		s.fail(w, err)
@@ -313,6 +445,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.shedDraining(w) {
+		return
+	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		s.fail(w, err)
@@ -325,6 +460,12 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, cancel := s.engine(r.Context(), req.Workers)
 	defer cancel()
+	release, err := s.acquireBudget(r.Context(), engine.Workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
 	res, err := Reduce(g, req.Reduction, engine)
 	if err != nil {
 		s.fail(w, err)
@@ -342,6 +483,9 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGame(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.shedDraining(w) {
+		return
+	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		s.fail(w, err)
@@ -349,6 +493,12 @@ func (s *Server) handleGame(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, cancel := s.engine(r.Context(), req.Workers)
 	defer cancel()
+	release, err := s.acquireBudget(r.Context(), engine.Workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
 	results, err := Game(req.Game, engine)
 	if err != nil {
 		s.fail(w, err)
@@ -359,8 +509,31 @@ func (s *Server) handleGame(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// HealthzResponse answers GET /v1/healthz. Draining is omitted while
+// false, so the steady-state body stays the exact `{"ok":true}` the
+// smoke tests pin; load balancers watching the drain flag can start
+// moving traffic before the listener goes away.
+type HealthzResponse struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// handleHealthz stays live through saturation (it never touches the
+// budget gate) and through a drain (liveness is not admission): a
+// draining server is still healthy, just telling balancers where it is
+// in its lifecycle.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, HealthzResponse{OK: true, Draining: s.draining.Load()})
+}
+
+// handleAdminDrain starts the graceful drain over HTTP — the same
+// lifecycle SIGTERM triggers in cmd/lphd. It answers 202 immediately:
+// the drain proceeds (and, under cmd/lphd, the process exits) in the
+// background while this response is still in flight.
+func (s *Server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.BeginDrain()
+	writeJSON(w, http.StatusAccepted, map[string]bool{"draining": true})
 }
 
 // Snapshot assembles the stats response — the one value both
@@ -384,6 +557,12 @@ func (s *Server) Snapshot() StatsResponse {
 	resp.Requests.Failures = s.failures.Load()
 	resp.Requests.Canceled = s.canceled.Load()
 	resp.Requests.Throttled = s.throttled.Load()
+	if s.draining.Load() {
+		resp.Drain.Draining = 1
+	}
+	resp.Drain.Rejected = s.drainRejected.Load()
+	resp.Shed = s.shed.stats()
+	resp.Shed.WaitBoundMS = s.shedWait.Milliseconds()
 	return resp
 }
 

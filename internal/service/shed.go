@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file is the sync-route admission gate. The synchronous routes
+// (/v1/decide, /v1/verify, /v1/reduce, /v1/game, /v1/batch) all run
+// their evaluation on a worker pool clamped by the server-wide budget,
+// but before this gate existed nothing bounded how many of them piled
+// up: a burst of slow sync requests would oversubscribe the CPUs and
+// starve every other route. Now each synchronous evaluation acquires
+// its clamped worker count from a FIFO weighted semaphore over the
+// budget, waits at most the configured bound for slots to free, and is
+// shed with 429 + Retry-After when the budget stays saturated — the
+// overload answer the async queue has always given.
+
+// ErrSaturated is returned when the worker budget stays full for the
+// whole bounded wait; the HTTP layer maps it to 429 + Retry-After.
+var ErrSaturated = errors.New("service: worker budget saturated")
+
+// defaultShedWait is the bounded wait applied when Config.ShedWait is
+// zero: long enough to absorb a momentary burst, short enough that a
+// saturated server answers 429 before clients give up on their own.
+const defaultShedWait = time.Second
+
+// shedder is a weighted FIFO semaphore. Grants are all-or-nothing — a
+// request either gets its full worker count or keeps waiting — and
+// strictly in arrival order, so a wide request at the head of the line
+// is never starved by narrow ones slipping past it.
+type shedder struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	waiters  []*shedWaiter
+	acquired uint64 // successful acquisitions
+	shed     uint64 // bounded waits that expired into a 429
+}
+
+type shedWaiter struct {
+	need  int64
+	ready chan struct{} // closed when the slots are granted
+}
+
+func newShedder(capacity int) *shedder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &shedder{capacity: int64(capacity)}
+}
+
+// acquire takes need slots, waiting in FIFO order until they free or
+// ctx expires. need is clamped to [1, capacity] — the same clamp the
+// worker pool applies — so no request can wait for more slots than
+// exist.
+func (sh *shedder) acquire(ctx context.Context, need int64) error {
+	need = sh.clamp(need)
+	sh.mu.Lock()
+	if len(sh.waiters) == 0 && sh.inUse+need <= sh.capacity {
+		sh.inUse += need
+		sh.acquired++
+		sh.mu.Unlock()
+		return nil
+	}
+	w := &shedWaiter{need: need, ready: make(chan struct{})}
+	sh.waiters = append(sh.waiters, w)
+	sh.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select {
+	case <-w.ready:
+		// Granted between the deadline firing and the lock: the slots are
+		// ours, keep them rather than abandoning granted budget.
+		return nil
+	default:
+	}
+	for i, x := range sh.waiters {
+		if x == w {
+			sh.waiters = append(sh.waiters[:i], sh.waiters[i+1:]...)
+			break
+		}
+	}
+	sh.shed++
+	// Abandoning a wide wait can unblock the narrower requests queued
+	// behind it.
+	sh.grantLocked()
+	return ErrSaturated
+}
+
+// release returns need slots (the same value passed to acquire) and
+// grants as many FIFO waiters as now fit.
+func (sh *shedder) release(need int64) {
+	need = sh.clamp(need)
+	sh.mu.Lock()
+	sh.inUse -= need
+	sh.grantLocked()
+	sh.mu.Unlock()
+}
+
+// grantLocked admits waiters strictly from the head of the line while
+// their full demand fits.
+func (sh *shedder) grantLocked() {
+	for len(sh.waiters) > 0 {
+		w := sh.waiters[0]
+		if sh.inUse+w.need > sh.capacity {
+			return
+		}
+		sh.inUse += w.need
+		sh.acquired++
+		sh.waiters = sh.waiters[1:]
+		close(w.ready)
+	}
+}
+
+func (sh *shedder) clamp(need int64) int64 {
+	if need > sh.capacity {
+		return sh.capacity
+	}
+	if need < 1 {
+		return 1
+	}
+	return need
+}
+
+// ShedStats is the admission gate's corner of the stats snapshot.
+type ShedStats struct {
+	// Capacity is the worker budget the synchronous routes share.
+	Capacity int64 `json:"capacity"`
+	// InUse is the number of slots held by running sync evaluations.
+	InUse int64 `json:"in_use"`
+	// Waiting is the number of requests parked in the bounded wait.
+	Waiting int `json:"waiting"`
+	// WaitBoundMS is the bounded wait in milliseconds; a request that
+	// cannot acquire within it is shed with 429.
+	WaitBoundMS int64 `json:"wait_bound_ms"`
+	// Acquired counts successful budget acquisitions.
+	Acquired uint64 `json:"acquired"`
+	// Shed counts requests answered 429 after the bounded wait expired.
+	Shed uint64 `json:"shed"`
+}
+
+// stats snapshots the gate; the caller fills WaitBoundMS (the bound is
+// server configuration, not semaphore state).
+func (sh *shedder) stats() ShedStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ShedStats{
+		Capacity: sh.capacity,
+		InUse:    sh.inUse,
+		Waiting:  len(sh.waiters),
+		Acquired: sh.acquired,
+		Shed:     sh.shed,
+	}
+}
