@@ -7,6 +7,15 @@
 
 GO ?= go
 
+# BENCHTIME is the per-benchmark budget of the recorded bench-json run.
+# It must be a duration, not an iteration count: the PR 5–7 BENCH files
+# were recorded with -benchtime 1x, whose single iteration made every
+# ns/op a one-sample coin flip and the recorded speedup ratios noise.
+# 200ms gives the fast benchmarks thousands of iterations and even the
+# slowest several, so the cross-PR deltas bench-delta gates on are
+# statistically meaningful.
+BENCHTIME ?= 200ms
+
 # Pinned external analyzers for the deep-static gate. The hermetic image
 # has no module proxy, so the targets probe for the tool (on PATH or via
 # `go run pkg@version`) and skip with a notice when neither works;
@@ -14,7 +23,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz bench bench-json serve-smoke help
+.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz bench bench-json bench-delta serve-smoke help
 
 check: fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz
 
@@ -85,16 +94,25 @@ fuzz:
 	$(GO) test -run=- -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/service
 	$(GO) test -run=- -fuzz=FuzzIdempotencyKey -fuzztime=5s ./internal/service
 	$(GO) test -run=- -fuzz=FuzzReplayJournal -fuzztime=5s ./internal/journal
+	$(GO) test -run=- -fuzz=FuzzMemoKey -fuzztime=5s ./internal/core
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json records the perf trajectory machine-readably: every
-# benchmark once, through `go test -json`, post-processed by
+# benchmark for $(BENCHTIME), through `go test -json`, post-processed by
 # cmd/benchjson into a sorted JSON array (see DESIGN.md).
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr7.json
-	@echo "wrote BENCH_pr7.json"
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr8.json
+	@echo "wrote BENCH_pr8.json"
+
+# bench-delta gates the recorded run against the previous PR's file:
+# any engine-pair benchmark (/sequential or /parallel) present in both
+# files may not regress by more than the tolerance. Not part of `make
+# check` — benchmark wall-clock on shared CI hardware is advisory — but
+# run before recording a new BENCH file.
+bench-delta:
+	$(GO) run ./cmd/benchdelta -old BENCH_pr7.json -new BENCH_pr8.json -tolerance 0.10
 
 # serve-smoke boots lphd on a random port and walks the documented API
 # end to end: decide, verify, healthz (exact bodies), a two-graph
@@ -254,7 +272,8 @@ help:
 	@echo "make build       - go build ./..."
 	@echo "make test        - go test -race ./..."
 	@echo "make test-lifecycle - drain/shed/idempotency suite twice under -race (defeats caching, shakes out flakes)"
-	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzIdempotencyKey + FuzzReplayJournal"
+	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzIdempotencyKey + FuzzReplayJournal + FuzzMemoKey"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make bench-json  - record every benchmark machine-readably in BENCH_pr7.json"
+	@echo "make bench-json  - record every benchmark for BENCHTIME (default 200ms) in BENCH_pr8.json"
+	@echo "make bench-delta - fail if BENCH_pr8.json regresses an engine pair >10% vs BENCH_pr7.json"
 	@echo "make serve-smoke - boot lphd, walk the API, SIGKILL + recovery, then SIGTERM drain + restarted=0 + admin drain"

@@ -1,0 +1,134 @@
+// Command benchdelta gates one recorded benchmark file against another:
+// it loads two BENCH_*.json files (the cmd/benchjson format), pairs the
+// engine benchmarks — entries whose name ends in /sequential or
+// /parallel — present in both, and fails when any pair's ns/op regressed
+// by more than the tolerance. `make bench-delta` runs it with the
+// previous PR's file as -old, so a perf PR cannot silently give back
+// what an earlier one won.
+//
+// Usage:
+//
+//	benchdelta -old BENCH_pr7.json -new BENCH_pr8.json [-tolerance 0.10]
+//
+// Only the engine pairs are gated: the figure-regeneration benchmarks
+// measure workloads that legitimately grow as the reproduction gains
+// coverage, while the /sequential-vs-/parallel pairs are the contract
+// the search and game engines must keep. A benchmark present in only
+// one file is reported but never fails the gate (benchmarks come and
+// go across PRs); a regression within tolerance is reported as noise.
+//
+// Exit status: 0 = no engine pair regressed beyond tolerance, 1 = at
+// least one did (or a file failed to load), 2 = usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors the cmd/benchjson entry schema.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// enginePair reports whether the benchmark is one side of a
+// sequential/parallel engine pair — the entries the gate covers.
+func enginePair(name string) bool {
+	return strings.HasSuffix(name, "/sequential") || strings.HasSuffix(name, "/parallel")
+}
+
+func load(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		out[r.Package+"/"+r.Name] = r
+	}
+	return out, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline BENCH_*.json (cmd/benchjson format)")
+	newPath := fs.String("new", "", "candidate BENCH_*.json to gate")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional ns/op regression per engine pair")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 || *oldPath == "" || *newPath == "" || *tolerance < 0 {
+		fmt.Fprintln(stderr, "usage: benchdelta -old BENCH_prN.json -new BENCH_prM.json [-tolerance 0.10]")
+		return 2
+	}
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdelta:", err)
+		return 1
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdelta:", err)
+		return 1
+	}
+	keys := make([]string, 0, len(oldRes))
+	for k, r := range oldRes {
+		if enginePair(r.Name) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	failed := 0
+	compared := 0
+	for _, k := range keys {
+		o := oldRes[k]
+		n, ok := newRes[k]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %s: absent from %s\n", k, *newPath)
+			continue
+		}
+		compared++
+		// delta > 0 is a slowdown; gate on the fractional regression.
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		switch {
+		case delta > *tolerance:
+			failed++
+			fmt.Fprintf(stdout, "FAIL %s: %.0f -> %.0f ns/op (%+.1f%% > %.0f%% tolerance)\n",
+				k, o.NsPerOp, n.NsPerOp, 100*delta, 100**tolerance)
+		default:
+			fmt.Fprintf(stdout, "ok   %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				k, o.NsPerOp, n.NsPerOp, 100*delta)
+		}
+	}
+	fmt.Fprintf(stdout, "benchdelta: %d engine pairs compared, %d regressed beyond %.0f%%\n",
+		compared, failed, 100**tolerance)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

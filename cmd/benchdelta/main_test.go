@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `[
+  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10000000,"bytes_per_op":-1,"allocs_per_op":-1},
+  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":9000000,"bytes_per_op":-1,"allocs_per_op":-1},
+  {"package":"repro","name":"BenchmarkFig1ThreeRoundColoring","procs":1,"iterations":100,"ns_per_op":1000,"bytes_per_op":-1,"allocs_per_op":-1},
+  {"package":"repro","name":"BenchmarkGoneEngines/sequential","procs":1,"iterations":100,"ns_per_op":5000,"bytes_per_op":-1,"allocs_per_op":-1}
+]`
+
+func runWith(t *testing.T, newJSON string, tolerance string) (int, string) {
+	t.Helper()
+	oldPath := writeFile(t, "old.json", oldJSON)
+	newPath := writeFile(t, "new.json", newJSON)
+	var out, errb bytes.Buffer
+	args := []string{"-old", oldPath, "-new", newPath}
+	if tolerance != "" {
+		args = append(args, "-tolerance", tolerance)
+	}
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestWithinTolerancePasses(t *testing.T) {
+	// parallel improved hugely, sequential regressed 5% — under the 10%
+	// default; the non-engine benchmark regressing 100x is not gated.
+	newJSON := `[
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10500000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":5000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkFig1ThreeRoundColoring","procs":1,"iterations":100,"ns_per_op":100000,"bytes_per_op":-1,"allocs_per_op":-1}
+	]`
+	code, out := runWith(t, newJSON, "")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 engine pairs compared, 0 regressed") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "SKIP repro/BenchmarkGoneEngines/sequential") {
+		t.Errorf("vanished benchmark must be reported as SKIP, not failed:\n%s", out)
+	}
+}
+
+func TestRegressionBeyondToleranceFails(t *testing.T) {
+	newJSON := `[
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10000000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":11000000,"bytes_per_op":-1,"allocs_per_op":-1}
+	]`
+	code, out := runWith(t, newJSON, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL repro/BenchmarkCoreGameEngines/parallel") {
+		t.Errorf("regressed pair not reported as FAIL:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL repro/BenchmarkCoreGameEngines/sequential") {
+		t.Errorf("unchanged pair wrongly failed:\n%s", out)
+	}
+}
+
+func TestToleranceFlag(t *testing.T) {
+	// +5% regression: fails at 1% tolerance, passes at 10%.
+	newJSON := `[
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10500000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":9000000,"bytes_per_op":-1,"allocs_per_op":-1}
+	]`
+	if code, out := runWith(t, newJSON, "0.01"); code != 1 {
+		t.Fatalf("5%% regression at 1%% tolerance: exit %d, want 1; output:\n%s", code, out)
+	}
+	if code, out := runWith(t, newJSON, "0.10"); code != 0 {
+		t.Fatalf("5%% regression at 10%% tolerance: exit %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no flags: exit %d, want 2", code)
+	}
+	if code := run([]string{"-old", "x.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing -new: exit %d, want 2", code)
+	}
+}
+
+func TestMissingFileFails(t *testing.T) {
+	oldPath := writeFile(t, "old.json", oldJSON)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-old", oldPath, "-new", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing new file: exit %d, want 1", code)
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	lphd [-addr :8080] [-workers N] [-cache N] [-timeout D]
+//	lphd [-addr :8080] [-workers N] [-cache N] [-memo N] [-timeout D]
 //	     [-job-workers N] [-queue N] [-ttl D] [-journal DIR]
 //	     [-drain-timeout D] [-shed-wait D]
 //
@@ -14,6 +14,8 @@
 //	               chosen address is printed on startup)
 //	-workers       server-wide worker budget per request (0 = all CPUs)
 //	-cache         Prepared-cache capacity in graphs (0 disables caching)
+//	-memo          game-verdict transposition table capacity in entries
+//	               (0 disables memoization)
 //	-timeout       per-request evaluation deadline (0 = none), e.g. 30s
 //	-job-workers   async job engine worker pool (0 = 1)
 //	-queue         job admission-queue depth; overflow answers 429 (0 = 16)
@@ -89,6 +91,7 @@ func run(args []string) int {
 	addr := fs.String("addr", ":8080", "listen address (\":0\" picks a free port)")
 	workers := fs.Int("workers", 0, "server-wide worker budget per request (0 = all CPUs)")
 	cache := fs.Int("cache", 128, "Prepared-cache capacity in graphs (0 disables)")
+	memo := fs.Int("memo", 4096, "game-verdict memo table capacity in entries (0 disables)")
 	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
 	jobWorkers := fs.Int("job-workers", 0, "async job engine worker pool (0 = 1)")
 	queue := fs.Int("queue", 0, "job admission-queue depth, 429 beyond it (0 = 16)")
@@ -99,10 +102,10 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *timeout < 0 ||
+	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *memo < 0 || *timeout < 0 ||
 		*jobWorkers < 0 || *queue < 0 || *ttl < 0 || *drainTimeout < 0 || *shedWait < 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-timeout D] [-job-workers N] [-queue N] [-ttl D] [-journal DIR] [-drain-timeout D] [-shed-wait D]")
+			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-memo N] [-timeout D] [-job-workers N] [-queue N] [-ttl D] [-journal DIR] [-drain-timeout D] [-shed-wait D]")
 		return 2
 	}
 	var jnl *journal.Journal
@@ -123,7 +126,7 @@ func run(args []string) int {
 	// this line for the port, so keep its shape stable.
 	fmt.Printf("lphd: listening on http://%s\n", ln.Addr())
 	svc := service.New(service.Config{
-		Workers: *workers, CacheSize: *cache, Timeout: *timeout,
+		Workers: *workers, CacheSize: *cache, MemoSize: *memo, Timeout: *timeout,
 		JobWorkers: *jobWorkers, JobQueue: *queue, JobTTL: *ttl,
 		Journal: jnl, ShedWait: *shedWait,
 	})

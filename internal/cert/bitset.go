@@ -1,0 +1,104 @@
+package cert
+
+import "math/bits"
+
+// Packed is an Enum compiled to a single machine word: node u's choice
+// index is stored as a fixed-width digit field inside a uint64, with
+// node Len()-1 in the least-significant bits. Advancing the counter is
+// a mixed-radix increment — add one to the lowest field and ripple the
+// carry upward — so enumeration visits exactly the assignments of
+// Domain.ForEach in the same lexicographic order (position 0 most
+// significant), which the cert test suite pins against the slice-based
+// enumerator.
+//
+// The point of the packing is the innermost quantifier level of a game
+// evaluation: there the engine burns through the whole domain once per
+// enclosing prefix, and the carry tells it precisely which suffix of
+// the assignment changed, so each step rewrites O(1) amortized string
+// slots instead of decoding all N from a []int choice vector. Domains
+// whose digit fields do not fit in 64 bits are not packable; Pack
+// reports that and callers fall back to the search.ForEach path.
+//
+// A Packed is immutable after construction and safe for concurrent use;
+// iteration state lives entirely in the caller's frame.
+type Packed struct {
+	e     *Enum
+	shift []uint   // bit offset of node u's digit field
+	mask  []uint64 // (1<<width)-1 for node u, pre-shifted to bit 0
+	radix []int    // number of options of node u
+}
+
+// Pack compiles the enum into packed-word form. The second result is
+// false when the per-node digit fields exceed 64 bits in total; the
+// returned Packed is nil in that case.
+func (e *Enum) Pack() (*Packed, bool) {
+	n := len(e.options)
+	p := &Packed{
+		e:     e,
+		shift: make([]uint, n),
+		mask:  make([]uint64, n),
+		radix: make([]int, n),
+	}
+	total := uint(0)
+	for u := n - 1; u >= 0; u-- {
+		r := len(e.options[u])
+		p.radix[u] = r
+		// A single-option node contributes a zero-width digit: the
+		// field is constant zero and the increment carries straight
+		// through it.
+		w := uint(bits.Len(uint(r - 1)))
+		p.shift[u] = total
+		p.mask[u] = 1<<w - 1
+		total += w
+		if total > 64 {
+			return nil, false
+		}
+	}
+	return p, true
+}
+
+// Len returns the number of node positions.
+func (p *Packed) Len() int { return len(p.radix) }
+
+// ForEach enumerates every assignment of the packed domain in
+// lexicographic order, reusing into (len must equal Len) as the decode
+// buffer handed to yield. Between calls only the digits touched by the
+// mixed-radix carry are rewritten. Enumeration stops early if yield
+// returns false; ForEach reports whether it ran to completion. Callers
+// owning a cancellation port poll it inside yield (the packed loop
+// itself is allocation- and branch-minimal by design).
+func (p *Packed) ForEach(into Assignment, yield func(Assignment) bool) bool {
+	n := len(p.radix)
+	for u := 0; u < n; u++ {
+		into[u] = p.e.options[u][0]
+	}
+	var w uint64
+	for {
+		if !yield(into) {
+			return false
+		}
+		u := n - 1
+		for ; u >= 0; u-- {
+			d := int((w >> p.shift[u]) & p.mask[u])
+			if d+1 < p.radix[u] {
+				w += 1 << p.shift[u]
+				into[u] = p.e.options[u][d+1]
+				break
+			}
+			w &^= p.mask[u] << p.shift[u]
+			into[u] = p.e.options[u][0]
+		}
+		if u < 0 {
+			return true
+		}
+	}
+}
+
+// Size returns the number of assignments in the packed domain.
+func (p *Packed) Size() int {
+	total := 1
+	for _, r := range p.radix {
+		total *= r
+	}
+	return total
+}

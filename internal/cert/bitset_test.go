@@ -1,0 +1,92 @@
+package cert
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPackedMatchesDomainForEach pins the packed enumerator against the
+// slice-based one: same assignments, same lexicographic order, for
+// uniform and mixed-radix domains including zero-width (MaxLen 0)
+// digits. The game engine's bitset leaf path is only correct because
+// this order identity holds.
+func TestPackedMatchesDomainForEach(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		d    Domain
+	}{
+		{"uniform 4x1", UniformDomain(4, 1)},
+		{"uniform 3x2", UniformDomain(3, 2)},
+		{"single node", UniformDomain(1, 3)},
+		{"mixed radix", Domain{MaxLen: []int{2, 0, 1, 0, 3}}},
+		{"all zero-width", Domain{MaxLen: []int{0, 0, 0}}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			var want []string
+			tt.d.ForEach(func(a Assignment) bool {
+				want = append(want, strings.Join(a, "\x00"))
+				return true
+			})
+			p, ok := tt.d.Enum().Pack()
+			if !ok {
+				t.Fatalf("Pack() failed for a %d-assignment domain", tt.d.Size())
+			}
+			if p.Size() != tt.d.Size() {
+				t.Fatalf("Packed.Size() = %d, Domain.Size() = %d", p.Size(), tt.d.Size())
+			}
+			var got []string
+			into := make(Assignment, p.Len())
+			complete := p.ForEach(into, func(a Assignment) bool {
+				got = append(got, strings.Join(a, "\x00"))
+				return true
+			})
+			if !complete {
+				t.Fatal("ForEach reported early stop without a false yield")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("packed enumerated %d assignments, slice enumerator %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("assignment %d: packed %q, slice %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPackedEarlyStop checks that a false yield stops the enumeration
+// and is reported as incomplete.
+func TestPackedEarlyStop(t *testing.T) {
+	t.Parallel()
+	p, ok := UniformDomain(3, 1).Enum().Pack()
+	if !ok {
+		t.Fatal("Pack() failed")
+	}
+	seen := 0
+	into := make(Assignment, p.Len())
+	complete := p.ForEach(into, func(Assignment) bool {
+		seen++
+		return seen < 5
+	})
+	if complete || seen != 5 {
+		t.Fatalf("early stop: complete=%v after %d yields, want false after 5", complete, seen)
+	}
+}
+
+// TestPackOverflowFallsBack: a domain whose digit fields exceed one
+// machine word must refuse to pack (the engine then falls back to the
+// choice-vector walk).
+func TestPackOverflowFallsBack(t *testing.T) {
+	t.Parallel()
+	// 22 nodes with MaxLen 2 → radix 7 → 3 bits each = 66 bits > 64.
+	if p, ok := UniformDomain(22, 2).Enum().Pack(); ok || p != nil {
+		t.Fatalf("Pack() = (%v, %v), want (nil, false) past 64 bits", p, ok)
+	}
+	// 21 nodes at 63 bits still fits.
+	if _, ok := UniformDomain(21, 2).Enum().Pack(); !ok {
+		t.Fatal("Pack() failed at 63 bits, want success")
+	}
+}

@@ -211,6 +211,11 @@ func (d Domain) Enum() *Enum {
 // Len returns the number of node positions.
 func (e *Enum) Len() int { return len(e.options) }
 
+// NumOptions returns the number of bit strings node u ranges over (the
+// radix of position u in Space). The game engine's memo keys and
+// symmetry reduction fingerprint domains through it.
+func (e *Enum) NumOptions(u int) int { return len(e.options[u]) }
+
 // Space exposes the compiled domain as a search.Space: one position per
 // node, node u offering its bit strings of length 0..MaxLen[u] in
 // stringsUpTo order (choice 0 is ""). Enumerating the space in

@@ -133,38 +133,103 @@ func (a *Arbiter) GameValueOpt(g *graph.Graph, id graph.IDAssignment, domains []
 // GameValuePrepared is GameValueOpt against an already-prepared
 // simulation instance, so callers that evaluate many games on the same
 // (graph, id) — notably the service layer's Prepared cache — skip the
-// per-instance setup entirely.
+// per-instance setup entirely. It runs the optimized engine without a
+// memo table; GameValueEngine exposes the full configuration.
 func (a *Arbiter) GameValuePrepared(prep *simulate.Prepared, domains []cert.Domain, o search.Options) (bool, error) {
+	return a.GameValueEngine(prep, domains, Engine{Opts: o})
+}
+
+// GameValueEngine is the fully configurable evaluation entry point: the
+// engine selects the worker pool, the memo table, and the optimization
+// layers (see Engine). Every configuration computes the same game value.
+func (a *Arbiter) GameValueEngine(prep *simulate.Prepared, domains []cert.Domain, e Engine) (bool, error) {
 	if len(domains) != a.Level.Alternations {
 		return false, fmt.Errorf("core: %d domains for level %v", len(domains), a.Level)
 	}
-	ev := newGameEval(a, prep, domains)
+	ev := newGameEval(a, prep, domains, e, false)
 	if len(domains) == 0 {
 		return ev.leaf(nil)
 	}
 	chosen := make([]cert.Assignment, len(ev.enums))
 	//lint:coarse allocation pass bounded by the level's alternation depth
-	for i, e := range ev.enums {
-		chosen[i] = make(cert.Assignment, e.Len())
+	for i, en := range ev.enums {
+		chosen[i] = make(cert.Assignment, en.Len())
 	}
-	return ev.eval(chosen, 1, o, true)
+	return ev.eval(chosen, 1, e, true)
 }
 
 // gameEval carries the state shared by every worker of one game
 // evaluation: the prepared simulation instance, the compiled per-level
-// domains, and the first error raised by any leaf.
+// domains, the optimization-layer state derived from the Engine (memo
+// seed, collected automorphisms, packed innermost enumerator, pooled
+// leaf buffers), and the first error raised by any leaf.
 type gameEval struct {
-	a       *Arbiter
-	prep    *simulate.Prepared
-	enums   []*cert.Enum
+	a     *Arbiter
+	prep  *simulate.Prepared
+	enums []*cert.Enum
+
+	// seed is the memo key fingerprint ("" when memoization is off or
+	// the machine is unnamed; see evalSeed).
+	seed string
+	// auts/autInv are the collected value-preserving automorphisms and
+	// their inverses (nil when symmetry pruning is off; see sym.go).
+	auts   [][]int
+	autInv [][]int
+	// packed enumerates the innermost quantifier domain as a mixed-radix
+	// word (nil when the domain does not fit or bitsets are off).
+	packed *cert.Packed
+	// leafPool holds pooled per-worker leaf buffers (nil in reference
+	// mode, which then runs leaves through simulate.Prepared.Run).
+	leafPool *search.Scratch[*leafScratch]
+
 	errOnce sync.Once
 	err     error
 }
 
-func newGameEval(a *Arbiter, prep *simulate.Prepared, domains []cert.Domain) *gameEval {
+// leafScratch is one worker's leaf-execution buffer set: the per-node
+// certificate lists (lists[u] aliases flat) and the simulate scratch.
+type leafScratch struct {
+	lists [][]string
+	flat  []string
+	sim   *simulate.Scratch
+}
+
+// newGameEval compiles the domains and derives the optimization-layer
+// state the engine enables. strategic marks a strategy-guided game,
+// which never uses symmetry pruning: a Strategy observes node indices
+// through the graph, so its replies need not be equivariant under the
+// automorphisms, and orbit pruning of Adam's moves would be unsound.
+func newGameEval(a *Arbiter, prep *simulate.Prepared, domains []cert.Domain, eng Engine, strategic bool) *gameEval {
 	ev := &gameEval{a: a, prep: prep, enums: make([]*cert.Enum, len(domains))}
+	//lint:coarse domain compilation bounded by the level's alternation depth
 	for i, d := range domains {
 		ev.enums[i] = d.Enum()
+	}
+	if l := len(ev.enums); l > 0 {
+		if last := ev.enums[l-1]; !eng.NoBitset && last.Len() > 0 {
+			ev.packed, _ = last.Pack()
+		}
+		if !eng.NoSymmetry && !strategic {
+			ev.initSymmetry()
+		}
+		if eng.Memo != nil {
+			ev.seed = evalSeed(a, prep, ev.enums, eng.Salt)
+		}
+	}
+	if !eng.NoPool {
+		n := prep.Graph().N()
+		l := len(ev.enums)
+		ev.leafPool = search.NewScratch(func() *leafScratch {
+			ls := &leafScratch{
+				lists: make([][]string, n),
+				flat:  make([]string, n*l),
+				sim:   prep.NewScratch(),
+			}
+			for u := 0; u < n; u++ {
+				ls.lists[u] = ls.flat[u*l : (u+1)*l : (u+1)*l]
+			}
+			return ls
+		})
 	}
 	return ev
 }
@@ -175,30 +240,66 @@ func (ev *gameEval) fail(err error) {
 
 // leaf executes the arbiter's machine on fully chosen certificates. The
 // game levels are the unit of parallelism, so each leaf runs its nodes
-// sequentially (identical results either way; see simulate).
+// sequentially (identical results either way; see simulate). With the
+// pool enabled the run goes through simulate.Prepared.RunAccepted on
+// checked-out buffers; reference mode pays the allocating Run path.
 func (ev *gameEval) leaf(chosen []cert.Assignment) (bool, error) {
-	res, err := ev.prep.Run(ev.a.Machine, cert.NodeLists(chosen...), simulate.Options{Sequential: true})
-	if err != nil {
-		return false, err
+	if ev.leafPool == nil {
+		res, err := ev.prep.Run(ev.a.Machine, cert.NodeLists(chosen...), simulate.Options{Sequential: true})
+		if err != nil {
+			return false, err
+		}
+		return res.Accepted(), nil
 	}
-	return res.Accepted(), nil
+	ls, release := ev.leafPool.Get()
+	defer release()
+	var lists [][]string
+	if len(chosen) > 0 {
+		lists = ls.lists
+		for u := range lists {
+			row := lists[u]
+			for j, a := range chosen {
+				row[j] = a[u]
+			}
+		}
+	}
+	return ev.prep.RunAccepted(ev.a.Machine, lists, 0, ls.sim)
 }
 
 // eval evaluates quantifier levels i..ℓ; chosen holds one assignment
 // buffer per level, with chosen[0..i-2] the moves already decoded above.
-// par marks that no enclosing level has been fanned out yet, so the
-// first level the engine considers splittable claims the worker pool
-// (levels with tiny spaces pass the pool down to the bigger levels
-// beneath them); everything below a fan-out runs sequentially within
-// its worker.
-func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par bool) (bool, error) {
+// Subgames at the outer levels are served from the memo table when one
+// is configured — the whole-game entry (i == 1, empty prefix) is the
+// warm-path hit that makes repeated evaluations of the same game a
+// single table lookup. par marks that no enclosing level has been fanned
+// out yet (see evalLevel).
+func (ev *gameEval) eval(chosen []cert.Assignment, i int, e Engine, par bool) (bool, error) {
 	if i > len(ev.enums) {
 		return ev.leaf(chosen)
 	}
+	if ev.seed != "" && i <= memoMaxLevel {
+		return e.Memo.Do(e.Opts.Ctx, subkey(ev.seed, i, chosen[:i-1]), func() (bool, error) {
+			return ev.evalLevel(chosen, i, e, par)
+		})
+	}
+	return ev.evalLevel(chosen, i, e, par)
+}
+
+// evalLevel enumerates quantifier level i. par marks that no enclosing
+// level has been fanned out yet, so the first level the engine considers
+// splittable claims the worker pool (levels with tiny spaces pass the
+// pool down to the bigger levels beneath them); everything below a
+// fan-out runs sequentially within its worker. At the outermost level
+// choices that are not the lexicographic minimum of their automorphism
+// orbit are skipped (value-preserving; see sym.go), and the innermost
+// level runs on the packed mixed-radix enumerator when the domain fits
+// a word.
+func (ev *gameEval) evalLevel(chosen []cert.Assignment, i int, e Engine, par bool) (bool, error) {
 	existential := ev.a.Level.ExistentialAt(i)
 	enum := ev.enums[i-1]
 	space := enum.Space()
-	if par && search.Splittable(o, space) {
+	sym := i == 1 && len(ev.autInv) > 0
+	if par && search.Splittable(e.Opts, space) {
 		// Fan this level out across the pool. chosen[0..i-2] are shared
 		// read-only (the enclosing sequential enumerators only decode
 		// again after the pool drains); each worker gets pooled buffers
@@ -213,12 +314,17 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 			return suffix
 		})
 		pred := func(choices []int) bool {
+			if sym && ev.symSkip(choices) {
+				// A pruned choice must not decide the quantifier: it
+				// neither witnesses the ∃ nor refutes the ∀.
+				return !existential
+			}
 			suffix, release := scratch.Get()
 			defer release()
 			child := make([]cert.Assignment, 0, len(ev.enums))
 			child = append(append(child, prefix...), suffix...)
 			enum.Decode(choices, child[i-1])
-			v, err := ev.eval(child, i+1, o, false)
+			v, err := ev.eval(child, i+1, e, false)
 			if err != nil {
 				ev.fail(err)
 				// Short-circuit the enclosing quantifier so the pool
@@ -230,9 +336,9 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 		var val bool
 		var err error
 		if existential {
-			val, err = search.Exists(o, space, pred)
+			val, err = search.Exists(e.Opts, space, pred)
 		} else {
-			val, err = search.ForAll(o, space, pred)
+			val, err = search.ForAll(e.Opts, space, pred)
 		}
 		if ev.err != nil {
 			return false, ev.err
@@ -242,6 +348,9 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 		}
 		return val, nil
 	}
+	if i == len(ev.enums) && ev.packed != nil && !sym {
+		return ev.evalPackedLeaves(chosen, i, e, existential)
+	}
 	// Existential: succeed if some choice works. Universal: fail if
 	// some choice fails.
 	found := existential // value if enumeration exhausts: ¬∃ => false, ∀ => true
@@ -249,13 +358,16 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 	complete := search.ForEach(space, func(choices []int) bool {
 		// Mirror the ctx polling of the parallel branch so cancellation
 		// reaches sequential evaluations too.
-		if o.Ctx != nil {
-			if innerErr = o.Ctx.Err(); innerErr != nil {
+		if e.Opts.Ctx != nil {
+			if innerErr = e.Opts.Ctx.Err(); innerErr != nil {
 				return false
 			}
 		}
+		if sym && ev.symSkip(choices) {
+			return true
+		}
 		enum.Decode(choices, chosen[i-1])
-		v, err := ev.eval(chosen, i+1, o, par)
+		v, err := ev.eval(chosen, i+1, e, par)
 		if err != nil {
 			innerErr = err
 			return false
@@ -278,6 +390,38 @@ func (ev *gameEval) eval(chosen []cert.Assignment, i int, o search.Options, par 
 		return !existential, nil
 	}
 	return found, nil
+}
+
+// evalPackedLeaves enumerates the innermost quantifier level with the
+// packed mixed-radix counter: every step rewrites only the certificate
+// strings touched by the carry and goes straight to a leaf run, which is
+// where a game evaluation spends almost all of its time.
+func (ev *gameEval) evalPackedLeaves(chosen []cert.Assignment, i int, e Engine, existential bool) (bool, error) {
+	var innerErr error
+	complete := ev.packed.ForEach(chosen[i-1], func(cert.Assignment) bool {
+		// One cancellation poll per leaf, matching the unpacked walk (a
+		// leaf is a full machine run, so the atomic load is noise).
+		if e.Opts.Ctx != nil {
+			if innerErr = e.Opts.Ctx.Err(); innerErr != nil {
+				return false
+			}
+		}
+		v, err := ev.leaf(chosen)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		// Continue while the quantifier is undecided: ∃ until a witness,
+		// ∀ until a counterexample.
+		return v != existential
+	})
+	if innerErr != nil {
+		return false, innerErr
+	}
+	if complete {
+		return !existential, nil
+	}
+	return existential, nil
 }
 
 // Strategy produces a certificate assignment for a player given the
@@ -331,18 +475,36 @@ func (a *Arbiter) StrategyGameValueOpt(g *graph.Graph, id graph.IDAssignment, st
 // graph — the service layer's cache hit path — pay the per-(graph, id)
 // setup only once.
 func (a *Arbiter) StrategyGameValuePrepared(prep *simulate.Prepared, strategies []Strategy, domains []cert.Domain, o search.Options) (bool, error) {
+	return a.StrategyGameValueEngine(prep, strategies, domains, Engine{Opts: o})
+}
+
+// StrategyGameValueEngine is StrategyGameValuePrepared under a full
+// engine configuration. Strategy-guided games are memoized only as a
+// whole (quantifier-prefix subgames depend on the opaque strategy
+// closures) and only when the engine carries a non-empty Salt naming
+// the strategies; they never use symmetry pruning (see newGameEval).
+func (a *Arbiter) StrategyGameValueEngine(prep *simulate.Prepared, strategies []Strategy, domains []cert.Domain, e Engine) (bool, error) {
 	l := a.Level.Alternations
 	if len(strategies) != l || len(domains) != l {
 		return false, fmt.Errorf("core: need %d strategy/domain slots", l)
 	}
-	ev := newGameEval(a, prep, domains)
-	return ev.strategyRec(prep.Graph(), prep.ID(), strategies, make([]cert.Assignment, 0, l), 1, o, true)
+	ev := newGameEval(a, prep, domains, e, true)
+	run := func() (bool, error) {
+		return ev.strategyRec(prep.Graph(), prep.ID(), strategies, make([]cert.Assignment, 0, l), 1, e, true)
+	}
+	if ev.seed != "" && e.Salt != "" {
+		// Level index 0 is reserved for whole strategy games, so the key
+		// can never collide with an exhaustive subgame key (i >= 1) of
+		// the same seed.
+		return e.Memo.Do(e.Opts.Ctx, subkey(ev.seed, 0, nil), run)
+	}
+	return run()
 }
 
 // strategyRec evaluates move i of the strategy-guided game with the
 // prefix chosen already played. par marks that no enclosing universal
 // level has been fanned out yet, so this one may claim the pool.
-func (ev *gameEval) strategyRec(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, chosen []cert.Assignment, i int, o search.Options, par bool) (bool, error) {
+func (ev *gameEval) strategyRec(g *graph.Graph, id graph.IDAssignment, strategies []Strategy, chosen []cert.Assignment, i int, e Engine, par bool) (bool, error) {
 	l := len(ev.enums)
 	if i > l {
 		return ev.leaf(chosen)
@@ -355,27 +517,27 @@ func (ev *gameEval) strategyRec(g *graph.Graph, id graph.IDAssignment, strategie
 		if err != nil {
 			return false, err
 		}
-		return ev.strategyRec(g, id, strategies, append(chosen, k), i+1, o, par)
+		return ev.strategyRec(g, id, strategies, append(chosen, k), i+1, e, par)
 	}
 	if ev.enums[i-1].Len() == 0 {
 		return false, fmt.Errorf("core: move %d is universal but has no domain", i)
 	}
 	enum := ev.enums[i-1]
 	space := enum.Space()
-	if par && search.Splittable(o, space) {
+	if par && search.Splittable(e.Opts, space) {
 		// Fan this universal level out across the pool. Workers below it
 		// run sequentially, each on its own copy of the move prefix.
 		prefix := append([]cert.Assignment(nil), chosen...)
 		scratch := search.NewScratch(func() cert.Assignment {
 			return make(cert.Assignment, enum.Len())
 		})
-		ok, err := search.ForAll(o, space, func(choices []int) bool {
+		ok, err := search.ForAll(e.Opts, space, func(choices []int) bool {
 			buf, release := scratch.Get()
 			defer release()
 			enum.Decode(choices, buf)
 			child := make([]cert.Assignment, 0, l)
 			child = append(append(child, prefix...), buf)
-			v, err := ev.strategyRec(g, id, strategies, child, i+1, o, false)
+			v, err := ev.strategyRec(g, id, strategies, child, i+1, e, false)
 			if err != nil {
 				ev.fail(err)
 				return false // a counterexample stops the ForAll
@@ -390,21 +552,44 @@ func (ev *gameEval) strategyRec(g *graph.Graph, id graph.IDAssignment, strategie
 		}
 		return ok, nil
 	}
+	if i == l && ev.packed != nil {
+		// Innermost universal level: packed enumeration straight to the
+		// leaves, rewriting only the carry-touched certificate strings.
+		buf := make(cert.Assignment, enum.Len())
+		var innerErr error
+		complete := ev.packed.ForEach(buf, func(cert.Assignment) bool {
+			if e.Opts.Ctx != nil {
+				if innerErr = e.Opts.Ctx.Err(); innerErr != nil {
+					return false
+				}
+			}
+			v, err := ev.strategyRec(g, id, strategies, append(chosen, buf), i+1, e, par)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			return v // a counterexample stops the walk
+		})
+		if innerErr != nil {
+			return false, innerErr
+		}
+		return complete, nil
+	}
 	buf := make(cert.Assignment, enum.Len())
 	ok := true
 	var innerErr error
 	search.ForEach(space, func(choices []int) bool {
-		// The parallel fan-out polls o.Ctx inside search.ForAll; this
-		// sequential walk must poll it too so a canceled request aborts
-		// regardless of the engine (leaves are machine runs, so one check
-		// per iteration is cheap).
-		if o.Ctx != nil {
-			if innerErr = o.Ctx.Err(); innerErr != nil {
+		// The parallel fan-out polls the engine ctx inside search.ForAll;
+		// this sequential walk must poll it too so a canceled request
+		// aborts regardless of the engine (leaves are machine runs, so
+		// one check per iteration is cheap).
+		if e.Opts.Ctx != nil {
+			if innerErr = e.Opts.Ctx.Err(); innerErr != nil {
 				return false
 			}
 		}
 		enum.Decode(choices, buf)
-		v, err := ev.strategyRec(g, id, strategies, append(chosen, buf), i+1, o, par)
+		v, err := ev.strategyRec(g, id, strategies, append(chosen, buf), i+1, e, par)
 		if err != nil {
 			innerErr = err
 			return false

@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/search"
+
+// Engine configures one game evaluation: the search options of the
+// worker pool plus the optimization layers added on top of it. The zero
+// value of every knob selects the optimized default, so
+// Engine{Opts: o} reproduces GameValuePrepared's behavior; Reference()
+// turns every layer off and is the equivalence baseline the core parity
+// and property tests compare against.
+//
+// Quantifier values are independent of visitation order and every layer
+// below is value-preserving (see DESIGN.md, "Game-engine optimization"),
+// so all Engine configurations compute the same game value; they differ
+// only in how much of the game tree they actually visit.
+type Engine struct {
+	// Opts selects the search engine (worker pool, split depth, context).
+	// Opts.Ctx is the evaluation's cancellation port: every enumeration
+	// loop of the engine polls it, including the memo/bitset paths.
+	Opts search.Options
+
+	// Memo, when non-nil, memoizes subgame values at quantifier levels
+	// 1..memoMaxLevel under single-flight semantics, keyed by graph
+	// content, identifiers, machine name, level, domain shape, Salt, and
+	// move prefix. Machines with an empty Name are never memoized (the
+	// name stands in for the machine's semantics in the key; see Memo).
+	Memo *Memo
+
+	// Salt is mixed into every memo key. Callers memoizing
+	// strategy-guided games must set it to something that identifies the
+	// strategies (they are opaque closures, invisible to the key);
+	// strategy games with an empty Salt are not memoized at all.
+	Salt string
+
+	// NoSymmetry disables automorphism-based pruning of the outermost
+	// quantifier level. (Strategy-guided games never use the pruning:
+	// strategies observe node indices, which breaks the equivariance the
+	// soundness argument needs.)
+	NoSymmetry bool
+
+	// NoBitset disables the packed mixed-radix enumeration of the
+	// innermost quantifier level.
+	NoBitset bool
+
+	// NoPool disables pooled leaf execution (simulate.RunAccepted) and
+	// runs every leaf through the allocating simulate.Prepared.Run path.
+	NoPool bool
+}
+
+// Reference returns the unoptimized engine: single-threaded search, no
+// memo, no symmetry pruning, no packed enumeration, no buffer pooling.
+// It is the trusted baseline every optimization layer is
+// equivalence-tested against — in the ProCoS sense, the specification
+// the optimized engine must provably refine.
+func Reference() Engine {
+	return Engine{
+		Opts:       search.Sequential(),
+		NoSymmetry: true,
+		NoBitset:   true,
+		NoPool:     true,
+	}
+}

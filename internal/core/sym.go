@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/graph"
+
+// Symmetry reduction of the outermost quantifier level.
+//
+// A permutation π of the node indices is value-preserving for a game
+// evaluation when it preserves everything the arbiter machines and the
+// quantifier structure can observe: adjacency, labels, identifiers, and
+// the per-node option count of every quantifier domain. For such a π,
+// replacing every move κ_j by κ_j∘π⁻¹ maps executions to executions —
+// message exchange is ordered by neighbor identifiers, which π
+// preserves, so node π(u) in the permuted run behaves exactly as node u
+// in the original — and therefore maps the subgame below any first move
+// κ to the subgame below κ∘π⁻¹ with the same value. The outermost level
+// may then restrict enumeration to one representative per orbit.
+//
+// The identifier-ordering step needs the neighbor order to be determined
+// by identifiers alone: when two neighbors of some node share an id the
+// engine's tie-break is by node index, which π does not preserve, so
+// initSymmetry collects no automorphisms in that case. (rid-locally
+// unique identifier assignments with rid >= 1 always satisfy the
+// distinctness requirement.) DESIGN.md, "Game-engine optimization",
+// spells out the full soundness argument, including why a truncated
+// automorphism set — Automorphisms bounds both count and search steps —
+// stays sound: skipping is a strict lexicographic descent within an
+// orbit, so every skip chain ends at a vector that is evaluated.
+
+// symAutLimit bounds how many automorphisms one evaluation collects.
+// Pruning cost is |auts|·n per outer-level choice, so a small set keeps
+// the check cheap; a subset of the group only makes the orbit partition
+// coarser, never wrong.
+const symAutLimit = 16
+
+// initSymmetry collects the value-preserving automorphisms for the
+// prepared (graph, id) under the compiled domains. No-op (no pruning)
+// when identifiers are ambiguous within some neighborhood or the graph
+// has no usable symmetry.
+func (ev *gameEval) initSymmetry() {
+	g, id := ev.prep.Graph(), ev.prep.ID()
+	for u := 0; u < g.N(); u++ {
+		nb := g.Neighbors(u)
+		for x := 0; x < len(nb); x++ {
+			for y := x + 1; y < len(nb); y++ {
+				if id[nb[x]] == id[nb[y]] {
+					return // index tie-break in neighbor order: unsound
+				}
+			}
+		}
+	}
+	fix := func(u, v int) bool {
+		if id[u] != id[v] {
+			return false
+		}
+		for _, e := range ev.enums {
+			// Strategy slots compile to empty enums with no per-node
+			// bounds to preserve.
+			if e.Len() == 0 {
+				continue
+			}
+			if e.NumOptions(u) != e.NumOptions(v) {
+				return false
+			}
+		}
+		return true
+	}
+	ev.auts = graph.Automorphisms(g, fix, symAutLimit)
+	ev.autInv = make([][]int, len(ev.auts))
+	for k, phi := range ev.auts {
+		inv := make([]int, len(phi))
+		for x, y := range phi {
+			inv[y] = x
+		}
+		ev.autInv[k] = inv
+	}
+}
+
+// symSkip reports whether the outer-level choice vector has a strictly
+// lexicographically smaller image under some collected automorphism —
+// if so, the subgame value is duplicated at that smaller vector and
+// this one may be skipped. The lex-minimal vector of each reachable
+// chain is never skipped, so every orbit keeps a representative even
+// when the collected set is not the full group.
+func (ev *gameEval) symSkip(choices []int) bool {
+	for _, inv := range ev.autInv {
+		// The image vector is c′[v] = choices[π⁻¹(v)]; compare it to
+		// choices lexicographically without materializing it.
+		for v, c := range choices {
+			ci := choices[inv[v]]
+			if ci < c {
+				return true
+			}
+			if ci > c {
+				break
+			}
+		}
+	}
+	return false
+}

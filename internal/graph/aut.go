@@ -1,0 +1,85 @@
+package graph
+
+// Automorphisms enumerates (a bounded prefix of) the automorphism group
+// of the labeled graph: permutations π of the node indices with
+// {π(u),π(v)} an edge iff {u,v} is, and label(π(u)) == label(u). The
+// optional fix constraint restricts the group further — fix(u, v) must
+// report whether mapping u ↦ v is admissible (the certificate games pass
+// identifier and domain-bound equality here, so only symmetries the
+// arbiter machines cannot observe survive). The identity permutation is
+// never returned.
+//
+// The search is the iso.go backtracking specialised to g == h, with two
+// budgets so adversarial inputs stay cheap: at most limit automorphisms
+// are collected (0 means 64) and at most autSearchBudget backtracking
+// steps are spent. Truncation is sound for the symmetry pruning in
+// internal/core — any subset of the group yields a coarser but still
+// correct orbit partition (see DESIGN.md, "Symmetry pruning") — so
+// callers need not know whether the returned set is the whole group.
+func Automorphisms(g *Graph, fix func(u, v int) bool, limit int) [][]int {
+	if limit <= 0 {
+		limit = 64
+	}
+	n := g.N()
+	phi := make([]int, n)
+	used := make([]bool, n)
+	for i := range phi {
+		phi[i] = -1
+	}
+	var out [][]int
+	budget := autSearchBudget
+	var try func(u int) bool // false aborts the whole search (budget/limit)
+	try = func(u int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if u == n {
+			identity := true
+			for i, v := range phi {
+				if i != v {
+					identity = false
+					break
+				}
+			}
+			if !identity {
+				out = append(out, append([]int(nil), phi...))
+			}
+			return len(out) < limit
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || g.Degree(u) != g.Degree(v) || g.Label(u) != g.Label(v) {
+				continue
+			}
+			if fix != nil && !fix(u, v) {
+				continue
+			}
+			ok := true
+			for w := 0; w < u; w++ {
+				if g.HasEdge(u, w) != g.HasEdge(v, phi[w]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			phi[u] = v
+			used[v] = true
+			if !try(u + 1) {
+				return false
+			}
+			phi[u] = -1
+			used[v] = false
+		}
+		return true
+	}
+	try(0)
+	return out
+}
+
+// autSearchBudget bounds the backtracking steps Automorphisms spends, so
+// graphs with huge or hard-to-find symmetry groups cannot stall a game
+// evaluation. Pruning with whatever was found inside the budget remains
+// sound.
+const autSearchBudget = 1 << 14

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"testing"
+)
+
+// permEqual reports whether the permutation list contains phi.
+func containsPerm(perms [][]int, phi []int) bool {
+	for _, p := range perms {
+		if len(p) != len(phi) {
+			continue
+		}
+		same := true
+		for i := range p {
+			if p[i] != phi[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAut validates that every returned permutation is a genuine
+// label-preserving automorphism and not the identity.
+func checkAut(t *testing.T, g *Graph, perms [][]int) {
+	t.Helper()
+	for _, phi := range perms {
+		identity := true
+		seen := make([]bool, g.N())
+		for u, v := range phi {
+			if u != v {
+				identity = false
+			}
+			if v < 0 || v >= g.N() || seen[v] {
+				t.Fatalf("%v is not a permutation", phi)
+			}
+			seen[v] = true
+			if g.Label(u) != g.Label(v) {
+				t.Fatalf("%v breaks labels at %d", phi, u)
+			}
+		}
+		if identity {
+			t.Fatalf("identity returned: %v", phi)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if g.HasEdge(u, v) != g.HasEdge(phi[u], phi[v]) {
+					t.Fatalf("%v breaks edge {%d,%d}", phi, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAutomorphismsPath(t *testing.T) {
+	t.Parallel()
+	// P3's only non-identity automorphism is the reversal.
+	g := Path(3)
+	perms := Automorphisms(g, nil, 0)
+	checkAut(t, g, perms)
+	if len(perms) != 1 || !containsPerm(perms, []int{2, 1, 0}) {
+		t.Fatalf("P3 automorphisms = %v, want exactly the reversal", perms)
+	}
+}
+
+func TestAutomorphismsCycleGroup(t *testing.T) {
+	t.Parallel()
+	// C4's automorphism group is dihedral of order 8; minus the identity,
+	// 7 permutations.
+	g := Cycle(4)
+	perms := Automorphisms(g, nil, 0)
+	checkAut(t, g, perms)
+	if len(perms) != 7 {
+		t.Fatalf("C4 has %d non-identity automorphisms, want 7", len(perms))
+	}
+}
+
+func TestAutomorphismsLimit(t *testing.T) {
+	t.Parallel()
+	perms := Automorphisms(Cycle(4), nil, 3)
+	if len(perms) != 3 {
+		t.Fatalf("limit 3 returned %d automorphisms", len(perms))
+	}
+	checkAut(t, Cycle(4), perms)
+}
+
+func TestAutomorphismsLabelConstraint(t *testing.T) {
+	t.Parallel()
+	// C4 with labels 0,1,0,1: only automorphisms preserving the 2-coloring
+	// survive — the rotation by 2 and the two label-preserving
+	// reflections (3 of the 7).
+	g := Cycle(4).MustWithLabels([]string{"0", "1", "0", "1"})
+	perms := Automorphisms(g, nil, 0)
+	checkAut(t, g, perms)
+	if len(perms) != 3 || !containsPerm(perms, []int{2, 3, 0, 1}) {
+		t.Fatalf("labeled C4 automorphisms = %v, want 3 incl. rotation by 2", perms)
+	}
+}
+
+func TestAutomorphismsFixConstraint(t *testing.T) {
+	t.Parallel()
+	// The fix callback stands in for identifier equality in the games: on
+	// C6 with period-3 "identifiers", only the rotation by 3 survives.
+	ids := []string{"a", "b", "c", "a", "b", "c"}
+	fix := func(u, v int) bool { return ids[u] == ids[v] }
+	g := Cycle(6)
+	perms := Automorphisms(g, fix, 0)
+	checkAut(t, g, perms)
+	if len(perms) != 1 || !containsPerm(perms, []int{3, 4, 5, 0, 1, 2}) {
+		t.Fatalf("fixed C6 automorphisms = %v, want exactly the rotation by 3", perms)
+	}
+	// A fix that pins every node kills the group entirely.
+	if perms := Automorphisms(g, func(u, v int) bool { return u == v }, 0); len(perms) != 0 {
+		t.Fatalf("fully pinned C6 returned %v", perms)
+	}
+}
+
+func TestAutomorphismsBudget(t *testing.T) {
+	t.Parallel()
+	// K8 has 8!-1 = 40319 non-identity automorphisms; the default limit
+	// and the step budget must both hold the result far below that.
+	perms := Automorphisms(Complete(8), nil, 0)
+	if len(perms) == 0 || len(perms) > 64 {
+		t.Fatalf("K8 returned %d automorphisms, want 1..64", len(perms))
+	}
+	checkAut(t, Complete(8), perms)
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Common validation errors returned by New.
@@ -53,6 +54,11 @@ type Graph struct {
 	bits    []uint64
 	stride  int
 	degrees []int
+
+	// hashOnce/hashHex cache the canonical content hash (see Hash): the
+	// graph is immutable after construction, so the digest never changes.
+	hashOnce sync.Once
+	hashHex  string
 }
 
 // bitsetMaxNodes bounds the O(n²/8) adjacency bitset; beyond it HasEdge

@@ -14,10 +14,19 @@ import (
 // the same graph hashes identically. It is NOT an isomorphism invariant:
 // relabeling node indices changes the hash.
 //
-// The service layer keys its Prepared-instance cache by this hash, so
-// the hash must be collision-resistant against adversarial inputs;
-// SHA-256 over an unambiguous (length-prefixed) encoding provides that.
+// The service layer keys its Prepared-instance cache by this hash and
+// the core game-engine memo table keys every transposition entry under
+// it, so the hash must be collision-resistant against adversarial
+// inputs; SHA-256 over an unambiguous (length-prefixed) encoding
+// provides that. Graphs are immutable after construction, so the digest
+// is computed once and cached — memo lookups on a warm graph pay a
+// string copy, not a hash pass.
 func (g *Graph) Hash() string {
+	g.hashOnce.Do(func() { g.hashHex = g.computeHash() })
+	return g.hashHex
+}
+
+func (g *Graph) computeHash() string {
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(x int) {

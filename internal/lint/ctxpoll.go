@@ -109,24 +109,28 @@ func fieldListHasPort(fl *ast.FieldList) bool {
 }
 
 // typeExprIsPort decides syntactically whether a parameter type is
-// context.Context or (a pointer to) search.Options; syntax suffices
-// because scope detection runs before any call resolution.
+// context.Context or (a pointer to) search.Options or core.Engine (the
+// game engine's configuration, which carries search.Options inside it);
+// syntax suffices because scope detection runs before any call
+// resolution.
 func typeExprIsPort(e ast.Expr) (bool, bool) {
 	if star, ok := e.(*ast.StarExpr); ok {
 		e = star.X
 	}
 	sel, ok := e.(*ast.SelectorExpr)
 	if !ok {
-		// An unqualified Options inside the search package itself.
+		// An unqualified Options or Engine inside the engine packages
+		// themselves.
 		id, ok := e.(*ast.Ident)
-		return ok && id.Name == "Options", true
+		return ok && (id.Name == "Options" || id.Name == "Engine"), true
 	}
 	pkg, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return false, true
 	}
 	return (pkg.Name == "context" && sel.Sel.Name == "Context") ||
-		(pkg.Name == "search" && sel.Sel.Name == "Options"), true
+		(pkg.Name == "search" && sel.Sel.Name == "Options") ||
+		(pkg.Name == "core" && sel.Sel.Name == "Engine"), true
 }
 
 // collectClosures maps local func-typed variables to the FuncLit bodies

@@ -53,7 +53,7 @@ type Rule struct {
 // the invariants are stated over.
 func Suite() []Rule {
 	return []Rule{
-		{CtxPoll, []string{"internal/search", "internal/core", "internal/cert", "internal/experiments"}},
+		{CtxPoll, []string{"internal/search", "internal/core", "internal/cert", "internal/simulate", "internal/experiments"}},
 		{ClockInject, []string{"internal/jobs", "internal/journal", "internal/service"}},
 		{SnapshotParity, []string{"internal/service"}},
 		{FsyncBeforeRename, []string{"internal/journal"}},
@@ -185,16 +185,22 @@ func isContext(t types.Type) bool { return isNamed(t, "context", "Context") }
 // carrier (which holds the cancellation context).
 func isEngineOptions(t types.Type) bool { return isNamed(t, "search", "Options") }
 
+// isGameEngine reports whether t is the core game engine's Engine
+// configuration (which carries search.Options, and with it the
+// cancellation context, into the memo/bitset enumeration loops).
+func isGameEngine(t types.Type) bool { return isNamed(t, "core", "Engine") }
+
 // hasEnginePort reports whether the signature accepts a cancellation
-// port: a context.Context or a search.Options parameter. Calls through
-// such signatures count as delegating cancellation.
+// port: a context.Context, a search.Options, or a core.Engine
+// parameter. Calls through such signatures count as delegating
+// cancellation.
 func hasEnginePort(sig *types.Signature) bool {
 	if sig == nil {
 		return false
 	}
 	for i := 0; i < sig.Params().Len(); i++ {
 		t := sig.Params().At(i).Type()
-		if isContext(t) || isEngineOptions(t) {
+		if isContext(t) || isEngineOptions(t) || isGameEngine(t) {
 			return true
 		}
 	}

@@ -37,6 +37,7 @@ func TestSuiteScopes(t *testing.T) {
 		want     bool
 	}{
 		{"ctxpoll", "repro/internal/search", true},
+		{"ctxpoll", "repro/internal/simulate", true},
 		{"ctxpoll", "repro/internal/service", false},
 		{"clockinject", "repro/internal/jobs", true},
 		{"clockinject", "repro/internal/core", false},

@@ -1,0 +1,13 @@
+// Package core models the game engine's core package for lint
+// fixtures: Engine is the cancellation-carrying configuration the
+// analyzers recognize (by package and type name, so this stand-in
+// behaves like internal/core).
+package core
+
+import "search"
+
+// Engine carries the search options — and through them the cancellation
+// context — into game-engine enumerations.
+type Engine struct {
+	Opts search.Options
+}

@@ -6,12 +6,15 @@ package ctxpoll
 import (
 	"context"
 
+	"core"
 	"search"
 )
 
 func work(i int) int { return i * i }
 
 func sub(o search.Options, i int) int { return i }
+
+func subEngine(e core.Engine, i int) int { return i }
 
 // Unpolled runs module work in a loop without ever consulting the
 // context: caught.
@@ -101,6 +104,38 @@ func Recursive(o search.Options, n int) int {
 	}
 	for i := 0; i < n; i++ {
 		rec(i)
+	}
+	return total
+}
+
+// EngineUnpolled holds a core.Engine port — the game engine's
+// configuration is a cancellation carrier too — but never consults it:
+// caught. This is the shape of the memo/bitset enumeration loops.
+func EngineUnpolled(e core.Engine, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `without polling the cancellation context`
+		total += work(i)
+	}
+	return total
+}
+
+// EnginePolled polls the context carried inside the Engine: allowed.
+func EnginePolled(e core.Engine, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if e.Opts.Ctx.Err() != nil {
+			return total
+		}
+		total += work(i)
+	}
+	return total
+}
+
+// EngineDelegating hands the Engine port to its callee: allowed.
+func EngineDelegating(e core.Engine, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += subEngine(e, i)
 	}
 	return total
 }

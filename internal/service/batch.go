@@ -60,13 +60,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, fmt.Errorf("%w: decide property %q", ErrUnknownName, req.Property))
 			return
 		}
-		eval = Decide
+		eval = s.decide
 	case "verify":
 		if !HasVerify(req.Property) {
 			s.fail(w, fmt.Errorf("%w: verify property %q", ErrUnknownName, req.Property))
 			return
 		}
-		eval = Verify
+		eval = s.verify
 	default:
 		s.fail(w, fmt.Errorf("%w: batch op %q (want decide or verify)", ErrBadRequest, req.Op))
 		return

@@ -29,8 +29,10 @@ func verifyBody(n int) string {
 
 // BenchmarkServiceVerify measures one full service round —
 // decode, cache lookup, game evaluation, encode — through the handler,
-// cold (cache disabled: every request re-prepares) versus warm (cache
-// hit: preparation amortized). See DESIGN.md for recorded numbers.
+// cold (cache and memo disabled: every request re-prepares and replays
+// the game) versus warm (cache hit + transposition-table hit: the game
+// verdict is a lookup and the request cost is decode/hash/encode). See
+// DESIGN.md for recorded numbers.
 func BenchmarkServiceVerify(b *testing.B) {
 	body := verifyBody(256)
 	run := func(b *testing.B, srv *service.Server) {
@@ -51,8 +53,8 @@ func BenchmarkServiceVerify(b *testing.B) {
 		run(b, service.New(service.Config{Workers: 1, CacheSize: 0}))
 	})
 	b.Run("warm", func(b *testing.B) {
-		srv := service.New(service.Config{Workers: 1, CacheSize: 8})
-		// Prime the cache so every measured request hits.
+		srv := service.New(service.Config{Workers: 1, CacheSize: 8, MemoSize: 4096})
+		// Prime the cache and the memo so every measured request hits.
 		w := httptest.NewRecorder()
 		srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(body)))
 		if w.Code != http.StatusOK {

@@ -115,6 +115,13 @@ func renderMetrics(st StatsResponse) string {
 	counter("lphd_cache_misses_total", "Cache lookups that prepared fresh.", st.Cache.Misses)
 	counter("lphd_cache_evictions_total", "Prepared instances evicted by the LRU bound.", st.Cache.Evictions)
 
+	gauge("lphd_memo_capacity", "Game-verdict transposition table capacity in entries.", st.Memo.Capacity)
+	gauge("lphd_memo_size", "Game verdicts currently memoized.", st.Memo.Size)
+	counter("lphd_memo_hits_total", "Game evaluations served from the transposition table.", st.Memo.Hits)
+	counter("lphd_memo_misses_total", "Game evaluations computed and stored.", st.Memo.Misses)
+	counter("lphd_memo_singleflight_waits_total", "Callers that waited on another flight for the same key.", st.Memo.Waits)
+	counter("lphd_memo_evictions_total", "Memo entries evicted by the capacity bound.", st.Memo.Evictions)
+
 	counter("lphd_requests_total", "Operation requests handled (including failures).", st.Requests.Total)
 	counter("lphd_request_failures_total", "Operation requests answered non-2xx.", st.Requests.Failures)
 	counter("lphd_request_cancellations_total", "Evaluations aborted by disconnect or timeout.", st.Requests.Canceled)

@@ -103,6 +103,19 @@ func Decide(prep *simulate.Prepared, name string, o search.Options) (bool, error
 	return res.Accepted(), nil
 }
 
+// DecideMemo is Decide through the transposition table: the verdict is
+// keyed by catalog name and graph content hash, which suffices because
+// Prepare derives the identifier assignment deterministically from the
+// graph and catalog machines are deterministic. A nil memo falls back
+// to Decide; errors are never cached (see core.Memo).
+func DecideMemo(prep *simulate.Prepared, name string, o search.Options, m *core.Memo) (bool, error) {
+	if m == nil {
+		return Decide(prep, name, o)
+	}
+	key := "decide/" + name + "/" + prep.Graph().Hash()
+	return m.Do(o.Ctx, key, func() (bool, error) { return Decide(prep, name, o) })
+}
+
 // verifier bundles the arbiter and Eve's strategies behind one
 // verifiable property.
 type verifier struct {
@@ -177,12 +190,22 @@ func HasVerify(name string) bool {
 // Eve's strategy from the paper, fanning Adam's universal levels out
 // across the engine's worker pool and aborting on context cancellation.
 func Verify(prep *simulate.Prepared, name string, o search.Options) (bool, error) {
+	return VerifyMemo(prep, name, o, nil)
+}
+
+// VerifyMemo is Verify through the transposition table: the whole-game
+// verdict is memoized under the engine's salt "verify/<name>", which
+// pins the catalog strategies the key cannot see (strategies are opaque
+// closures; the catalog name determines them). A nil memo just plays
+// the game.
+func VerifyMemo(prep *simulate.Prepared, name string, o search.Options, m *core.Memo) (bool, error) {
 	v, ok := verifiers()[name]
 	if !ok {
 		return false, fmt.Errorf("%w: verifiable property %q", ErrUnknownName, name)
 	}
 	arb := v.arb()
-	return arb.StrategyGameValuePrepared(prep, v.strategies(), v.domains(prep.Graph()), o)
+	e := core.Engine{Opts: o, Memo: m, Salt: "verify/" + name}
+	return arb.StrategyGameValueEngine(prep, v.strategies(), v.domains(prep.Graph()), e)
 }
 
 // reductions is the catalog behind Reduce.

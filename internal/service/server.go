@@ -3,6 +3,8 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graphio"
 	"repro/internal/jobs"
 	"repro/internal/journal"
@@ -29,6 +32,10 @@ type Config struct {
 	Workers int
 	// CacheSize is the capacity of the Prepared cache; <= 0 disables it.
 	CacheSize int
+	// MemoSize is the capacity (entries) of the game-verdict
+	// transposition table shared by decide/verify/batch; <= 0 disables
+	// memoization, making every request replay its game from scratch.
+	MemoSize int
 	// Timeout bounds each request's evaluation; 0 means no deadline
 	// beyond the client's own connection lifetime.
 	Timeout time.Duration
@@ -96,6 +103,7 @@ type Server struct {
 	shedWait time.Duration
 	shed     *shedder
 	cache    *Cache
+	memo     *core.Memo
 	jobs     *jobs.Engine
 	lat      *latencies
 	mux      *http.ServeMux
@@ -130,12 +138,17 @@ func New(cfg Config) *Server {
 	if shedWait <= 0 {
 		shedWait = defaultShedWait
 	}
+	var memo *core.Memo // nil when disabled; every call site is nil-safe
+	if cfg.MemoSize > 0 {
+		memo = core.NewMemo(cfg.MemoSize)
+	}
 	s := &Server{
 		budget:   budget,
 		timeout:  cfg.Timeout,
 		shedWait: shedWait,
 		shed:     newShedder(budget),
 		cache:    NewCache(cfg.CacheSize),
+		memo:     memo,
 		lat:      newLatencies(),
 		mux:      http.NewServeMux(),
 		now:      now,
@@ -217,6 +230,10 @@ func (s *Server) Handler() http.Handler {
 // Cache exposes the Prepared cache (for tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// Memo exposes the game-verdict transposition table (nil when
+// disabled), for tests and stats.
+func (s *Server) Memo() *core.Memo { return s.memo }
+
 // Jobs exposes the async job engine (for tests and stats).
 func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 
@@ -241,7 +258,9 @@ type VerdictResponse struct {
 	Name string `json:"name"`
 	// Holds is the verdict: the property holds / Eve's strategy wins.
 	Holds bool `json:"holds"`
-	// Cached reports whether the Prepared instance was served warm.
+	// Cached reports whether the request was served warm: the verdict
+	// came from the request-level memo, or the Prepared instance came
+	// from the cache.
 	Cached bool `json:"cached"`
 	// Workers echoes the effective (clamped) worker pool size.
 	Workers int `json:"workers"`
@@ -274,7 +293,10 @@ type StatsResponse struct {
 	WorkersBudget int        `json:"workers_budget"`
 	TimeoutMS     int64      `json:"timeout_ms"`
 	Cache         CacheStats `json:"cache"`
-	Requests      struct {
+	// Memo is the game-verdict transposition table; all-zero when the
+	// table is disabled (MemoSize <= 0).
+	Memo     core.MemoStats `json:"memo"`
+	Requests struct {
 		Total     uint64 `json:"total"`
 		Failures  uint64 `json:"failures"`
 		Canceled  uint64 `json:"canceled"`
@@ -399,11 +421,6 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 		s.fail(w, fmt.Errorf("%w: %s property %q", ErrUnknownName, op, req.Property))
 		return
 	}
-	g, err := req.DecodeGraph()
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
 	// Derive the request context before the cache fill: a preparation is
 	// shared work that runs to completion (other requests may be waiting
 	// on it), but a request whose deadline passed during it aborts here
@@ -416,31 +433,70 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 		return
 	}
 	defer release()
-	prep, cached, err := s.cache.Get(g)
-	if err != nil {
-		s.fail(w, err)
-		return
+	// run is the full pipeline — decode, prepare (through the cache),
+	// play the game (through the game-level memo inside eval). With the
+	// memo enabled it only executes when the request-level key below
+	// misses; computed distinguishes the two so the cached flag is
+	// truthful either way. The worker count is deliberately outside the
+	// key: every engine configuration computes the same verdict (the
+	// ProCoS equivalence the core tests pin), so a verdict computed under
+	// one pool size answers requests under any other.
+	computed := false
+	prepCached := false
+	run := func() (bool, error) {
+		computed = true
+		g, err := req.DecodeGraph()
+		if err != nil {
+			return false, err
+		}
+		prep, cached, err := s.cache.Get(g)
+		if err != nil {
+			return false, err
+		}
+		prepCached = cached
+		if err := ctxErr(engine); err != nil {
+			return false, err
+		}
+		return eval(prep, req.Property, engine)
 	}
-	if err := ctxErr(engine); err != nil {
-		s.fail(w, err)
-		return
+	var holds bool
+	if s.memo != nil {
+		// Request-level memo: byte-identical graph payloads (retries,
+		// pollers) short-circuit the whole pipeline to a table lookup.
+		// Graphs serialized differently miss here and still hit the
+		// canonical-hash game memo inside eval; errors are never cached.
+		sum := sha256.Sum256(req.Graph)
+		key := "req/" + op + "/" + req.Property + "/" + hex.EncodeToString(sum[:])
+		holds, err = s.memo.Do(engine.Ctx, key, run)
+	} else {
+		holds, err = run()
 	}
-	holds, err := eval(prep, req.Property, engine)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, VerdictResponse{
-		Op: op, Name: req.Property, Holds: holds, Cached: cached, Workers: engine.Workers,
+		Op: op, Name: req.Property, Holds: holds, Cached: prepCached || !computed, Workers: engine.Workers,
 	})
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	s.verdict(w, r, "decide", HasDecide, Decide)
+	s.verdict(w, r, "decide", HasDecide, s.decide)
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	s.verdict(w, r, "verify", HasVerify, Verify)
+	s.verdict(w, r, "verify", HasVerify, s.verify)
+}
+
+// decide and verify are the server-bound evaluators: the shared
+// operations routed through the server's transposition table, so
+// repeated requests on a warm graph short-circuit to a memo hit.
+func (s *Server) decide(prep *simulate.Prepared, name string, o search.Options) (bool, error) {
+	return DecideMemo(prep, name, o, s.memo)
+}
+
+func (s *Server) verify(prep *simulate.Prepared, name string, o search.Options) (bool, error) {
+	return VerifyMemo(prep, name, o, s.memo)
 }
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
@@ -543,6 +599,7 @@ func (s *Server) Snapshot() StatsResponse {
 		WorkersBudget: s.budget,
 		TimeoutMS:     s.timeout.Milliseconds(),
 		Cache:         s.cache.Stats(),
+		Memo:          s.memo.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Latency:       s.lat.snapshot(),
 		Catalog: map[string][]string{

@@ -1,0 +1,127 @@
+package simulate
+
+import "fmt"
+
+// Scratch holds the per-execution buffers of Prepared.RunAccepted so the
+// exhaustive game evaluations in internal/core — which run the same
+// machine on the same Prepared instance across thousands of leaves — do
+// not pay one slice-allocation storm per leaf. A Scratch belongs to one
+// execution at a time; internal/core checks instances out of a
+// search.Scratch pool, one per worker. All buffers are fully overwritten
+// before they are read in each run (the scratch regression tests pin
+// this), so no clearing pass is needed between checkouts.
+type Scratch struct {
+	states []any
+	halted []bool
+	outbox [][]string // outbox[u][j]: message to u's j-th neighbor
+	next   [][]string
+	recv   []string // one max-degree buffer shared by all nodes of a round
+}
+
+// NewScratch allocates execution buffers sized for p.
+func (p *Prepared) NewScratch() *Scratch {
+	n := p.g.N()
+	sc := &Scratch{
+		states: make([]any, n),
+		halted: make([]bool, n),
+		outbox: make([][]string, n),
+		next:   make([][]string, n),
+	}
+	total, maxDeg := 0, 0
+	for u := 0; u < n; u++ {
+		d := len(p.neighborOrder[u])
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	flat := make([]string, 2*total)
+	off := 0
+	for u := 0; u < n; u++ {
+		d := len(p.neighborOrder[u])
+		sc.outbox[u] = flat[off : off+d : off+d]
+		sc.next[u] = flat[total+off : total+off+d : total+off+d]
+		off += d
+	}
+	sc.recv = make([]string, maxDeg)
+	return sc
+}
+
+// RunAccepted is the allocation-free fast path of Run for game leaves:
+// it executes m sequentially against the prepared instance under the
+// per-node certificate lists certs (nil for none) and reports unanimous
+// acceptance, without materializing a Result or per-round message
+// slices. maxRounds 0 means 64, as in Options. sc must come from
+// p.NewScratch and must not be used by another execution concurrently.
+//
+// The recv slice handed to m.Round aliases a buffer reused across nodes
+// and rounds, which is within the Machine contract: Round must not
+// retain recv beyond the call (see Machine). Sequential execution makes
+// RunAccepted equivalent to Run with Options{Sequential: true} followed
+// by Result.Accepted; the simulate test suite pins the equivalence.
+func (p *Prepared) RunAccepted(m *Machine, certs [][]string, maxRounds int, sc *Scratch) (bool, error) {
+	if maxRounds == 0 {
+		maxRounds = 64
+	}
+	n := p.g.N()
+	for u := 0; u < n; u++ {
+		var cs []string
+		if certs != nil {
+			cs = certs[u]
+		}
+		sc.states[u] = m.Init(Input{
+			Node:   u,
+			Degree: p.g.Degree(u),
+			Label:  p.g.Label(u),
+			ID:     p.id[u],
+			Certs:  cs,
+		})
+		sc.halted[u] = false
+	}
+	outbox, next := sc.outbox, sc.next
+	for round := 1; round <= maxRounds; round++ {
+		allHalted := true
+		for u := 0; u < n; u++ {
+			order := p.neighborOrder[u]
+			recv := sc.recv[:len(order)]
+			if round > 1 {
+				for j, v := range order {
+					recv[j] = outbox[v][p.recvSlot[u][j]]
+				}
+			} else {
+				for j := range recv {
+					recv[j] = ""
+				}
+			}
+			send := next[u]
+			if sc.halted[u] {
+				for j := range send {
+					send[j] = ""
+				}
+				continue
+			}
+			out, halt := m.Round(sc.states[u], round, recv)
+			for j := range send {
+				if j < len(out) {
+					send[j] = out[j]
+				} else {
+					send[j] = ""
+				}
+			}
+			sc.halted[u] = halt
+			if !halt {
+				allHalted = false
+			}
+		}
+		outbox, next = next, outbox
+		if allHalted {
+			for u := 0; u < n; u++ {
+				if m.Output(sc.states[u]) != "1" {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, fmt.Errorf("%w within %d rounds (%s)", ErrDidNotTerminate, maxRounds, m.Name)
+}

@@ -60,6 +60,11 @@ type Machine struct {
 	// strings in round 1). It returns the messages to send to those same
 	// neighbors (same order; nil means all empty) and whether the node
 	// halts after this round. A halted node keeps sending empty messages.
+	//
+	// recv is only valid for the duration of the call: the pooled fast
+	// path (Prepared.RunAccepted) reuses one buffer across nodes and
+	// rounds, so implementations must copy any message they need to keep
+	// rather than retaining recv or aliasing into it.
 	Round func(st any, round int, recv []string) (send []string, halt bool)
 	// Output extracts the node's final output label (its verdict when the
 	// machine is used as a decision procedure: "1" accepts).
@@ -177,6 +182,7 @@ func (p *Prepared) Run(m *Machine, certs [][]string, opt Options) (*Result, erro
 	n := p.g.N()
 	states := make([]any, n)
 	halted := make([]bool, n)
+	//lint:coarse one machine execution is the engine's unit of cancellation; core polls between leaves
 	for u := 0; u < n; u++ {
 		var cs []string
 		if certs != nil {
@@ -200,6 +206,7 @@ func (p *Prepared) Run(m *Machine, certs [][]string, opt Options) (*Result, erro
 		outbox[u] = make([]string, len(p.neighborOrder[u]))
 	}
 
+	//lint:coarse round count is bounded by MaxRounds; core polls between leaves
 	for round := 1; round <= maxRounds; round++ {
 		next := make([][]string, n)
 		runNode := func(u int) {
@@ -226,6 +233,7 @@ func (p *Prepared) Run(m *Machine, certs [][]string, opt Options) (*Result, erro
 			next[u] = send
 		}
 		if opt.Sequential {
+			//lint:coarse one round over n nodes; core polls between leaves
 			for u := 0; u < n; u++ {
 				runNode(u)
 			}
@@ -252,6 +260,7 @@ func (p *Prepared) Run(m *Machine, certs [][]string, opt Options) (*Result, erro
 		if all {
 			res.Rounds = round
 			res.Outputs = make([]string, n)
+			//lint:coarse output collection over n nodes; core polls between leaves
 			for u := 0; u < n; u++ {
 				res.Outputs[u] = m.Output(states[u])
 			}
