@@ -82,42 +82,56 @@ test-lifecycle:
 	$(GO) test -race -count=2 -run 'Drain|Idempoten|Shed|Saturat|RetryStorm' \
 		./internal/jobs ./internal/service ./cmd/lphd
 
-# fuzz smoke-runs the four fuzzers for 5s each: FuzzReadGraph over
+# fuzz smoke-runs the fuzzers for 5s each: FuzzReadGraph over
 # the malformed-graph corpus (trailing data, truncated arrays),
 # FuzzDecodeRequest over service request bodies wrapping that corpus,
-# FuzzIdempotencyKey over the strict Idempotency-Key validator, and
+# FuzzIdempotencyKey over the strict Idempotency-Key validator,
 # FuzzReplayJournal over truncated/bit-flipped/garbage-extended
-# journal segments. Invariant for all: no panics; the journal replay
-# additionally recovers every record before the first corruption.
+# journal segments, and FuzzTraceparent over inbound W3C traceparent
+# headers (an invalid header must start a fresh trace, never error).
+# Invariant for all: no panics; the journal replay additionally
+# recovers every record before the first corruption.
 fuzz:
 	$(GO) test -run=- -fuzz=FuzzReadGraph -fuzztime=5s ./internal/graphio
 	$(GO) test -run=- -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/service
 	$(GO) test -run=- -fuzz=FuzzIdempotencyKey -fuzztime=5s ./internal/service
 	$(GO) test -run=- -fuzz=FuzzReplayJournal -fuzztime=5s ./internal/journal
 	$(GO) test -run=- -fuzz=FuzzMemoKey -fuzztime=5s ./internal/core
+	$(GO) test -run=- -fuzz=FuzzTraceparent -fuzztime=5s ./internal/obs
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json records the perf trajectory machine-readably: every
 # benchmark for $(BENCHTIME), through `go test -json`, post-processed by
-# cmd/benchjson into a sorted JSON array (see DESIGN.md).
+# cmd/benchjson into a sorted JSON array (see DESIGN.md). Everything is
+# recorded -count 3 so bench-delta has samples to aggregate (minima for
+# the cross-file engine gate, medians for the in-file overhead gate);
+# the traced verify pair runs four extra times before the full suite so
+# its median rests on seven interleaved samples.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -json ./... | $(GO) run ./cmd/benchjson > BENCH_pr8.json
-	@echo "wrote BENCH_pr8.json"
+	( $(GO) test -run '^$$' -bench BenchmarkTracedVerify -benchtime $(BENCHTIME) -count 4 -json ./internal/service ; \
+	  $(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count 3 -json ./... ) \
+	  | $(GO) run ./cmd/benchjson > BENCH_pr9.json
+	@echo "wrote BENCH_pr9.json"
 
 # bench-delta gates the recorded run against the previous PR's file:
 # any engine-pair benchmark (/sequential or /parallel) present in both
-# files may not regress by more than the tolerance. Not part of `make
-# check` — benchmark wall-clock on shared CI hardware is advisory — but
-# run before recording a new BENCH file.
+# files may not regress by more than the tolerance, and within the new
+# file the traced verify arm may not exceed the untraced one by more
+# than the overhead budget. Not part of `make check` — benchmark
+# wall-clock on shared CI hardware is advisory — but run before
+# recording a new BENCH file.
 bench-delta:
-	$(GO) run ./cmd/benchdelta -old BENCH_pr7.json -new BENCH_pr8.json -tolerance 0.10
+	$(GO) run ./cmd/benchdelta -old BENCH_pr8.json -new BENCH_pr9.json -tolerance 0.10 -overhead 0.10
 
 # serve-smoke boots lphd on a random port and walks the documented API
 # end to end: decide, verify, healthz (exact bodies), a two-graph
 # /v1/batch, an async /v1/jobs experiment polled to completion, a
-# /metrics scrape — then the full crash-recovery walk: a journaled
+# /metrics scrape, and the trace walk — a verify carrying a fixed
+# traceparent must echo its trace id in the X-Lph-Trace header, in
+# /v1/debug/traces, and in the JSON request log line on stderr — then
+# the full crash-recovery walk: a journaled
 # lphd takes SIGKILL mid-sweep and is restarted on the same journal
 # dir, which must serve the finished result byte-identically and
 # re-run the interrupted and queued jobs to done. It closes with the
@@ -169,12 +183,19 @@ serve-smoke:
 		*) echo "job never finished ok: $$state"; exit 1;; \
 	esac; \
 	metrics=$$(curl -sf http://$$addr/metrics); \
-	for m in lphd_requests_total lphd_cache_hits_total 'lphd_jobs_done_total 1' 'lphd_jobs{state="done"} 1' lphd_request_duration_seconds_bucket; do \
+	for m in lphd_requests_total lphd_cache_hits_total 'lphd_jobs_done_total 1' 'lphd_jobs{state="done"} 1' lphd_request_duration_seconds_bucket 'lphd_phase_duration_seconds_bucket{phase="engine"' lphd_build_info lphd_process_start_time_seconds; do \
 		case "$$metrics" in *"$$m"*) ;; \
 			*) echo "metrics scrape misses $$m"; exit 1;; esac; \
 	done; \
+	tid=4bf92f3577b34da6a3ce929d0e0e4736; \
+	hdr=$$(curl -sf -D - -o /dev/null -X POST -H "traceparent: 00-$$tid-00f067aa0ba902b7-01" \
+		--data-binary @$$tmp/verify.json http://$$addr/v1/verify | tr -d '\r' | sed -n 's/^X-Lph-Trace: //p'); \
+	[ "$$hdr" = "$$tid" ] || { echo "X-Lph-Trace: $$hdr, want $$tid"; exit 1; }; \
+	traces=$$(curl -sf "http://$$addr/v1/debug/traces?route=POST%20/v1/verify&limit=5"); \
+	case "$$traces" in *"$$tid"*) ;; *) echo "debug traces miss $$tid: $$traces"; exit 1;; esac; \
+	grep -q "\"trace\":\"$$tid\"" $$tmp/out || { echo "request log line missing trace id:"; cat $$tmp/out; exit 1; }; \
 	kill $$pid 2>/dev/null; \
-	echo "API walk OK; starting crash-recovery walk"; \
+	echo "API walk OK (trace id propagated); starting crash-recovery walk"; \
 	$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/journal >$$tmp/crash1 2>&1 & jpid=$$!; \
 	jaddr=""; \
 	for i in $$(seq 1 100); do \
@@ -272,8 +293,8 @@ help:
 	@echo "make build       - go build ./..."
 	@echo "make test        - go test -race ./..."
 	@echo "make test-lifecycle - drain/shed/idempotency suite twice under -race (defeats caching, shakes out flakes)"
-	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzIdempotencyKey + FuzzReplayJournal + FuzzMemoKey"
+	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzIdempotencyKey + FuzzReplayJournal + FuzzMemoKey + FuzzTraceparent"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make bench-json  - record every benchmark for BENCHTIME (default 200ms) in BENCH_pr8.json"
-	@echo "make bench-delta - fail if BENCH_pr8.json regresses an engine pair >10% vs BENCH_pr7.json"
-	@echo "make serve-smoke - boot lphd, walk the API, SIGKILL + recovery, then SIGTERM drain + restarted=0 + admin drain"
+	@echo "make bench-json  - record every benchmark for BENCHTIME (default 200ms) in BENCH_pr9.json"
+	@echo "make bench-delta - fail if BENCH_pr9.json regresses an engine pair >10% vs BENCH_pr8.json, or tracing overhead >10%"
+	@echo "make serve-smoke - boot lphd, walk the API (incl. trace propagation), SIGKILL + recovery, SIGTERM drain + admin drain"

@@ -8,17 +8,32 @@
 //
 // Usage:
 //
-//	benchdelta -old BENCH_pr7.json -new BENCH_pr8.json [-tolerance 0.10]
+//	benchdelta -old BENCH_pr7.json -new BENCH_pr8.json [-tolerance 0.10] [-overhead 0.10]
 //
-// Only the engine pairs are gated: the figure-regeneration benchmarks
-// measure workloads that legitimately grow as the reproduction gains
-// coverage, while the /sequential-vs-/parallel pairs are the contract
-// the search and game engines must keep. A benchmark present in only
-// one file is reported but never fails the gate (benchmarks come and
-// go across PRs); a regression within tolerance is reported as noise.
+// Only the engine pairs are gated cross-file: the figure-regeneration
+// benchmarks measure workloads that legitimately grow as the
+// reproduction gains coverage, while the /sequential-vs-/parallel
+// pairs are the contract the search and game engines must keep. A
+// benchmark present in only one file is reported but never fails the
+// gate (benchmarks come and go across PRs); a regression within
+// tolerance is reported as noise.
 //
-// Exit status: 0 = no engine pair regressed beyond tolerance, 1 = at
-// least one did (or a file failed to load), 2 = usage error.
+// A second, in-file gate covers instrumentation cost: every /untraced
+// entry in -new with a /traced sibling under the same benchmark must
+// not be exceeded by it by more than the -overhead fraction (the
+// tracing-overhead budget; see BenchmarkTracedVerify).
+//
+// When a file holds several records for one name (a `-count N` run),
+// the two gates aggregate differently, each matching its noise model.
+// The cross-file engine gate compares per-arm minima: the two files
+// were recorded on different days of a shared box, so best-case vs
+// best-case cancels host drift. The in-file overhead gate compares
+// per-arm medians (benchstat's estimator): both arms ran interleaved
+// under identical conditions, and a minimum would let one arm's lucky
+// scheduling window bias the ratio.
+//
+// Exit status: 0 = no gate tripped, 1 = a pair regressed or overhead
+// exceeded its budget (or a file failed to load), 2 = usage error.
 package main
 
 import (
@@ -52,7 +67,31 @@ func enginePair(name string) bool {
 	return strings.HasSuffix(name, "/sequential") || strings.HasSuffix(name, "/parallel")
 }
 
-func load(path string) (map[string]Result, error) {
+// samples is every ns/op recorded for one benchmark key — one entry
+// per -count repetition.
+type samples []float64
+
+func (s samples) min() float64 {
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s samples) median() float64 {
+	sorted := append(samples(nil), s...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func load(path string) (map[string]samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -66,9 +105,10 @@ func load(path string) (map[string]Result, error) {
 	if err := json.Unmarshal(data, &results); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	out := make(map[string]Result, len(results))
+	out := make(map[string]samples, len(results))
 	for _, r := range results {
-		out[r.Package+"/"+r.Name] = r
+		key := r.Package + "/" + r.Name
+		out[key] = append(out[key], r.NsPerOp)
 	}
 	return out, nil
 }
@@ -79,11 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	oldPath := fs.String("old", "", "baseline BENCH_*.json (cmd/benchjson format)")
 	newPath := fs.String("new", "", "candidate BENCH_*.json to gate")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional ns/op regression per engine pair")
+	overhead := fs.Float64("overhead", 0.10, "allowed fractional tracing overhead per /untraced-vs-/traced pair in -new")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 0 || *oldPath == "" || *newPath == "" || *tolerance < 0 {
-		fmt.Fprintln(stderr, "usage: benchdelta -old BENCH_prN.json -new BENCH_prM.json [-tolerance 0.10]")
+	if fs.NArg() != 0 || *oldPath == "" || *newPath == "" || *tolerance < 0 || *overhead < 0 {
+		fmt.Fprintln(stderr, "usage: benchdelta -old BENCH_prN.json -new BENCH_prM.json [-tolerance 0.10] [-overhead 0.10]")
 		return 2
 	}
 	oldRes, err := load(*oldPath)
@@ -97,8 +138,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	keys := make([]string, 0, len(oldRes))
-	for k, r := range oldRes {
-		if enginePair(r.Name) {
+	for k := range oldRes {
+		if enginePair(k) {
 			keys = append(keys, k)
 		}
 	}
@@ -106,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failed := 0
 	compared := 0
 	for _, k := range keys {
-		o := oldRes[k]
+		o := oldRes[k].min()
 		n, ok := newRes[k]
 		if !ok {
 			fmt.Fprintf(stdout, "SKIP %s: absent from %s\n", k, *newPath)
@@ -114,20 +155,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		compared++
 		// delta > 0 is a slowdown; gate on the fractional regression.
-		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		delta := (n.min() - o) / o
 		switch {
 		case delta > *tolerance:
 			failed++
 			fmt.Fprintf(stdout, "FAIL %s: %.0f -> %.0f ns/op (%+.1f%% > %.0f%% tolerance)\n",
-				k, o.NsPerOp, n.NsPerOp, 100*delta, 100**tolerance)
+				k, o, n.min(), 100*delta, 100**tolerance)
 		default:
 			fmt.Fprintf(stdout, "ok   %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
-				k, o.NsPerOp, n.NsPerOp, 100*delta)
+				k, o, n.min(), 100*delta)
 		}
 	}
 	fmt.Fprintf(stdout, "benchdelta: %d engine pairs compared, %d regressed beyond %.0f%%\n",
 		compared, failed, 100**tolerance)
-	if failed > 0 {
+
+	// In-file gate: tracing overhead inside -new. Both arms of each
+	// pair come from the same recorded run, so drift between files
+	// cannot fake or mask a verdict.
+	overheadKeys := make([]string, 0, 1)
+	for k := range newRes {
+		if strings.HasSuffix(k, "/untraced") {
+			overheadKeys = append(overheadKeys, k)
+		}
+	}
+	sort.Strings(overheadKeys)
+	overheadPairs, overheadFailed := 0, 0
+	for _, k := range overheadKeys {
+		base := newRes[k].median()
+		tracedS, ok := newRes[strings.TrimSuffix(k, "/untraced")+"/traced"]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %s: no /traced sibling in %s\n", k, *newPath)
+			continue
+		}
+		traced := tracedS.median()
+		overheadPairs++
+		delta := (traced - base) / base
+		switch {
+		case delta > *overhead:
+			overheadFailed++
+			fmt.Fprintf(stdout, "FAIL %s: tracing overhead %.0f -> %.0f ns/op (%+.1f%% > %.0f%% budget)\n",
+				strings.TrimSuffix(k, "/untraced"), base, traced, 100*delta, 100**overhead)
+		default:
+			fmt.Fprintf(stdout, "ok   %s: tracing overhead %.0f -> %.0f ns/op (%+.1f%%)\n",
+				strings.TrimSuffix(k, "/untraced"), base, traced, 100*delta)
+		}
+	}
+	fmt.Fprintf(stdout, "benchdelta: %d tracing pairs compared, %d over the %.0f%% overhead budget\n",
+		overheadPairs, overheadFailed, 100**overhead)
+	if failed > 0 || overheadFailed > 0 {
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,6 +86,60 @@ func TestToleranceFlag(t *testing.T) {
 	}
 	if code, out := runWith(t, newJSON, "0.10"); code != 0 {
 		t.Fatalf("5%% regression at 10%% tolerance: exit %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestOverheadGate(t *testing.T) {
+	// The traced/untraced pair is gated within -new only; -old has no
+	// such entries and that must not matter.
+	pair := func(untraced, traced float64) string {
+		return `[
+		  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10000000,"bytes_per_op":-1,"allocs_per_op":-1},
+		  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":9000000,"bytes_per_op":-1,"allocs_per_op":-1},
+		  {"package":"repro","name":"BenchmarkTracedVerify/untraced","procs":1,"iterations":100,"ns_per_op":` + fmt.Sprint(untraced) + `,"bytes_per_op":-1,"allocs_per_op":-1},
+		  {"package":"repro","name":"BenchmarkTracedVerify/traced","procs":1,"iterations":100,"ns_per_op":` + fmt.Sprint(traced) + `,"bytes_per_op":-1,"allocs_per_op":-1}
+		]`
+	}
+	if code, out := runWith(t, pair(50000, 54000), ""); code != 0 {
+		t.Fatalf("8%% overhead at 10%% budget: exit %d, want 0; output:\n%s", code, out)
+	} else if !strings.Contains(out, "1 tracing pairs compared, 0 over") {
+		t.Errorf("overhead summary missing:\n%s", out)
+	}
+	if code, out := runWith(t, pair(50000, 60000), ""); code != 1 {
+		t.Fatalf("20%% overhead at 10%% budget: exit %d, want 1; output:\n%s", code, out)
+	} else if !strings.Contains(out, "FAIL repro/BenchmarkTracedVerify: tracing overhead") {
+		t.Errorf("overhead FAIL line missing:\n%s", out)
+	}
+}
+
+func TestCountRunsAggregatePerGate(t *testing.T) {
+	// A -count N file holds several records per name. The engine gate
+	// compares per-arm minima (one noisy sample of an unchanged engine
+	// cannot trip it), while the overhead gate compares per-arm medians
+	// (one wild traced sample cannot trip it, but neither can one lucky
+	// untraced dip mask a real regression).
+	newJSON := `[
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10000000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":13000000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":9000000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkTracedVerify/untraced","procs":1,"iterations":100,"ns_per_op":50000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkTracedVerify/untraced","procs":1,"iterations":100,"ns_per_op":44000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkTracedVerify/untraced","procs":1,"iterations":100,"ns_per_op":56000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkTracedVerify/traced","procs":1,"iterations":100,"ns_per_op":53000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkTracedVerify/traced","procs":1,"iterations":100,"ns_per_op":90000,"bytes_per_op":-1,"allocs_per_op":-1},
+	  {"package":"repro","name":"BenchmarkTracedVerify/traced","procs":1,"iterations":100,"ns_per_op":52000,"bytes_per_op":-1,"allocs_per_op":-1}
+	]`
+	code, out := runWith(t, newJSON, "")
+	if code != 0 {
+		t.Fatalf("aggregated -count run: exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok   repro/BenchmarkCoreGameEngines/parallel: 9000000 -> 9000000") {
+		t.Errorf("engine gate must compare per-arm minima:\n%s", out)
+	}
+	// Medians 50000 and 53000: the 44000 dip and the 90000 spike are
+	// both ignored (minima would report 44000 -> 52000 = +18%).
+	if !strings.Contains(out, "50000 -> 53000") {
+		t.Errorf("overhead gate must compare per-arm medians:\n%s", out)
 	}
 }
 

@@ -8,7 +8,8 @@
 //
 //	lphd [-addr :8080] [-workers N] [-cache N] [-memo N] [-timeout D]
 //	     [-job-workers N] [-queue N] [-ttl D] [-journal DIR]
-//	     [-drain-timeout D] [-shed-wait D]
+//	     [-drain-timeout D] [-shed-wait D] [-log-level L] [-slow-request D]
+//	     [-trace-ring N] [-debug-addr ADDR]
 //
 //	-addr          listen address; use ":0" for a random free port (the
 //	               chosen address is printed on startup)
@@ -27,6 +28,15 @@
 //	               cancelling the stragglers (default 30s)
 //	-shed-wait     how long a synchronous request waits for worker
 //	               budget before being shed with 429 (default 1s)
+//	-log-level     minimum slog level for the JSON request log on stderr
+//	               (debug, info, warn, error; default info)
+//	-slow-request  requests slower than this are logged at WARN with
+//	               their full span breakdown (0 = never promote)
+//	-trace-ring    completed traces retained for /v1/debug/traces
+//	               (0 = 128; negative disables tracing entirely)
+//	-debug-addr    separate listener for net/http/pprof (empty =
+//	               disabled; never share this with -addr — the debug
+//	               listener bypasses the shed gate and drain handling)
 //
 // Routes:
 //
@@ -42,7 +52,15 @@
 //	POST   /v1/admin/drain   (start a graceful drain; 202)
 //	GET    /v1/healthz
 //	GET    /v1/stats
+//	GET    /v1/debug/traces  ?limit=N&route=PATTERN  (completed traces)
 //	GET    /metrics     (Prometheus text exposition)
+//
+// Every request carries a W3C trace: an inbound traceparent header is
+// adopted (same trace id, fresh root span), otherwise a fresh id is
+// generated; the id is echoed in the X-Lph-Trace response header and in
+// every JSON error body, one slog JSON line per request lands on
+// stderr, and the completed trace — route, status, per-phase spans —
+// is retained in a bounded ring served by GET /v1/debug/traces.
 //
 // Client disconnects and the -timeout deadline cancel synchronous
 // evaluations mid-game via context propagation into the search engine;
@@ -70,8 +88,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux, which is
+	// only ever served on the separate -debug-addr listener — the main
+	// listener runs the service's own mux and never exposes them.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -99,13 +122,19 @@ func run(args []string) int {
 	journalDir := fs.String("journal", "", "durable job journal directory (empty = in-memory jobs)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain wait for running jobs before cancelling them")
 	shedWait := fs.Duration("shed-wait", 0, "bounded wait for sync worker budget before 429 (0 = 1s)")
+	logLevel := fs.String("log-level", "info", "minimum slog level for the JSON request log (debug, info, warn, error)")
+	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this at WARN with full spans (0 = never)")
+	traceRing := fs.Int("trace-ring", 0, "completed traces kept for /v1/debug/traces (0 = 128, negative disables tracing)")
+	debugAddr := fs.String("debug-addr", "", "separate net/http/pprof listener address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	var level slog.Level
 	if fs.NArg() != 0 || *workers < 0 || *cache < 0 || *memo < 0 || *timeout < 0 ||
-		*jobWorkers < 0 || *queue < 0 || *ttl < 0 || *drainTimeout < 0 || *shedWait < 0 {
+		*jobWorkers < 0 || *queue < 0 || *ttl < 0 || *drainTimeout < 0 || *shedWait < 0 ||
+		*slowRequest < 0 || level.UnmarshalText([]byte(*logLevel)) != nil {
 		fmt.Fprintln(os.Stderr,
-			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-memo N] [-timeout D] [-job-workers N] [-queue N] [-ttl D] [-journal DIR] [-drain-timeout D] [-shed-wait D]")
+			"usage: lphd [-addr :8080] [-workers N] [-cache N] [-memo N] [-timeout D] [-job-workers N] [-queue N] [-ttl D] [-journal DIR] [-drain-timeout D] [-shed-wait D] [-log-level L] [-slow-request D] [-trace-ring N] [-debug-addr ADDR]")
 		return 2
 	}
 	var jnl *journal.Journal
@@ -125,12 +154,30 @@ func run(args []string) int {
 	// The smoke test (make serve-smoke) starts us on ":0" and scrapes
 	// this line for the port, so keep its shape stable.
 	fmt.Printf("lphd: listening on http://%s\n", ln.Addr())
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	svc := service.New(service.Config{
 		Workers: *workers, CacheSize: *cache, MemoSize: *memo, Timeout: *timeout,
 		JobWorkers: *jobWorkers, JobQueue: *queue, JobTTL: *ttl,
 		Journal: jnl, ShedWait: *shedWait,
+		TraceRing: *traceRing, Logger: logger, SlowRequest: *slowRequest,
 	})
 	defer svc.Close()
+	if *debugAddr != "" {
+		// The pprof listener is deliberately separate from -addr: it
+		// serves http.DefaultServeMux (where net/http/pprof registered),
+		// stays out of the shed gate and the drain path, and dies with
+		// the process rather than shutting down gracefully.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lphd:", err)
+			return 1
+		}
+		fmt.Printf("lphd: debug listening on http://%s\n", dln.Addr())
+		dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		defer dbg.Close()
+		//lint:detached best-effort profiling listener; Close above unblocks Serve at exit and its error is irrelevant
+		go func() { _ = dbg.Serve(dln) }()
+	}
 	if jnl != nil {
 		// The crash-recovery harness scrapes this line; keep its shape.
 		if js := svc.Jobs().Stats().Journal; js != nil {

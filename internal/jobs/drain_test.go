@@ -133,7 +133,7 @@ func TestIdempotentSubmitSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st, _, err := e.SubmitIdem("demo", "storm-key", nil, fn)
+			st, _, err := e.SubmitIdem(context.Background(), "demo", "storm-key", nil, fn)
 			if err != nil {
 				t.Errorf("submit %d: %v", i, err)
 				return
@@ -173,7 +173,7 @@ func TestIdempotencyAcrossRestart(t *testing.T) {
 	}
 	<-started
 	var firstRuns atomic.Int64
-	st, dup, err := e.SubmitIdem("keyed", "K", json.RawMessage(`{"result":"keyed"}`),
+	st, dup, err := e.SubmitIdem(context.Background(), "keyed", "K", json.RawMessage(`{"result":"keyed"}`),
 		func(ctx context.Context, _ *Progress) (any, error) {
 			// Honor the context, per the Func contract: when Close pops this
 			// job against the cancelled base context it must finish as
@@ -189,7 +189,7 @@ func TestIdempotencyAcrossRestart(t *testing.T) {
 	}
 	keyedID := st.ID
 	// A concurrent duplicate before shutdown sees the queued original.
-	if st, dup, err := e.SubmitIdem("keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID {
+	if st, dup, err := e.SubmitIdem(context.Background(), "keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID {
 		t.Fatalf("pre-restart duplicate: %+v dup=%v err=%v", st, dup, err)
 	}
 	e.Close()
@@ -215,7 +215,7 @@ func TestIdempotencyAcrossRestart(t *testing.T) {
 	defer e2.Close()
 	// The duplicate after restart answers with the original id, whether
 	// the replayed job has re-run yet or not.
-	if st, dup, err := e2.SubmitIdem("keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID {
+	if st, dup, err := e2.SubmitIdem(context.Background(), "keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID {
 		t.Fatalf("post-restart duplicate: %+v dup=%v err=%v", st, dup, err)
 	}
 	waitState(t, e2, keyedID, StateDone)
@@ -223,7 +223,7 @@ func TestIdempotencyAcrossRestart(t *testing.T) {
 		t.Fatalf("keyed job ran %d times after replay, want exactly 1", n)
 	}
 	// Still one id for the key, now bound to the finished job.
-	if st, dup, err := e2.SubmitIdem("keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID || st.State != StateDone {
+	if st, dup, err := e2.SubmitIdem(context.Background(), "keyed", "K", nil, nil); err != nil || !dup || st.ID != keyedID || st.State != StateDone {
 		t.Fatalf("settled duplicate: %+v dup=%v err=%v", st, dup, err)
 	}
 }
@@ -236,15 +236,15 @@ func TestIdempotentDuplicateDuringDrain(t *testing.T) {
 	e := New(Config{Workers: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
-	if _, _, err := e.SubmitIdem("keyed", "K", nil, block(started, release)); err != nil {
+	if _, _, err := e.SubmitIdem(context.Background(), "keyed", "K", nil, block(started, release)); err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	e.BeginDrain()
-	if _, _, err := e.SubmitIdem("fresh", "other", nil, quickJob("x")); err != ErrDraining {
+	if _, _, err := e.SubmitIdem(context.Background(), "fresh", "other", nil, quickJob("x")); err != ErrDraining {
 		t.Fatalf("fresh key while draining: err=%v, want ErrDraining", err)
 	}
-	st, dup, err := e.SubmitIdem("keyed", "K", nil, nil)
+	st, dup, err := e.SubmitIdem(context.Background(), "keyed", "K", nil, nil)
 	if err != nil || !dup || st.ID != "j1" {
 		t.Fatalf("duplicate while draining: %+v dup=%v err=%v", st, dup, err)
 	}
@@ -260,14 +260,14 @@ func TestIdemKeyFreesOnExpiry(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	e := New(Config{Workers: 1, TTL: time.Minute, Now: clk.Now})
 	defer e.Close()
-	st, dup, err := e.SubmitIdem("demo", "K", nil, quickJob("first"))
+	st, dup, err := e.SubmitIdem(context.Background(), "demo", "K", nil, quickJob("first"))
 	if err != nil || dup {
 		t.Fatalf("first submit: dup=%v err=%v", dup, err)
 	}
 	first := st.ID
 	waitState(t, e, first, StateDone)
 	clk.Advance(2 * time.Minute)
-	st2, dup, err := e.SubmitIdem("demo", "K", nil, quickJob("second"))
+	st2, dup, err := e.SubmitIdem(context.Background(), "demo", "K", nil, quickJob("second"))
 	if err != nil || dup {
 		t.Fatalf("post-expiry submit: dup=%v err=%v", dup, err)
 	}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // State is one point of the job lifecycle.
@@ -146,7 +147,30 @@ type Config struct {
 	// replay. A replayed queued/running job whose rehydration fails is
 	// restored as failed instead of silently dropped.
 	Rehydrate RehydrateFunc
+	// Observe, when non-nil, receives the engine's phase durations —
+	// obs.PhaseQueueWait (submit → worker pickup) and obs.PhaseJobRun
+	// (body execution) — so the service can feed them into its
+	// per-phase histograms. Called outside the engine mutex is NOT
+	// guaranteed; the hook must be cheap and must not call back into
+	// the engine.
+	Observe func(phase string, d time.Duration)
 }
+
+// Event is one entry of a job's timeline: submit → queued → running
+// → journaled → done/failed/cancelled, each stamped by the engine
+// clock. For durable engines the timestamps come from the same
+// values the journal records, so replay reconstructs the timeline
+// byte-identically (the crash-recovery contract on GET /v1/jobs/{id}
+// bodies covers the events too).
+type Event struct {
+	T     time.Time `json:"t"`
+	Phase string    `json:"phase"`
+	Msg   string    `json:"msg,omitempty"`
+}
+
+// maxEvents bounds a job's timeline; the lifecycle emits at most a
+// handful, the bound only guards repeated cancel requests.
+const maxEvents = 16
 
 // Job is the engine's internal record. All fields except progress are
 // guarded by the engine mutex; external callers only ever see Status
@@ -166,7 +190,16 @@ type job struct {
 	resultJSON json.RawMessage // canonical result bytes, for the journal
 	err        error
 	created    time.Time
+	started    time.Time // worker pickup; zero until running
 	finished   time.Time
+	events     []Event
+}
+
+// addEvent appends to the job timeline (engine mutex held), bounded.
+func (j *job) addEvent(t time.Time, phase, msg string) {
+	if len(j.events) < maxEvents {
+		j.events = append(j.events, Event{T: t, Phase: phase, Msg: msg})
+	}
 }
 
 // Status is an externally visible snapshot of one job, shaped for the
@@ -187,6 +220,9 @@ type Status struct {
 	// Seq is the admission sequence number — the stable sort key of the
 	// paginated job listing (ids are "j<seq>").
 	Seq int64 `json:"seq"`
+	// Events is the job's timeline: submit → queued → running →
+	// journaled → done/failed/cancelled, stamped by the engine clock.
+	Events []Event `json:"events,omitempty"`
 }
 
 // Stats is the engine's aggregate bookkeeping for metrics: live jobs by
@@ -272,6 +308,7 @@ type Engine struct {
 	workers int
 	ttl     time.Duration
 	now     func() time.Time
+	observe func(phase string, d time.Duration) // nil-safe via observePhase
 	totals  LifetimeTotals
 
 	jnl        *journal.Journal
@@ -314,6 +351,7 @@ func New(cfg Config) *Engine {
 		workers:    workers,
 		ttl:        ttl,
 		now:        now,
+		observe:    cfg.Observe,
 		jnl:        cfg.Journal,
 		rehydrate:  cfg.Rehydrate,
 		baseCtx:    ctx,
@@ -371,6 +409,7 @@ func (e *Engine) replayJournal() {
 		case journal.TypeStart:
 			if j, ok := byID[rec.ID]; ok {
 				j.state = StateRunning
+				j.started = rec.When()
 			}
 		case journal.TypeDone:
 			if j, ok := byID[rec.ID]; ok {
@@ -410,6 +449,10 @@ func (e *Engine) replayJournal() {
 				e.jnl.Retire(j.id)
 				continue
 			}
+			// Rebuild the timeline the live job carried: every event is
+			// stamped from a journaled record time, so the GET body is
+			// byte-identical to the pre-crash one.
+			j.events = replayEvents(j)
 			e.jobs[j.id] = j
 			e.replay.Replayed++
 		case StateCancelled:
@@ -423,6 +466,7 @@ func (e *Engine) replayJournal() {
 				j.state = StateFailed
 				j.err = fmt.Errorf("jobs: rehydrate after crash: %w", err)
 				j.finished = e.now()
+				j.events = replayEvents(j)
 				e.jobs[j.id] = j
 				e.appendJournal(journal.Record{
 					Type: journal.TypeFailed, ID: j.id,
@@ -432,9 +476,13 @@ func (e *Engine) replayJournal() {
 			}
 			// Re-admission keeps the original id, seq, and creation time,
 			// resets progress, and bypasses the queue bound: recovered work
-			// is never dropped for depth.
+			// is never dropped for depth. The timeline restarts with it:
+			// the job is genuinely queued again.
 			j.fn = fn
 			j.state = StateQueued
+			j.started = time.Time{}
+			j.addEvent(j.created, "submit", "")
+			j.addEvent(j.created, "queued", "")
 			e.jobs[j.id] = j
 			e.queue = append(e.queue, j)
 			e.replay.Restarted++
@@ -452,6 +500,26 @@ func (e *Engine) replayJournal() {
 	}
 }
 
+// replayEvents reconstructs the timeline a terminal job accumulated
+// while it was live, purely from journaled record timestamps
+// (created, started, finished), so a replayed job's status — events
+// included — is byte-identical to its pre-crash one.
+func replayEvents(j *job) []Event {
+	evs := make([]Event, 0, 5)
+	evs = append(evs,
+		Event{T: j.created, Phase: "submit"},
+		Event{T: j.created, Phase: "queued"})
+	if !j.started.IsZero() {
+		evs = append(evs, Event{T: j.started, Phase: "running"})
+	}
+	evs = append(evs, Event{T: j.finished, Phase: "journaled"})
+	terminal := Event{T: j.finished, Phase: string(j.state)}
+	if j.state == StateFailed && j.err != nil {
+		terminal.Msg = j.err.Error()
+	}
+	return append(evs, terminal)
+}
+
 // rehydrateJob rebuilds the body of a replayed job.
 func (e *Engine) rehydrateJob(j *job) (Func, error) {
 	if e.rehydrate == nil {
@@ -460,16 +528,28 @@ func (e *Engine) rehydrateJob(j *job) (Func, error) {
 	return e.rehydrate(j.kind, j.spec)
 }
 
+// observePhase feeds the Observe hook when one is configured.
+func (e *Engine) observePhase(phase string, d time.Duration) {
+	if e.observe != nil {
+		e.observe(phase, d)
+	}
+}
+
 // appendJournal persists one lifecycle record, counting (not
 // propagating) failures — the in-memory state has already transitioned
-// and remains authoritative for this process's lifetime.
-func (e *Engine) appendJournal(rec journal.Record) {
+// and remains authoritative for this process's lifetime. The returned
+// ok reports whether the record is durable (true on a journal-less
+// engine would lie, so there it is false and no "journaled" event is
+// ever claimed).
+func (e *Engine) appendJournal(rec journal.Record) (ok bool) {
 	if e.jnl == nil {
-		return
+		return false
 	}
 	if err := e.jnl.Append(rec); err != nil {
 		e.appendErrs++
+		return false
 	}
+	return true
 }
 
 // Close cancels every running job, stops accepting submissions, and
@@ -568,7 +648,7 @@ func (e *Engine) Submit(kind string, fn Func) (Status, error) {
 // rejects the submission rather than accepting work that could not be
 // made durable.
 func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, fn Func) (Status, error) {
-	st, _, err := e.SubmitIdem(kind, "", spec, fn)
+	st, _, err := e.SubmitIdem(context.Background(), kind, "", spec, fn)
 	return st, err
 }
 
@@ -580,7 +660,12 @@ func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, fn Func) (Status,
 // execution. The binding is journaled inside the submit record and
 // rebuilt by replay, so the dedup holds across crash and drain/restart
 // boundaries; it ends when the job's record expires from the store.
-func (e *Engine) SubmitIdem(kind, key string, spec json.RawMessage, fn Func) (Status, bool, error) {
+//
+// ctx carries request attribution only — when it holds an obs trace,
+// the durable submit's journal append (and its fsync) land as spans
+// on the submitting request. It does not bound or cancel the
+// admission.
+func (e *Engine) SubmitIdem(ctx context.Context, kind, key string, spec json.RawMessage, fn Func) (Status, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -620,10 +705,12 @@ func (e *Engine) SubmitIdem(kind, key string, spec json.RawMessage, fn Func) (St
 			Type: journal.TypeSubmit, ID: j.id, Seq: seq,
 			Kind: kind, Spec: spec, Idem: key, Time: j.created.UnixNano(),
 		}
-		if err := e.jnl.Append(rec); err != nil {
+		if err := e.jnl.AppendCtx(ctx, rec); err != nil {
 			return Status{}, false, fmt.Errorf("jobs: journal submit: %w", err)
 		}
 	}
+	j.addEvent(j.created, "submit", "")
+	j.addEvent(j.created, "queued", "")
 	e.seq = seq
 	e.queue = append(e.queue, j)
 	e.jobs[j.id] = j
@@ -708,9 +795,12 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		j.err = context.Canceled
 		j.finished = e.now()
 		e.totals.Cancelled++
-		e.appendJournal(journal.Record{
+		if e.appendJournal(journal.Record{
 			Type: journal.TypeCancelled, ID: j.id, Time: j.finished.UnixNano(),
-		})
+		}) {
+			j.addEvent(j.finished, "journaled", "")
+		}
+		j.addEvent(j.finished, string(StateCancelled), "")
 		st := e.statusLocked(j)
 		e.mu.Unlock()
 		return st, nil
@@ -721,8 +811,10 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		// before the body returns, replay must not re-run a job the
 		// caller cancelled. Should the body still complete successfully,
 		// the worker's later done record wins (last record per id).
+		when := e.now()
+		j.addEvent(when, "cancel_requested", "")
 		e.appendJournal(journal.Record{
-			Type: journal.TypeCancelled, ID: j.id, Time: e.now().UnixNano(),
+			Type: journal.TypeCancelled, ID: j.id, Time: when.UnixNano(),
 		})
 		st := e.statusLocked(j)
 		e.mu.Unlock()
@@ -784,6 +876,11 @@ func (e *Engine) statusLocked(j *job) Status {
 	}
 	if j.state == StateDone {
 		st.Result = j.result
+	}
+	if len(j.events) > 0 {
+		// Copy: the worker appends to j.events after the snapshot is
+		// handed out and marshaled outside the engine mutex.
+		st.Events = append([]Event(nil), j.events...)
 	}
 	return st
 }
@@ -910,10 +1007,16 @@ func (e *Engine) worker() {
 		ctx, cancel := context.WithCancel(e.baseCtx)
 		j.state = StateRunning
 		j.cancel = cancel
+		// One clock read stamps the start record, the running event, and
+		// the queue-wait observation, so replay (which only has the
+		// record) reconstructs the exact live timeline.
+		j.started = e.now()
+		j.addEvent(j.started, "running", "")
 		e.appendJournal(journal.Record{
-			Type: journal.TypeStart, ID: j.id, Time: e.now().UnixNano(),
+			Type: journal.TypeStart, ID: j.id, Time: j.started.UnixNano(),
 		})
 		e.mu.Unlock()
+		e.observePhase(obs.PhaseQueueWait, j.started.Sub(j.created))
 
 		result, err := runBody(j.fn, ctx, &j.progress)
 		cancel()
@@ -926,6 +1029,7 @@ func (e *Engine) worker() {
 			e.cond.Broadcast()
 		}
 		j.finished = e.now()
+		e.observePhase(obs.PhaseJobRun, j.finished.Sub(j.started))
 		done, total := j.progress.Snapshot()
 		switch {
 		case err == nil:
@@ -942,13 +1046,17 @@ func (e *Engine) worker() {
 					Error: fmt.Sprintf("jobs: result not journalable: %v", jerr),
 					Time:  j.finished.UnixNano(),
 				})
+				j.addEvent(j.finished, string(StateDone), "")
 				break
 			}
 			j.resultJSON = resultJSON
-			e.appendJournal(journal.Record{
+			if e.appendJournal(journal.Record{
 				Type: journal.TypeDone, ID: j.id, Result: resultJSON,
 				Done: done, Total: total, Time: j.finished.UnixNano(),
-			})
+			}) {
+				j.addEvent(j.finished, "journaled", "")
+			}
+			j.addEvent(j.finished, string(StateDone), "")
 		case j.cancelReq || errors.Is(err, context.Canceled):
 			j.state = StateCancelled
 			j.err = context.Canceled
@@ -958,18 +1066,24 @@ func (e *Engine) worker() {
 			// not a verdict on the work, so a restart re-runs it — the
 			// same recovery a crash gets.
 			if j.cancelReq || !e.closed {
-				e.appendJournal(journal.Record{
+				if e.appendJournal(journal.Record{
 					Type: journal.TypeCancelled, ID: j.id, Time: j.finished.UnixNano(),
-				})
+				}) {
+					j.addEvent(j.finished, "journaled", "")
+				}
 			}
+			j.addEvent(j.finished, string(StateCancelled), "")
 		default:
 			j.state = StateFailed
 			j.err = err
 			e.totals.Failed++
-			e.appendJournal(journal.Record{
+			if e.appendJournal(journal.Record{
 				Type: journal.TypeFailed, ID: j.id,
 				Error: err.Error(), Time: j.finished.UnixNano(),
-			})
+			}) {
+				j.addEvent(j.finished, "journaled", "")
+			}
+			j.addEvent(j.finished, string(StateFailed), err.Error())
 		}
 	}
 }

@@ -29,6 +29,7 @@
 package journal
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -40,6 +41,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Type tags one lifecycle record.
@@ -328,6 +331,17 @@ func DecodeAll(data []byte) (recs []Record, sizes []int64, clean int) {
 // (callers reject submissions / count the errors) rather than risk
 // acknowledging unrecoverable records.
 func (j *Journal) Append(rec Record) error {
+	return j.AppendCtx(context.Background(), rec)
+}
+
+// AppendCtx is Append with request attribution: when ctx carries an
+// obs trace, the whole append lands as a journal_append span and the
+// fsync inside it as journal_fsync, so a slow durable submit is
+// distinguishable from a slow evaluation. The context does NOT bound
+// the append — durability is not cancellable halfway.
+func (j *Journal) AppendCtx(ctx context.Context, rec Record) error {
+	sp := obs.StartSpan(ctx, obs.PhaseJournalAppend)
+	defer sp.End()
 	frame, err := encodeRecord(rec)
 	if err != nil {
 		return err
@@ -344,7 +358,10 @@ func (j *Journal) Append(rec Record) error {
 		j.repairTailLocked()
 		return fmt.Errorf("journal: append: %w", err)
 	}
-	if err := j.active.Sync(); err != nil {
+	fsp := obs.StartSpan(ctx, obs.PhaseJournalFsync)
+	err = j.active.Sync()
+	fsp.End()
+	if err != nil {
 		j.repairTailLocked()
 		return fmt.Errorf("journal: fsync: %w", err)
 	}

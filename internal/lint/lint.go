@@ -1,4 +1,4 @@
-// Package lint is the repository's custom static-analysis suite: five
+// Package lint is the repository's custom static-analysis suite: six
 // go/analysis analyzers that machine-enforce the invariants the engine
 // packages otherwise state only in comments and runtime tests.
 //
@@ -17,6 +17,9 @@
 //   - goroutinectx: a go statement must receive a context.Context or
 //     register with a sync.WaitGroup, so goroutines cannot silently
 //     outlive drain/shutdown.
+//   - spanend: an obs.StartSpan (or Tracer.Start) must be closed by
+//     End (Finish) on every control-flow path, so phase histograms
+//     and trace records cannot silently lose observations.
 //
 // The annotation vocabulary (documented in DESIGN.md) is a line
 // comment on the flagged line or the line above:
@@ -26,6 +29,7 @@
 //	//lint:unmetered <reason>   — stats field deliberately unrendered
 //	//lint:unsynced <reason>    — rename deliberately without fsync
 //	//lint:detached <reason>    — goroutine deliberately unsupervised
+//	//lint:unspanned <reason>   — span close obligation handed off
 //
 // cmd/lphlint runs the suite (scoped per Suite) as a make-check gate;
 // internal/lint/linttest runs each analyzer against testdata fixtures.
@@ -58,6 +62,7 @@ func Suite() []Rule {
 		{SnapshotParity, []string{"internal/service"}},
 		{FsyncBeforeRename, []string{"internal/journal"}},
 		{GoroutineCtx, nil},
+		{SpanEnd, []string{"internal/obs", "internal/service", "internal/jobs", "internal/journal"}},
 	}
 }
 

@@ -22,10 +22,12 @@ func TestFsyncBeforeRename(t *testing.T) {
 
 func TestGoroutineCtx(t *testing.T) { linttest.Run(t, lint.GoroutineCtx, "goroutinectx") }
 
+func TestSpanEnd(t *testing.T) { linttest.Run(t, lint.SpanEnd, "spanend") }
+
 func TestSuiteScopes(t *testing.T) {
 	suite := lint.Suite()
-	if len(suite) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(suite))
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(suite))
 	}
 	byName := make(map[string]lint.Rule)
 	for _, r := range suite {
@@ -45,6 +47,9 @@ func TestSuiteScopes(t *testing.T) {
 		{"fsyncbeforerename", "repro/internal/journal", true},
 		{"fsyncbeforerename", "repro/internal/jobs", false},
 		{"goroutinectx", "repro/cmd/lphsvc", true}, // unscoped: everywhere
+		{"spanend", "repro/internal/obs", true},
+		{"spanend", "repro/internal/service", true},
+		{"spanend", "repro/internal/core", false},
 	}
 	for _, c := range cases {
 		r, ok := byName[c.analyzer]

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+)
+
+// SpanEnd enforces the tracing discipline of internal/obs: a span (or
+// request trace) that is started must be closed on every control-flow
+// path, or the phase histogram silently loses the observation and the
+// trace record carries a span that never finished. Two shapes of start
+// are tracked:
+//
+//	sp := obs.StartSpan(ctx, phase)   — must reach sp.End()
+//	tr := tracer.Start(traceparent)   — must reach tr.Finish(...)
+//
+// on every path from the start to function exit. A `defer sp.End()`
+// (or the chained one-liner `defer obs.StartSpan(ctx, p).End()`)
+// satisfies every exit after the defer executes; paths that leave the
+// function before registering the defer are still reported. A start
+// whose result is discarded, or bound to something other than a plain
+// variable, cannot be verified and is reported outright.
+//
+// A span deliberately handed off (returned to a caller that closes it,
+// say) carries //lint:unspanned <reason>.
+//
+// The check is intraprocedural over go/cfg, like fsyncbeforerename: a
+// path is closed once it passes a node containing the matching close
+// call on the same variable. Close calls inside function literals
+// count (covering `defer func() { sp.End() }()`), which is deliberate
+// permissiveness — a closure that closes the span but never runs is
+// not detected.
+var SpanEnd = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "obs spans/traces must be closed (End/Finish) on every path from their Start (or carry //lint:unspanned <reason>)",
+	Run:  runSpanEnd,
+}
+
+// spanStart is one tracked Start call: the variable its result was
+// bound to (nil when discarded or bound non-trivially) and the name of
+// the close method that must dominate every exit.
+type spanStart struct {
+	call  *ast.CallExpr
+	obj   types.Object
+	close string
+}
+
+func runSpanEnd(pass *analysis.Pass) (any, error) {
+	ann := gatherAnnotations(pass)
+	report := func(st spanStart) {
+		if ann.allowed(pass, st.call.Pos(), "unspanned", true) {
+			return
+		}
+		if st.obj == nil {
+			pass.Reportf(st.call.Pos(),
+				"obs span result is not bound to a variable, so %s cannot be verified: bind it (or annotate //lint:unspanned <reason>)", st.close)
+			return
+		}
+		pass.Reportf(st.call.Pos(),
+			"obs span is not closed on every path: %s.%s() must be reached on all exits (or annotate //lint:unspanned <reason>)", st.obj.Name(), st.close)
+	}
+	check := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		g := cfg.New(body, func(*ast.CallExpr) bool { return true })
+		for _, b := range g.Blocks {
+			for i, n := range b.Nodes {
+				bound, loose := startsIn(pass.TypesInfo, n)
+				for _, st := range loose {
+					report(st)
+				}
+				for _, st := range bound {
+					if !allPathsClose(pass.TypesInfo, b, i+1, st, make(map[*cfg.Block]bool)) {
+						report(st)
+					}
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Body)
+			case *ast.FuncLit:
+				check(n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// startsIn scans one CFG node for Start calls, without descending into
+// function literals (their bodies get their own CFG check). bound
+// starts had their result assigned to a plain variable; loose starts
+// discarded it or bound it non-trivially. Chained immediate closes
+// (`obs.StartSpan(ctx, p).End()`, typically deferred) are already
+// satisfied and appear in neither list.
+func startsIn(info *types.Info, n ast.Node) (bound, loose []spanStart) {
+	handled := make(map[*ast.CallExpr]bool)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 || len(x.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			closeName := startClose(info, call)
+			if closeName == "" {
+				return true
+			}
+			handled[call] = true
+			id, ok := ast.Unparen(x.Lhs[0]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				bound = append(bound, spanStart{call: call, close: closeName})
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			bound = append(bound, spanStart{call: call, obj: obj, close: closeName})
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if closeName := startClose(info, inner); closeName != "" && sel.Sel.Name == closeName {
+				handled[inner] = true
+			}
+		}
+		return true
+	})
+	// Second pass: any remaining Start call was discarded or escapes.
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok || handled[call] {
+			return true
+		}
+		if closeName := startClose(info, call); closeName != "" {
+			loose = append(loose, spanStart{call: call, close: closeName})
+		}
+		return true
+	})
+	// A bound start without a resolvable object cannot be tracked.
+	tracked := bound[:0]
+	for _, st := range bound {
+		if st.obj == nil {
+			loose = append(loose, st)
+		} else {
+			tracked = append(tracked, st)
+		}
+	}
+	return tracked, loose
+}
+
+// startClose returns the close-method name a Start call must reach
+// ("End" for obs.StartSpan, "Finish" for (*obs.Tracer).Start), or ""
+// when the call starts nothing.
+func startClose(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch fn.Name() {
+	case "StartSpan":
+		if sig != nil && sig.Recv() == nil {
+			return "End"
+		}
+	case "Start":
+		if sig != nil && isNamed(sig.Recv().Type(), "obs", "Tracer") {
+			return "Finish"
+		}
+	}
+	return ""
+}
+
+// closesIn reports whether the node contains the close call on the
+// start's variable. Function literals are deliberately descended into:
+// `defer func() { sp.End() }()` closes the span.
+func closesIn(info *types.Info, n ast.Node, st spanStart) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != st.close {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == st.obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// allPathsClose walks the CFG forward from just after the start call
+// and reports whether every path to an exit passes the close call. A
+// block already on the walk (a loop back-edge) is treated as closed —
+// its exits are checked through its other predecessors.
+func allPathsClose(info *types.Info, b *cfg.Block, from int, st spanStart, visited map[*cfg.Block]bool) bool {
+	for _, n := range b.Nodes[from:] {
+		if closesIn(info, n, st) {
+			return true
+		}
+	}
+	if len(b.Succs) == 0 {
+		return false
+	}
+	visited[b] = true
+	for _, succ := range b.Succs {
+		if visited[succ] {
+			continue
+		}
+		if !allPathsClose(info, succ, 0, st, visited) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,29 @@
+// Package obs models the request-tracing API of repro/internal/obs for
+// the spanend fixtures: StartSpan pairs with End, Tracer.Start with
+// Finish. The analyzer matches by package name and method shape, so
+// this stand-in exercises it exactly as the real package does.
+package obs
+
+import "context"
+
+// Span is one phase measurement; End is its mandatory close. A value
+// type, matching the real package (zero-allocation hot path).
+type Span struct{}
+
+// End closes the span.
+func (sp Span) End() {}
+
+// StartSpan opens a phase span on the context's trace.
+func StartSpan(ctx context.Context, phase string) Span { return Span{} }
+
+// Tracer starts request traces.
+type Tracer struct{}
+
+// Trace is one request trace; Finish is its mandatory close.
+type Trace struct{}
+
+// Start opens a trace, adopting the inbound traceparent.
+func (t *Tracer) Start(traceparent string) *Trace { return &Trace{} }
+
+// Finish completes the trace.
+func (tr *Trace) Finish(route string, status int) {}

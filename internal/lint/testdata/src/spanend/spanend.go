@@ -1,0 +1,99 @@
+// Package spanend exercises the spanend analyzer: a started span or
+// trace must be closed on every control-flow path.
+package spanend
+
+import (
+	"context"
+	"errors"
+
+	"obs"
+)
+
+var errBoom = errors.New("boom")
+
+func work() {}
+
+// Deferred closes via defer immediately after the start: allowed.
+func Deferred(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "engine")
+	defer sp.End()
+	work()
+}
+
+// StraightLine closes on the single path: allowed.
+func StraightLine(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "cache")
+	work()
+	sp.End()
+}
+
+// Chained is the deferred one-liner: allowed.
+func Chained(ctx context.Context) {
+	defer obs.StartSpan(ctx, "journal_append").End()
+	work()
+}
+
+// Branches closes on both arms before returning: allowed.
+func Branches(ctx context.Context, fast bool) {
+	sp := obs.StartSpan(ctx, "memo")
+	if fast {
+		sp.End()
+		return
+	}
+	work()
+	sp.End()
+}
+
+// ClosedInClosure ends the span inside a deferred closure: allowed
+// (deliberate permissiveness — the analyzer trusts closures).
+func ClosedInClosure(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "engine")
+	defer func() { sp.End() }()
+	work()
+}
+
+// EarlyReturn leaks the span on the error path: caught.
+func EarlyReturn(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "engine") // want `obs span is not closed on every path`
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// Discarded drops the span on the floor: caught.
+func Discarded(ctx context.Context) {
+	obs.StartSpan(ctx, "memo") // want `obs span result is not bound to a variable`
+	work()
+}
+
+// Escapes passes the span somewhere the analyzer cannot follow: caught.
+func Escapes(ctx context.Context, sink func(obs.Span)) {
+	sink(obs.StartSpan(ctx, "cache")) // want `obs span result is not bound to a variable`
+}
+
+// HandedOff transfers the close obligation to the caller and says so:
+// allowed.
+func HandedOff(ctx context.Context) obs.Span {
+	//lint:unspanned the caller owns this span and ends it
+	sp := obs.StartSpan(ctx, "engine")
+	return sp
+}
+
+// TraceFinished pairs Tracer.Start with Finish on the one path:
+// allowed.
+func TraceFinished(t *obs.Tracer) {
+	tr := t.Start("")
+	work()
+	tr.Finish("POST /v1/verify", 200)
+}
+
+// TraceLeaked never finishes the trace on the early path: caught.
+func TraceLeaked(t *obs.Tracer, skip bool) {
+	tr := t.Start("") // want `obs span is not closed on every path`
+	if skip {
+		return
+	}
+	tr.Finish("GET /v1/stats", 200)
+}

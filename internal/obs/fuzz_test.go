@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzTraceparent pins the header parser's two contracts: malformed
+// input never panics, and whatever the parser accepts round-trips
+// into a well-formed trace (invalid input yields a fresh one).
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("00-" + strings.Repeat("g", 32) + "-00f067aa0ba902b7-01")
+	f.Add(strings.Repeat("-", 60))
+
+	clk := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tc := NewTracer(TracerConfig{Now: func() time.Time { return clk }, RingSize: 2})
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, ok := ParseTraceparent(s)
+		if ok {
+			// Accepted headers carry structurally valid ids.
+			if len(tp.TraceID) != 32 || !isLowerHex(tp.TraceID) || allZero(tp.TraceID) {
+				t.Fatalf("accepted bad trace id %q from %q", tp.TraceID, s)
+			}
+			if len(tp.SpanID) != 16 || !isLowerHex(tp.SpanID) || allZero(tp.SpanID) {
+				t.Fatalf("accepted bad span id %q from %q", tp.SpanID, s)
+			}
+			if _, ok := ParseTraceparent(FormatTraceparent(tp.TraceID, tp.SpanID)); !ok {
+				t.Fatalf("re-formatted header does not re-parse: %q", s)
+			}
+		}
+		// Arbitrary input must always produce a usable trace: adopted
+		// when valid, fresh when not — never a panic, never a bad id.
+		tr := tc.Start(s)
+		if len(tr.ID()) != 32 || !isLowerHex(tr.ID()) || allZero(tr.ID()) {
+			t.Fatalf("trace id malformed for input %q: %q", s, tr.ID())
+		}
+		if ok && tr.ID() != tp.TraceID {
+			t.Fatalf("valid header not adopted: %q", s)
+		}
+		if !ok && strings.Contains(s, tr.ID()) && len(s) >= 32 {
+			// A fresh id colliding with 32 chars of the rejected input is
+			// astronomically unlikely; flag it as a parser confusion.
+			t.Fatalf("fresh trace id %q taken from invalid input %q", tr.ID(), s)
+		}
+	})
+}

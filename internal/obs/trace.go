@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpans bounds how many spans one trace retains; beyond it spans
+// still feed the phase histograms but are counted as dropped instead
+// of stored (a batch over thousands of graphs must not make its own
+// trace record unbounded).
+const maxSpans = 64
+
+// SpanRecord is one completed span as stored on its trace: phase
+// name, offset from the trace start, and duration, both in
+// milliseconds (the natural unit at request scale, and what the
+// debug ring serves as JSON).
+type SpanRecord struct {
+	Phase      string  `json:"phase"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// TraceRecord is one completed trace as retained by the ring.
+type TraceRecord struct {
+	// Trace is the 32-hex W3C trace id; Span is this service's root
+	// span id (what an upstream would see as parent of our work), and
+	// ParentSpan is the inbound parent id when the trace was adopted
+	// from a traceparent header.
+	Trace      string       `json:"trace"`
+	Span       string       `json:"span"`
+	ParentSpan string       `json:"parent_span,omitempty"`
+	Route      string       `json:"route"`
+	Status     int          `json:"status"`
+	Start      time.Time    `json:"start"`
+	DurationMS float64      `json:"duration_ms"`
+	Spans      []SpanRecord `json:"spans,omitempty"`
+	// DroppedSpans counts spans beyond the retention bound; they are
+	// still observed in the phase histograms.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Slow marks traces that crossed the slow-request threshold (the
+	// ones the logger promoted to WARN).
+	Slow bool `json:"slow,omitempty"`
+}
+
+// Trace is one request's in-flight trace. It is created by
+// Tracer.Start, carried in the context, appended to by spans from
+// any layer (mutex-guarded: batch items span concurrently), and
+// sealed by Finish.
+type Trace struct {
+	tracer *Tracer
+	id     string // 32 lowercase hex
+	span   string // our root span id, 16 lowercase hex
+	parent string // inbound parent span id, "" when fresh
+	start  time.Time
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+	sealed  bool
+	// arr backs the first few spans inline so a typical request records
+	// its spans with zero extra allocations; past cap the slice spills
+	// to the heap as usual.
+	arr [8]SpanRecord
+}
+
+// Start opens a trace. traceparent is the raw inbound header value:
+// a valid one is adopted (same trace id, its parent-id recorded, a
+// fresh root span id generated), anything else — including absence —
+// starts a fresh trace. A nil Tracer returns a nil Trace, and every
+// method on a nil Trace is a no-op, so callers never branch.
+func (t *Tracer) Start(traceparent string) *Trace {
+	if t == nil {
+		return nil
+	}
+	tr := &Trace{tracer: t, span: randHex(8), start: t.now()}
+	if tp, ok := ParseTraceparent(traceparent); ok {
+		tr.id = tp.TraceID
+		tr.parent = tp.SpanID
+	} else {
+		tr.id = randHex(16)
+	}
+	return tr
+}
+
+// ID returns the 32-hex trace id ("" on nil), what X-Lph-Trace and
+// the error bodies echo.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Traceparent renders the outbound header value for the next hop:
+// same trace id, this service's root span as parent.
+func (tr *Trace) Traceparent() string {
+	if tr == nil {
+		return ""
+	}
+	return FormatTraceparent(tr.id, tr.span)
+}
+
+// add appends one completed span and feeds the phase histogram.
+func (tr *Trace) add(phase string, start time.Time, end time.Time) {
+	d := end.Sub(start)
+	tr.tracer.Observe(phase, d)
+	tr.mu.Lock()
+	switch {
+	case tr.sealed:
+		// A span that ends after Finish (detached work outliving the
+		// response) must not mutate the record already pushed to the
+		// ring; it still counted in the histograms above.
+	case len(tr.spans) < maxSpans:
+		if tr.spans == nil {
+			tr.spans = tr.arr[:0]
+		}
+		tr.spans = append(tr.spans, SpanRecord{
+			Phase:      phase,
+			StartMS:    clampMS(start.Sub(tr.start)),
+			DurationMS: clampMS(d),
+		})
+	default:
+		tr.dropped++
+	}
+	tr.mu.Unlock()
+}
+
+// Finish seals the trace: computes the total duration, pushes the
+// record onto the ring, and emits the request log line (WARN with
+// the span dump when the slow threshold is crossed). Call exactly
+// once, after the response is written. The route is the mux pattern
+// ("POST /v1/verify"), which carries the method.
+func (tr *Trace) Finish(route string, status int) {
+	if tr == nil {
+		return
+	}
+	if route == "" {
+		route = "unmatched"
+	}
+	t := tr.tracer
+	dur := t.now().Sub(tr.start)
+	if dur < 0 {
+		dur = 0
+	}
+	tr.mu.Lock()
+	spans := tr.spans
+	tr.spans = nil
+	dropped := tr.dropped
+	tr.sealed = true
+	tr.mu.Unlock()
+	rec := TraceRecord{
+		Trace:        tr.id,
+		Span:         tr.span,
+		ParentSpan:   tr.parent,
+		Route:        route,
+		Status:       status,
+		Start:        tr.start,
+		DurationMS:   clampMS(dur),
+		Spans:        spans,
+		DroppedSpans: dropped,
+		Slow:         t.slow > 0 && dur >= t.slow,
+	}
+	t.ring.push(rec)
+	if t.logger == nil {
+		return
+	}
+	// Five attrs on purpose: that is slog.Record's inline capacity, so
+	// the hot-path INFO line copies without an overflow allocation. The
+	// method is not a separate attr — the route pattern carries it.
+	attrs := []slog.Attr{
+		slog.String("trace", tr.id),
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", rec.DurationMS),
+		slog.String("phases", phaseBreakdown(spans)),
+	}
+	level := slog.LevelInfo
+	msg := "request"
+	if rec.Slow {
+		// Past the slow threshold the one-liner is not enough: promote
+		// to WARN and attach the full span dump for offline reading.
+		level = slog.LevelWarn
+		msg = "slow request"
+		attrs = append(attrs, slog.Any("spans", spans), slog.Int("dropped_spans", dropped))
+	}
+	t.logger.LogAttrs(context.Background(), level, msg, attrs...)
+}
+
+// phaseBreakdown aggregates span durations per phase into the
+// compact "engine=3.2ms cache=0.1ms" form the one-line log carries,
+// phases in first-seen order.
+func phaseBreakdown(spans []SpanRecord) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	// Aggregated by linear scan over a small fixed-capacity slice: the
+	// phase vocabulary is ~9 entries, and avoiding a map keeps the
+	// per-request log line off the allocator's hot path.
+	type agg struct {
+		phase string
+		ms    float64
+	}
+	totals := make([]agg, 0, 12)
+	for _, sp := range spans {
+		found := false
+		for i := range totals {
+			if totals[i].phase == sp.Phase {
+				totals[i].ms += sp.DurationMS
+				found = true
+				break
+			}
+		}
+		if !found {
+			totals = append(totals, agg{phase: sp.Phase, ms: sp.DurationMS})
+		}
+	}
+	buf := make([]byte, 0, 128)
+	for i, t := range totals {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, t.phase...)
+		buf = append(buf, '=')
+		buf = strconv.AppendFloat(buf, t.ms, 'f', 3, 64)
+		buf = append(buf, "ms"...)
+	}
+	return string(buf)
+}
+
+// Span is one in-flight phase measurement. A value type on purpose:
+// starting a span on the hot path costs zero heap allocations, and
+// the zero Span (no trace in the context) is valid and inert.
+type Span struct {
+	tr    *Trace
+	phase string
+	start time.Time
+}
+
+// StartSpan opens a span for the phase against the trace carried in
+// ctx; returns the inert zero Span when the context has none. Every
+// call must be matched by End on all paths — the spanend analyzer
+// enforces it.
+func StartSpan(ctx context.Context, phase string) Span {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return Span{}
+	}
+	return Span{tr: tr, phase: phase, start: tr.tracer.now()}
+}
+
+// End seals the span: records it on its trace and feeds the phase
+// histogram. No-op on the zero Span; calling twice records twice —
+// don't.
+func (sp Span) End() {
+	if sp.tr == nil {
+		return
+	}
+	sp.tr.add(sp.phase, sp.start, sp.tr.tracer.now())
+}
+
+// ctxKey carries the trace through context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// clampMS renders a duration in (non-negative) milliseconds.
+func clampMS(d time.Duration) float64 {
+	if d < 0 {
+		return 0
+	}
+	return float64(d) / float64(time.Millisecond)
+}
+
+// randHex returns 2n lowercase hex chars of entropy (n <= 16). Reads
+// are served from a buffered pool refilled from crypto/rand in bulk —
+// one syscall per ~48 ids instead of one per id — and the scratch
+// space is fixed-size stack arrays, so each id costs exactly one
+// allocation (the returned string). The fallback counter keeps ids
+// unique (not unguessable) if the system entropy source ever fails
+// mid-flight.
+func randHex(n int) string {
+	var raw [16]byte
+	var out [32]byte
+	src := raw[:n]
+	entropy.mu.Lock()
+	if entropy.off+n > len(entropy.buf) {
+		if _, err := rand.Read(entropy.buf); err != nil {
+			entropy.mu.Unlock()
+			v := fallback.Add(1)
+			for i := range src {
+				src[i] = byte(v >> (8 * (uint(i) % 8)))
+			}
+			src[0] |= 1 // never all-zero: all-zero ids are invalid in W3C terms
+			hex.Encode(out[:2*n], src)
+			return string(out[:2*n])
+		}
+		entropy.off = 0
+	}
+	copy(src, entropy.buf[entropy.off:])
+	entropy.off += n
+	entropy.mu.Unlock()
+	hex.Encode(out[:2*n], src)
+	return string(out[:2*n])
+}
+
+var entropy = struct {
+	mu  sync.Mutex
+	buf []byte
+	off int
+}{buf: make([]byte, 768), off: 768} // off at the end forces the first refill
+
+var fallback atomic.Uint64
+
+// ring is the bounded completed-trace buffer: a fixed slice written
+// round-robin, snapshot newest-first.
+type ring struct {
+	mu   sync.Mutex
+	recs []TraceRecord
+	next int
+	full bool
+}
+
+func newRing(size int) *ring {
+	return &ring{recs: make([]TraceRecord, size)}
+}
+
+func (r *ring) push(rec TraceRecord) {
+	r.mu.Lock()
+	r.recs[r.next] = rec
+	r.next++
+	if r.next == len(r.recs) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns up to limit records newest-first, optionally
+// filtered by exact route pattern; limit <= 0 means no limit.
+func (r *ring) snapshot(limit int, route string) []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.recs)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (r.next - 1 - i + len(r.recs)) % len(r.recs)
+		rec := r.recs[idx]
+		if rec.Trace == "" {
+			continue
+		}
+		if route != "" && rec.Route != route {
+			continue
+		}
+		out = append(out, rec)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}

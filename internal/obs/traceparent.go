@@ -1,0 +1,81 @@
+package obs
+
+// W3C Trace Context traceparent handling. The wire form is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -  32 lhex   -   16 lhex   -   2 lhex
+//
+// Parsing is strict where the spec is strict — lowercase hex only,
+// all-zero trace or parent ids invalid, version ff invalid, version
+// 00 admits no trailing data — and lenient where it mandates
+// leniency: an unknown (higher) version parses as long as the 00
+// prefix structure holds, ignoring any "-"-prefixed suffix, so this
+// layer keeps interoperating when upstreams move to version 01.
+// Invalid input is never an error surface: the caller starts a fresh
+// trace (FuzzTraceparent pins "malformed never panics, invalid →
+// fresh trace").
+
+// Traceparent is a parsed traceparent header.
+type Traceparent struct {
+	Version string // 2 lhex
+	TraceID string // 32 lhex, not all zero
+	SpanID  string // 16 lhex, not all zero; the inbound parent id
+	Flags   string // 2 lhex
+}
+
+// ParseTraceparent parses a raw header value; ok is false for
+// anything that does not conform (including the empty string).
+func ParseTraceparent(s string) (tp Traceparent, ok bool) {
+	// Fixed layout: 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 chars minimum.
+	if len(s) < 55 {
+		return Traceparent{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Traceparent{}, false
+	}
+	version, traceID, spanID, flags := s[0:2], s[3:35], s[36:52], s[53:55]
+	if !isLowerHex(version) || !isLowerHex(traceID) || !isLowerHex(spanID) || !isLowerHex(flags) {
+		return Traceparent{}, false
+	}
+	if version == "ff" || allZero(traceID) || allZero(spanID) {
+		return Traceparent{}, false
+	}
+	switch {
+	case len(s) == 55:
+		// Exact fit: valid for every version.
+	case version == "00":
+		// Version 00 defines nothing past the flags.
+		return Traceparent{}, false
+	case s[55] != '-':
+		// Future versions may append "-"-separated fields; anything
+		// else glued to the flags is malformed.
+		return Traceparent{}, false
+	}
+	return Traceparent{Version: version, TraceID: traceID, SpanID: spanID, Flags: flags}, true
+}
+
+// FormatTraceparent renders a version-00 header with the sampled
+// flag set — every trace this service completes lands in the ring,
+// so its outbound context is always "sampled".
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

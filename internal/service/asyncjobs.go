@@ -185,7 +185,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	key, err := IdempotencyKey(r.Header)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	// No shedDraining check here: a draining engine still answers
@@ -194,24 +194,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// rejection happens inside SubmitIdem, after the dedup lookup.
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	fn, err := s.buildJob(req)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	// The spec journaled for crash recovery is the re-marshal of the
 	// decoded request — canonical, bounded, and guaranteed to decode.
 	spec, err := json.Marshal(req)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
-	st, dup, err := s.jobs.SubmitIdem(req.Job, key, spec, fn)
+	st, dup, err := s.jobs.SubmitIdem(r.Context(), req.Job, key, spec, fn)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if dup {
@@ -273,7 +273,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if token := q.Get("cursor"); token != "" {
 		var err error
 		if after, err = decodeCursor(token); err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 	}
@@ -281,7 +281,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if lv := q.Get("limit"); lv != "" {
 		n, err := strconv.Atoi(lv)
 		if err != nil || n <= 0 || n > jobListMaxLimit {
-			s.fail(w, fmt.Errorf("%w: limit must be in [1,%d]", ErrBadRequest, jobListMaxLimit))
+			s.fail(w, r, fmt.Errorf("%w: limit must be in [1,%d]", ErrBadRequest, jobListMaxLimit))
 			return
 		}
 		limit = n
@@ -292,7 +292,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		for _, name := range strings.Split(sv, ",") {
 			st := jobs.State(name)
 			if !knownState(st) {
-				s.fail(w, fmt.Errorf("%w: unknown state %q", ErrBadRequest, name))
+				s.fail(w, r, fmt.Errorf("%w: unknown state %q", ErrBadRequest, name))
 				return
 			}
 			states[st] = true
@@ -319,7 +319,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	st, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -336,7 +336,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusConflict, st)
 			return
 		}
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/simulate"
 )
@@ -45,38 +46,38 @@ type BatchResponse struct {
 // failing the whole batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if s.shedDraining(w) {
+	if s.shedDraining(w, r) {
 		return
 	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	var eval func(prep *simulate.Prepared, name string, o search.Options) (bool, error)
 	switch req.Op {
 	case "decide":
 		if !HasDecide(req.Property) {
-			s.fail(w, fmt.Errorf("%w: decide property %q", ErrUnknownName, req.Property))
+			s.fail(w, r, fmt.Errorf("%w: decide property %q", ErrUnknownName, req.Property))
 			return
 		}
 		eval = s.decide
 	case "verify":
 		if !HasVerify(req.Property) {
-			s.fail(w, fmt.Errorf("%w: verify property %q", ErrUnknownName, req.Property))
+			s.fail(w, r, fmt.Errorf("%w: verify property %q", ErrUnknownName, req.Property))
 			return
 		}
 		eval = s.verify
 	default:
-		s.fail(w, fmt.Errorf("%w: batch op %q (want decide or verify)", ErrBadRequest, req.Op))
+		s.fail(w, r, fmt.Errorf("%w: batch op %q (want decide or verify)", ErrBadRequest, req.Op))
 		return
 	}
 	if len(req.Graphs) == 0 {
-		s.fail(w, fmt.Errorf("%w: empty graphs list", ErrBadRequest))
+		s.fail(w, r, fmt.Errorf("%w: empty graphs list", ErrBadRequest))
 		return
 	}
 	if len(req.Graphs) > maxBatchGraphs {
-		s.fail(w, fmt.Errorf("%w: %d graphs exceed the batch bound of %d",
+		s.fail(w, r, fmt.Errorf("%w: %d graphs exceed the batch bound of %d",
 			ErrBadRequest, len(req.Graphs), maxBatchGraphs))
 		return
 	}
@@ -84,11 +85,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	release, err := s.acquireBudget(r.Context(), engine.Workers)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	defer release()
 	inner := search.Options{Workers: 1, Ctx: engine.Ctx}
+	// One engine span covers the whole fan-out: per-item spans would
+	// dominate the trace's span budget on large batches, and the item
+	// cache lookups still land as cache/prepare spans of their own.
+	esp := obs.StartSpan(engine.Ctx, obs.PhaseEngine)
 	results := search.Map(engine, len(req.Graphs), func(i int) BatchItem {
 		item := BatchItem{Index: i}
 		if err := ctxErr(inner); err != nil {
@@ -100,7 +105,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			item.Error = fmt.Sprintf("bad graph: %v", err)
 			return item
 		}
-		prep, cached, err := s.cache.Get(g)
+		prep, cached, err := s.cache.Get(inner.Ctx, g)
 		if err != nil {
 			item.Error = err.Error()
 			return item
@@ -113,10 +118,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		item.Holds, item.Cached = holds, cached
 		return item
 	})
+	esp.End()
 	// A cancelled request answers 503 like the synchronous routes; the
 	// per-item errors above only cover instance-level failures.
 	if err := ctxErr(engine); err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	resp := BatchResponse{

@@ -398,6 +398,37 @@ func TestStatsMetricsAgree(t *testing.T) {
 	if inf != cnt || cnt == 0 {
 		t.Fatalf("histogram inconsistent: +Inf %d, count %d", inf, cnt)
 	}
+	// The span-derived phase histograms agree with the stats snapshot
+	// field-for-field; shed/cache/engine/journal phases are all present
+	// (pre-registered at zero, counted by the traffic above).
+	if len(st.Phases) == 0 {
+		t.Fatal("stats report no phase histograms")
+	}
+	seen := make(map[string]bool)
+	for _, p := range st.Phases {
+		seen[p.Phase] = true
+		got := metricValue(t, body, fmt.Sprintf("lphd_phase_duration_seconds_count{phase=%q}", p.Phase))
+		if got != p.Count {
+			t.Errorf("phase %s count: metrics %d, stats %d", p.Phase, got, p.Count)
+		}
+	}
+	for _, phase := range []string{"shed_wait", "cache", "engine", "journal_append", "journal_fsync", "queue_wait", "job_run"} {
+		if !seen[phase] {
+			t.Errorf("phase %s missing from stats: %v", phase, seen)
+		}
+	}
+	for _, phase := range []string{"cache", "engine", "journal_append", "queue_wait", "job_run"} {
+		if n := metricValue(t, body, fmt.Sprintf("lphd_phase_duration_seconds_count{phase=%q}", phase)); n == 0 {
+			t.Errorf("phase %s counted no observations after the traffic above", phase)
+		}
+	}
+	// Build identity: present in both views with the same values.
+	if !strings.Contains(body, fmt.Sprintf("lphd_build_info{go_version=%q,module=%q} 1", st.Build.GoVersion, st.Build.Module)) {
+		t.Errorf("build info line missing or disagreeing with stats %+v", st.Build)
+	}
+	if got := metricValue(t, body, "lphd_process_start_time_seconds"); got != uint64(st.Build.StartUnixSeconds) {
+		t.Errorf("start time: metrics %d, stats %d", got, st.Build.StartUnixSeconds)
+	}
 	// Routes are labeled by mux pattern, including unmatched traffic.
 	get(t, ts, "/v1/bogus")
 	st = getStats(t, ts)

@@ -2,6 +2,8 @@ package service_test
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -61,5 +63,51 @@ func BenchmarkServiceVerify(b *testing.B) {
 			b.Fatalf("warmup failed: %s", w.Body.String())
 		}
 		run(b, srv)
+	})
+}
+
+// BenchmarkTracedVerify prices the tracing subsystem on the warm
+// verify path — the request whose real work is cheapest, so the
+// instrumentation share is largest. untraced runs with tracing
+// disabled outright (TraceRing: -1: no trace, no spans, no phase
+// histograms); traced runs the full pipeline — inbound traceparent
+// parse, span starts/ends through shed/memo/cache, histogram
+// observation, ring push, and a JSON log line to io.Discard. Both
+// arms send the same traceparent header so the client-side cost of
+// setting it cancels out and the delta is the server's tracing work.
+// `make bench-delta` gates traced at most 10% over untraced within
+// one recorded file. See DESIGN.md for recorded numbers.
+func BenchmarkTracedVerify(b *testing.B) {
+	body := verifyBody(256)
+	run := func(b *testing.B, cfg service.Config) {
+		b.Helper()
+		srv := service.New(cfg)
+		defer srv.Close()
+		h := srv.Handler()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("warmup failed: %s", w.Body.String())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			r := httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(body))
+			r.Header.Set("traceparent", fixedTraceparent)
+			h.ServeHTTP(w, r)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		run(b, service.Config{Workers: 1, CacheSize: 8, MemoSize: 4096, TraceRing: -1})
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, service.Config{
+			Workers: 1, CacheSize: 8, MemoSize: 4096,
+			Logger: slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		})
 	})
 }

@@ -2,10 +2,12 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/simulate"
 )
 
@@ -83,12 +85,23 @@ func NewCache(capacity int) *Cache {
 // that finds an entry still being prepared by a concurrent request
 // counts as a hit in the stats (the store held it) but reports false —
 // the caller waited on the preparation rather than skipping it.
-func (c *Cache) Get(g *graph.Graph) (*simulate.Prepared, bool, error) {
+//
+// ctx carries request attribution only: the whole lookup lands as a
+// cache span on the request's trace, and any time spent preparing (or
+// waiting on another request's in-flight preparation — this request
+// pays for it either way) as a prepare span inside it. The context
+// does not cancel the preparation: it is shared work other requests
+// may be waiting on.
+func (c *Cache) Get(ctx context.Context, g *graph.Graph) (*simulate.Prepared, bool, error) {
+	sp := obs.StartSpan(ctx, obs.PhaseCache)
+	defer sp.End()
 	if c.capacity <= 0 {
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
+		psp := obs.StartSpan(ctx, obs.PhasePrepare)
 		prep, err := Prepare(g)
+		psp.End()
 		return prep, false, err
 	}
 	key := g.Hash()
@@ -99,7 +112,13 @@ func (c *Cache) Get(g *graph.Graph) (*simulate.Prepared, bool, error) {
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		warm := e.ready.Load()
-		e.prepare(g) // waits on (or performs) the racing miss's work
+		if warm {
+			e.prepare(g) // ready: returns immediately, nothing to measure
+		} else {
+			psp := obs.StartSpan(ctx, obs.PhasePrepare)
+			e.prepare(g) // waits on (or performs) the racing miss's work
+			psp.End()
+		}
 		if e.err != nil {
 			return nil, false, e.err
 		}
@@ -116,7 +135,9 @@ func (c *Cache) Get(g *graph.Graph) (*simulate.Prepared, bool, error) {
 	}
 	c.mu.Unlock()
 
+	psp := obs.StartSpan(ctx, obs.PhasePrepare)
 	e.prepare(g)
+	psp.End()
 	if e.err != nil {
 		// Preparation failed: drop the entry (if still present) so a
 		// later request retries instead of replaying a stale error.

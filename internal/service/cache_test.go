@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestCacheLRUEvictionOrder(t *testing.T) {
 
 	mustGet := func(g *graph.Graph, wantCached bool) {
 		t.Helper()
-		prep, cached, err := c.Get(g)
+		prep, cached, err := c.Get(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestCacheDisabled(t *testing.T) {
 	c := NewCache(0)
 	g := graph.Cycle(4)
 	for i := 0; i < 3; i++ {
-		prep, cached, err := c.Get(g)
+		prep, cached, err := c.Get(context.Background(), g)
 		if err != nil || prep == nil || cached {
 			t.Fatalf("Get %d: prep=%v cached=%v err=%v", i, prep != nil, cached, err)
 		}
@@ -95,11 +96,11 @@ func TestCacheKeyIsContentHash(t *testing.T) {
 	g1 := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, []string{"1", "1", "1"})
 	g2 := graph.MustNew(3, []graph.Edge{{U: 0, V: 2}, {U: 2, V: 1}, {U: 1, V: 0}}, []string{"1", "1", "1"})
 	c := NewCache(4)
-	p1, cached1, err := c.Get(g1)
+	p1, cached1, err := c.Get(context.Background(), g1)
 	if err != nil || cached1 {
 		t.Fatalf("first get: cached=%v err=%v", cached1, err)
 	}
-	p2, cached2, err := c.Get(g2)
+	p2, cached2, err := c.Get(context.Background(), g2)
 	if err != nil || !cached2 {
 		t.Fatalf("second get: cached=%v err=%v", cached2, err)
 	}
@@ -121,7 +122,7 @@ func TestCacheConcurrentSameGraph(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			prep, _, err := c.Get(g)
+			prep, _, err := c.Get(context.Background(), g)
 			if err != nil {
 				t.Error(err)
 				return
@@ -156,7 +157,7 @@ func TestCacheConcurrentDistinctGraphs(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, _, err := c.Get(gs[i%len(gs)]); err != nil {
+			if _, _, err := c.Get(context.Background(), gs[i%len(gs)]); err != nil {
 				t.Error(err)
 			}
 		}(i)

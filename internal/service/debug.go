@@ -1,0 +1,49 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// defaultTraceLimit bounds a /v1/debug/traces response when the
+// client names no limit; the full ring is available with ?limit=0.
+const defaultTraceLimit = 50
+
+// DebugTracesResponse answers GET /v1/debug/traces: the retained
+// completed traces, newest first.
+type DebugTracesResponse struct {
+	// Enabled is false when the server runs with tracing disabled
+	// (TraceRing < 0) — the route still answers, with an empty list.
+	Enabled bool              `json:"enabled"`
+	Count   int               `json:"count"`
+	Traces  []obs.TraceRecord `json:"traces"`
+}
+
+// handleDebugTraces serves the completed-trace ring as JSON.
+// ?limit=N caps the result (default 50, 0 = everything retained);
+// ?route=PATTERN filters to one route pattern, exact match (e.g.
+// ?route=POST+/v1/verify). A read-only observability route: it never
+// touches the shed gate and stays live through a drain.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	limit := defaultTraceLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.fail(w, r, fmt.Errorf("%w: limit %q (want a non-negative integer)", ErrBadRequest, raw))
+			return
+		}
+		limit = n
+	}
+	traces := s.tracer.Traces(limit, r.URL.Query().Get("route"))
+	if traces == nil {
+		traces = []obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, DebugTracesResponse{
+		Enabled: s.tracer != nil,
+		Count:   len(traces),
+		Traces:  traces,
+	})
+}

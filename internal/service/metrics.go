@@ -185,5 +185,25 @@ func renderMetrics(st StatsResponse) string {
 	}
 	fmt.Fprintf(&b, "lphd_request_duration_seconds_sum %g\n", st.Latency.SumSeconds)
 	fmt.Fprintf(&b, "lphd_request_duration_seconds_count %d\n", st.Latency.Count)
+
+	// Per-phase latency histograms derived from the trace spans. The
+	// canonical phases are pre-registered at zero, so the family is
+	// present (and its label set stable) from the first scrape; with
+	// tracing disabled the snapshot carries no phases and the family is
+	// absent entirely.
+	if len(st.Phases) > 0 {
+		fmt.Fprintf(&b, "# HELP lphd_phase_duration_seconds Time spent per request phase, from trace spans.\n# TYPE lphd_phase_duration_seconds histogram\n")
+		for _, p := range st.Phases {
+			for _, bucket := range p.Buckets {
+				fmt.Fprintf(&b, "lphd_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n", p.Phase, bucket.LE, bucket.Count)
+			}
+			fmt.Fprintf(&b, "lphd_phase_duration_seconds_sum{phase=%q} %g\n", p.Phase, p.SumSeconds)
+			fmt.Fprintf(&b, "lphd_phase_duration_seconds_count{phase=%q} %d\n", p.Phase, p.Count)
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP lphd_build_info Build metadata; the value is always 1.\n# TYPE lphd_build_info gauge\n")
+	fmt.Fprintf(&b, "lphd_build_info{go_version=%q,module=%q} 1\n", st.Build.GoVersion, st.Build.Module)
+	gauge("lphd_process_start_time_seconds", "Unix time the server process started.", st.Build.StartUnixSeconds)
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // TestLatenciesHistogram pins the bucket math: observations land in the
@@ -67,6 +68,11 @@ func TestRenderMetricsGolden(t *testing.T) {
 		Buckets: []LatencyBucket{{LE: "0.001", Count: 3}, {LE: "+Inf", Count: 9}},
 		ByRoute: map[string]uint64{"POST /v1/decide": 6, "GET /v1/stats": 3},
 	}
+	st.Phases = []obs.PhaseStats{{
+		Phase: "engine", Count: 7, SumSeconds: 0.875,
+		Buckets: []obs.Bucket{{LE: "0.1", Count: 4}, {LE: "+Inf", Count: 7}},
+	}}
+	st.Build = BuildStats{GoVersion: "go1.99", Module: "example/repro", StartUnixSeconds: 1754600000}
 	out := renderMetrics(st)
 	for _, want := range []string{
 		"# TYPE lphd_workers_budget gauge\nlphd_workers_budget 4\n",
@@ -103,6 +109,14 @@ func TestRenderMetricsGolden(t *testing.T) {
 			"lphd_request_duration_seconds_bucket{le=\"+Inf\"} 9\n" +
 			"lphd_request_duration_seconds_sum 1.25\n" +
 			"lphd_request_duration_seconds_count 9\n",
+		"# TYPE lphd_phase_duration_seconds histogram\n" +
+			"lphd_phase_duration_seconds_bucket{phase=\"engine\",le=\"0.1\"} 4\n" +
+			"lphd_phase_duration_seconds_bucket{phase=\"engine\",le=\"+Inf\"} 7\n" +
+			"lphd_phase_duration_seconds_sum{phase=\"engine\"} 0.875\n" +
+			"lphd_phase_duration_seconds_count{phase=\"engine\"} 7\n",
+		"# TYPE lphd_build_info gauge\n" +
+			"lphd_build_info{go_version=\"go1.99\",module=\"example/repro\"} 1\n",
+		"lphd_process_start_time_seconds 1754600000\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing:\n%s\n\nfull output:\n%s", want, out)

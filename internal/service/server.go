@@ -9,8 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/jobs"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/simulate"
 )
@@ -61,6 +66,19 @@ type Config struct {
 	// handed to the job engine for TTL/runtime accounting. nil means
 	// time.Now; tests inject a fake to make timing deterministic.
 	Now func() time.Time
+	// TraceRing sizes the completed-trace ring behind
+	// GET /v1/debug/traces. 0 means 128; negative disables tracing
+	// entirely (no per-request traces, spans, or phase histograms — the
+	// overhead benchmark's baseline).
+	TraceRing int
+	// Logger, when non-nil, receives one structured line per served
+	// request (trace id, route, status, phase breakdown). nil means no
+	// request logging; cmd/lphd wires a JSON slog handler here.
+	Logger *slog.Logger
+	// SlowRequest is the threshold past which a request's log line is
+	// promoted to WARN with the full span dump attached; 0 disables
+	// the promotion.
+	SlowRequest time.Duration
 }
 
 // Server is the HTTP/JSON front end over the operation layer:
@@ -108,6 +126,9 @@ type Server struct {
 	lat      *latencies
 	mux      *http.ServeMux
 	now      func() time.Time
+	tracer   *obs.Tracer // nil when tracing is disabled (TraceRing < 0)
+	routes   []string    // every registered pattern, in registration order
+	build    BuildStats  // process identity, stamped once at New
 
 	requests  atomic.Uint64 // all operation requests handled (including failures)
 	failures  atomic.Uint64 // requests answered with a non-2xx status
@@ -152,29 +173,67 @@ func New(cfg Config) *Server {
 		lat:      newLatencies(),
 		mux:      http.NewServeMux(),
 		now:      now,
+		build:    buildStats(now),
 		drainCh:  make(chan struct{}),
+	}
+	if cfg.TraceRing >= 0 {
+		s.tracer = obs.NewTracer(obs.TracerConfig{
+			Now: now, RingSize: cfg.TraceRing,
+			Logger: cfg.Logger, SlowRequest: cfg.SlowRequest,
+		})
 	}
 	// The engine is built after s exists: the rehydrate hook replays
 	// journaled specs through the same buildJob validation as live
-	// submissions.
+	// submissions, and the observe hook lands queue-wait / run phases
+	// in the same histograms the synchronous spans feed.
 	s.jobs = jobs.New(jobs.Config{
 		Workers: cfg.JobWorkers, Queue: jobQueue, TTL: cfg.JobTTL,
 		Journal: cfg.Journal, Rehydrate: s.rehydrateJob, Now: now,
+		Observe: s.tracer.Observe,
 	})
-	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
-	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
-	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
-	s.mux.HandleFunc("POST /v1/game", s.handleGame)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("POST /v1/admin/drain", s.handleAdminDrain)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/decide", s.handleDecide)
+	s.handle("POST /v1/verify", s.handleVerify)
+	s.handle("POST /v1/reduce", s.handleReduce)
+	s.handle("POST /v1/game", s.handleGame)
+	s.handle("POST /v1/batch", s.handleBatch)
+	s.handle("POST /v1/jobs", s.handleJobSubmit)
+	s.handle("GET /v1/jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handle("POST /v1/admin/drain", s.handleAdminDrain)
+	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/debug/traces", s.handleDebugTraces)
 	return s
+}
+
+// handle registers a route and records its pattern, so tests can
+// enumerate every registered route (the mux keeps its own list
+// private) and hold each one to the tracing contract.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns every registered route pattern in registration
+// order (for tests and debugging).
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
+}
+
+// buildStats stamps the process identity served by /v1/stats and
+// /metrics (lphd_build_info, lphd_process_start_time_seconds).
+func buildStats(now func() time.Time) BuildStats {
+	b := BuildStats{
+		GoVersion:        runtime.Version(),
+		Module:           "unknown",
+		StartUnixSeconds: now().Unix(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		b.Module = bi.Main.Path
+	}
+	return b
 }
 
 // Close stops the job engine: running jobs are cancelled and the
@@ -214,18 +273,46 @@ func (s *Server) Drain(ctx context.Context) jobs.DrainResult {
 	return s.jobs.Drain(ctx)
 }
 
-// Handler returns the route multiplexer wrapped in the latency
-// middleware (every served request lands in the duration histogram and
-// the per-route counters), ready for http.Server or httptest.
+// Handler returns the route multiplexer wrapped in the tracing +
+// latency middleware: every served request gets a trace (adopted from
+// a valid inbound traceparent header, fresh otherwise) carried in its
+// context, the trace id echoed in X-Lph-Trace, and — once the
+// response is written — the completed trace lands in the debug ring,
+// the request log, and the per-phase histograms, alongside the
+// existing duration histogram and per-route counters. Ready for
+// http.Server or httptest.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
-		s.mux.ServeHTTP(w, r)
+		tr := s.tracer.Start(r.Header.Get("traceparent"))
+		if tr != nil {
+			w.Header().Set("X-Lph-Trace", tr.ID())
+			r = r.WithContext(obs.NewContext(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
 		// ServeMux stamps the matched pattern onto the request; an
 		// unmatched request keeps Pattern empty and is labeled as such.
 		s.lat.observe(r.Pattern, s.now().Sub(start))
+		tr.Finish(r.Pattern, sw.status)
 	})
 }
+
+// statusWriter captures the response status for the trace record and
+// the request log (the handlers only hand status to WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Tracer exposes the tracing subsystem (nil when disabled), for tests
+// and the debug route.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Cache exposes the Prepared cache (for tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -309,10 +396,26 @@ type StatsResponse struct {
 		Rejected uint64 `json:"rejected"`
 	} `json:"drain"`
 	// Shed is the sync-route admission gate over the worker budget.
-	Shed    ShedStats           `json:"shed"`
-	Jobs    jobs.Stats          `json:"jobs"`
-	Latency LatencyStats        `json:"latency"`
+	Shed    ShedStats    `json:"shed"`
+	Jobs    jobs.Stats   `json:"jobs"`
+	Latency LatencyStats `json:"latency"`
+	// Phases are the span-derived per-phase latency histograms
+	// (shed_wait, cache, prepare, memo, engine, journal_append,
+	// journal_fsync, queue_wait, job_run); empty when tracing is
+	// disabled.
+	Phases []obs.PhaseStats `json:"phases,omitempty"`
+	// Build is the process identity: Go toolchain, module, and start
+	// time, constant for the process's lifetime.
+	Build   BuildStats          `json:"build"`
 	Catalog map[string][]string `json:"catalog"`
+}
+
+// BuildStats identifies the running build and process — the JSON
+// shape behind lphd_build_info and the start-time gauge.
+type BuildStats struct {
+	GoVersion        string `json:"go_version"`
+	Module           string `json:"module"`
+	StartUnixSeconds int64  `json:"start_unix_seconds"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -324,11 +427,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // Retry-After hints, in seconds: a shed request retries as soon as the
 // current evaluations release budget; a drained-away request retries
-// against the restarted instance.
+// against the restarted instance. The shed value is the fallback for
+// an empty engine histogram — see shedRetryHint.
 const (
 	shedRetryAfter  = "1"
 	drainRetryAfter = "5"
 )
+
+// shedRetryHint derives the shed path's Retry-After from the observed
+// p50 engine-phase latency — a client told to come back should wait
+// about as long as a typical evaluation takes to release its budget —
+// rounded up to whole seconds and clamped to [1s, 60s]. Falls back to
+// the static hint while the histogram is empty (or tracing is off).
+func (s *Server) shedRetryHint() string {
+	p50, ok := s.tracer.P50(obs.PhaseEngine)
+	if !ok {
+		return shedRetryAfter
+	}
+	secs := int(math.Ceil(p50))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}
+
+// errorBody shapes every error response: the message plus the request
+// trace id, so a client error report carries the exact handle to grep
+// the log and the debug ring with.
+func errorBody(r *http.Request, msg string) map[string]string {
+	body := map[string]string{"error": msg}
+	if id := obs.FromContext(r.Context()).ID(); id != "" {
+		body["trace"] = id
+	}
+	return body
+}
 
 // fail maps an operation error to its HTTP shape: decode and catalog
 // errors are the client's fault (400), cancellation and timeout are
@@ -336,7 +471,7 @@ const (
 // worker budget throttles (429, with a Retry-After hint), a draining
 // server turns work away (503 + Retry-After), job lookups miss (404),
 // and anything else is a server error (500).
-func (s *Server) fail(w http.ResponseWriter, err error) {
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	s.failures.Add(1)
 	status := http.StatusInternalServerError
 	switch {
@@ -347,11 +482,11 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.throttled.Add(1)
-		w.Header().Set("Retry-After", shedRetryAfter)
+		w.Header().Set("Retry-After", s.shedRetryHint())
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrSaturated):
 		s.throttled.Add(1)
-		w.Header().Set("Retry-After", shedRetryAfter)
+		w.Header().Set("Retry-After", s.shedRetryHint())
 		status = http.StatusTooManyRequests
 	case errors.Is(err, jobs.ErrDraining):
 		s.drainRejected.Add(1)
@@ -360,14 +495,14 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorBody(r, err.Error()))
 }
 
 // shedDraining answers 503 + Retry-After when a drain is in progress;
 // the synchronous write handlers call it before doing any work, so a
 // draining server turns evaluations away at the door while reads and
 // health checks keep flowing.
-func (s *Server) shedDraining(w http.ResponseWriter) bool {
+func (s *Server) shedDraining(w http.ResponseWriter, r *http.Request) bool {
 	if !s.draining.Load() {
 		return false
 	}
@@ -375,7 +510,7 @@ func (s *Server) shedDraining(w http.ResponseWriter) bool {
 	s.failures.Add(1)
 	w.Header().Set("Retry-After", drainRetryAfter)
 	writeJSON(w, http.StatusServiceUnavailable,
-		map[string]string{"error": "server draining; retry against the restarted instance"})
+		errorBody(r, "server draining; retry against the restarted instance"))
 	return true
 }
 
@@ -388,13 +523,16 @@ func (s *Server) acquireBudget(ctx context.Context, workers int) (release func()
 	need := int64(workers)
 	waitCtx, cancel := context.WithTimeout(ctx, s.shedWait)
 	defer cancel()
-	if err := s.shed.acquire(waitCtx, need); err != nil {
+	sp := obs.StartSpan(ctx, obs.PhaseShedWait)
+	acqErr := s.shed.acquire(waitCtx, need)
+	sp.End()
+	if acqErr != nil {
 		if ctx.Err() != nil {
 			// The client vanished (or its deadline passed) during the wait;
 			// report that, not saturation.
 			return nil, ctx.Err()
 		}
-		return nil, err
+		return nil, acqErr
 	}
 	return func() { s.shed.release(need) }, nil
 }
@@ -409,16 +547,16 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 	has func(name string) bool,
 	eval func(prep *simulate.Prepared, name string, o search.Options) (bool, error)) {
 	s.requests.Add(1)
-	if s.shedDraining(w) {
+	if s.shedDraining(w, r) {
 		return
 	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if !has(req.Property) {
-		s.fail(w, fmt.Errorf("%w: %s property %q", ErrUnknownName, op, req.Property))
+		s.fail(w, r, fmt.Errorf("%w: %s property %q", ErrUnknownName, op, req.Property))
 		return
 	}
 	// Derive the request context before the cache fill: a preparation is
@@ -429,7 +567,7 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 	defer cancel()
 	release, err := s.acquireBudget(r.Context(), engine.Workers)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	defer release()
@@ -449,7 +587,7 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 		if err != nil {
 			return false, err
 		}
-		prep, cached, err := s.cache.Get(g)
+		prep, cached, err := s.cache.Get(engine.Ctx, g)
 		if err != nil {
 			return false, err
 		}
@@ -457,7 +595,10 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 		if err := ctxErr(engine); err != nil {
 			return false, err
 		}
-		return eval(prep, req.Property, engine)
+		esp := obs.StartSpan(engine.Ctx, obs.PhaseEngine)
+		holds, err := eval(prep, req.Property, engine)
+		esp.End()
+		return holds, err
 	}
 	var holds bool
 	if s.memo != nil {
@@ -465,14 +606,18 @@ func (s *Server) verdict(w http.ResponseWriter, r *http.Request, op string,
 		// pollers) short-circuit the whole pipeline to a table lookup.
 		// Graphs serialized differently miss here and still hit the
 		// canonical-hash game memo inside eval; errors are never cached.
+		// The memo span covers the whole tier — a hit is microseconds,
+		// a miss contains the cache/prepare/engine spans it triggered.
 		sum := sha256.Sum256(req.Graph)
 		key := "req/" + op + "/" + req.Property + "/" + hex.EncodeToString(sum[:])
+		msp := obs.StartSpan(engine.Ctx, obs.PhaseMemo)
 		holds, err = s.memo.Do(engine.Ctx, key, run)
+		msp.End()
 	} else {
 		holds, err = run()
 	}
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, VerdictResponse{
@@ -501,35 +646,37 @@ func (s *Server) verify(prep *simulate.Prepared, name string, o search.Options) 
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if s.shedDraining(w) {
+	if s.shedDraining(w, r) {
 		return
 	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	g, err := req.DecodeGraph()
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	engine, cancel := s.engine(r.Context(), req.Workers)
 	defer cancel()
 	release, err := s.acquireBudget(r.Context(), engine.Workers)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	defer release()
+	esp := obs.StartSpan(engine.Ctx, obs.PhaseEngine)
 	res, err := Reduce(g, req.Reduction, engine)
+	esp.End()
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	var buf bytes.Buffer
 	if err := graphio.Encode(&buf, res.Out); err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReduceResponse{
@@ -539,25 +686,27 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGame(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if s.shedDraining(w) {
+	if s.shedDraining(w, r) {
 		return
 	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	engine, cancel := s.engine(r.Context(), req.Workers)
 	defer cancel()
 	release, err := s.acquireBudget(r.Context(), engine.Workers)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	defer release()
+	esp := obs.StartSpan(engine.Ctx, obs.PhaseEngine)
 	results, err := Game(req.Game, engine)
+	esp.End()
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, GameResponse{
@@ -602,6 +751,8 @@ func (s *Server) Snapshot() StatsResponse {
 		Memo:          s.memo.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Latency:       s.lat.snapshot(),
+		Phases:        s.tracer.PhaseStats(),
+		Build:         s.build,
 		Catalog: map[string][]string{
 			"decide": DecideNames(),
 			"verify": VerifyNames(),

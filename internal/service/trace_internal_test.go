@@ -1,0 +1,39 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestShedRetryHint pins the honest Retry-After: the hint follows the
+// observed p50 engine latency (rounded up to whole seconds, clamped to
+// [1, 60]) and falls back to the static "1" while the histogram is
+// empty or tracing is off.
+func TestShedRetryHint(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if got := s.shedRetryHint(); got != shedRetryAfter {
+		t.Fatalf("empty histogram: hint %q, want the static fallback %q", got, shedRetryAfter)
+	}
+	// Sub-second evaluations round up to the 1-second floor.
+	s.tracer.Observe(obs.PhaseEngine, 30*time.Millisecond)
+	if got := s.shedRetryHint(); got != "1" {
+		t.Fatalf("fast engine: hint %q, want \"1\"", got)
+	}
+	// Push the median into the 2.5s bucket: ceil(2.5) = 3.
+	for i := 0; i < 8; i++ {
+		s.tracer.Observe(obs.PhaseEngine, 2*time.Second)
+	}
+	if got := s.shedRetryHint(); got != "3" {
+		t.Fatalf("2.5s-bucket median: hint %q, want \"3\"", got)
+	}
+
+	off := New(Config{Workers: 1, TraceRing: -1})
+	defer off.Close()
+	if got := off.shedRetryHint(); got != shedRetryAfter {
+		t.Fatalf("tracing off: hint %q, want the static fallback %q", got, shedRetryAfter)
+	}
+}

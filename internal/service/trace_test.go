@@ -1,0 +1,287 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/journal"
+	"repro/internal/service"
+)
+
+// fixedTraceparent is a valid W3C header with a recognizable trace id,
+// used wherever a test needs to follow one id across surfaces.
+const (
+	fixedTraceID     = "4bf92f3577b34da6a3ce929d0e0e4736"
+	fixedTraceparent = "00-" + fixedTraceID + "-00f067aa0ba902b7-01"
+)
+
+// logLines parses a JSON-lines slog buffer.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		m := make(map[string]any)
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestEveryRouteEmitsRootSpanAndLogLine holds each registered route to
+// the tracing contract: one served request yields exactly one
+// completed trace in the debug ring (labeled with the route pattern)
+// and exactly one slog line carrying the same trace id. Requests are
+// driven through the Handler directly (httptest.NewRecorder), so the
+// middleware has finished — ring pushed, line logged — by the time the
+// call returns; no polling, no races. Bodies are empty: an error
+// response is still a served request and must trace like any other.
+func TestEveryRouteEmitsRootSpanAndLogLine(t *testing.T) {
+	t.Parallel()
+	probe := service.New(service.Config{Workers: 1})
+	routes := probe.Routes()
+	probe.Close()
+	if len(routes) < 10 {
+		t.Fatalf("route enumeration collapsed: %v", routes)
+	}
+	for _, pattern := range routes {
+		t.Run(strings.ReplaceAll(pattern, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			s := service.New(service.Config{
+				Workers: 1,
+				Logger:  slog.New(slog.NewJSONHandler(&buf, nil)),
+			})
+			defer s.Close()
+			method, path, ok := strings.Cut(pattern, " ")
+			if !ok {
+				t.Fatalf("unparseable pattern %q", pattern)
+			}
+			path = strings.ReplaceAll(path, "{id}", "j1")
+			req := httptest.NewRequest(method, path, strings.NewReader(""))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+
+			id := rec.Header().Get("X-Lph-Trace")
+			if id == "" {
+				t.Fatal("response has no X-Lph-Trace header")
+			}
+			traces := s.Tracer().Traces(0, pattern)
+			if len(traces) != 1 {
+				t.Fatalf("ring holds %d traces for %q, want 1", len(traces), pattern)
+			}
+			if traces[0].Trace != id || traces[0].Status != rec.Code {
+				t.Fatalf("ring trace %+v, want id %s status %d", traces[0], id, rec.Code)
+			}
+			lines := logLines(t, &buf)
+			if len(lines) != 1 {
+				t.Fatalf("logged %d lines, want 1:\n%s", len(lines), buf.String())
+			}
+			// The route pattern carries the method, so the line has no
+			// separate method attr.
+			if lines[0]["trace"] != id || lines[0]["route"] != pattern {
+				t.Fatalf("log line %v, want trace %s route %q", lines[0], id, pattern)
+			}
+			if int(lines[0]["status"].(float64)) != rec.Code {
+				t.Fatalf("log status %v, want %d", lines[0]["status"], rec.Code)
+			}
+		})
+	}
+}
+
+// TestTraceIDPropagatesAcrossSurfaces is the acceptance walk: one
+// request with a fixed traceparent yields the same trace id in the
+// response header, the debug ring (with phase spans attached), and the
+// request log line.
+func TestTraceIDPropagatesAcrossSurfaces(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	s := service.New(service.Config{
+		Workers: 2, CacheSize: 4, MemoSize: 16,
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	defer s.Close()
+	req := httptest.NewRequest(http.MethodPost, "/v1/verify",
+		strings.NewReader(`{"graph":`+triangleJSON+`,"property":"3-colorable"}`))
+	req.Header.Set("traceparent", fixedTraceparent)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Lph-Trace"); got != fixedTraceID {
+		t.Fatalf("X-Lph-Trace %q, want adopted %q", got, fixedTraceID)
+	}
+	traces := s.Tracer().Traces(0, "POST /v1/verify")
+	if len(traces) != 1 || traces[0].Trace != fixedTraceID {
+		t.Fatalf("ring traces %+v, want one with id %s", traces, fixedTraceID)
+	}
+	if traces[0].ParentSpan != "00f067aa0ba902b7" {
+		t.Fatalf("parent span %q, want the inbound span id", traces[0].ParentSpan)
+	}
+	phases := make(map[string]bool)
+	for _, sp := range traces[0].Spans {
+		phases[sp.Phase] = true
+	}
+	for _, want := range []string{"shed_wait", "memo", "cache", "prepare", "engine"} {
+		if !phases[want] {
+			t.Errorf("trace is missing a %s span: %+v", want, traces[0].Spans)
+		}
+	}
+	lines := logLines(t, &buf)
+	if len(lines) != 1 || lines[0]["trace"] != fixedTraceID {
+		t.Fatalf("log lines %v, want one carrying %s", lines, fixedTraceID)
+	}
+	// The cold verify ran the engine, so its phase histogram counted it.
+	for _, p := range s.Snapshot().Phases {
+		if p.Phase == "engine" && p.Count == 0 {
+			t.Fatalf("engine phase histogram empty after a cold verify: %+v", p)
+		}
+	}
+}
+
+// TestErrorBodyCarriesTraceID: every error response names the trace
+// that produced it, so a client report can be grepped straight into
+// the log and the debug ring.
+func TestErrorBodyCarriesTraceID(t *testing.T) {
+	t.Parallel()
+	s := service.New(service.Config{Workers: 1})
+	defer s.Close()
+	req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(`{"not":"a request"}`))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Fatalf("error body %v has no message", body)
+	}
+	if body["trace"] != rec.Header().Get("X-Lph-Trace") {
+		t.Fatalf("error body trace %q, header says %q", body["trace"], rec.Header().Get("X-Lph-Trace"))
+	}
+}
+
+// TestDebugTracesRoute exercises the ring endpoint: limit and route
+// filters, the JSON shape, and the 400 on a malformed limit.
+func TestDebugTracesRoute(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, service.Config{Workers: 1, CacheSize: 4})
+	post(t, ts, "/v1/decide", `{"graph":`+triangleJSON+`,"property":"all-selected"}`)
+	post(t, ts, "/v1/decide", `{"graph":`+triangleJSON+`,"property":"all-selected"}`)
+	get(t, ts, "/v1/healthz")
+
+	var resp service.DebugTracesResponse
+	code, _ := doJSON(t, ts, http.MethodGet, "/v1/debug/traces?route=POST+/v1/decide", "", &resp)
+	if code != http.StatusOK || !resp.Enabled {
+		t.Fatalf("debug traces: code %d resp %+v", code, resp)
+	}
+	if resp.Count != 2 || len(resp.Traces) != 2 {
+		t.Fatalf("route filter returned %d traces, want 2: %+v", resp.Count, resp.Traces)
+	}
+	for _, tr := range resp.Traces {
+		if tr.Route != "POST /v1/decide" {
+			t.Fatalf("filtered ring leaked route %q", tr.Route)
+		}
+	}
+	code, _ = doJSON(t, ts, http.MethodGet, "/v1/debug/traces?limit=1", "", &resp)
+	if code != http.StatusOK || len(resp.Traces) != 1 {
+		t.Fatalf("limit=1 returned %d traces (code %d)", len(resp.Traces), code)
+	}
+	if code, body := get(t, ts, "/v1/debug/traces?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("limit=bogus: code %d body %s", code, body)
+	}
+}
+
+// TestTracingDisabled: a negative ring turns the whole subsystem off —
+// no header, no ring, an empty (but well-formed) debug response, and
+// no phase histograms — while requests keep working.
+func TestTracingDisabled(t *testing.T) {
+	t.Parallel()
+	s := service.New(service.Config{Workers: 1, TraceRing: -1})
+	defer s.Close()
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Lph-Trace"); got != "" {
+		t.Fatalf("disabled tracing still set X-Lph-Trace %q", got)
+	}
+	if s.Tracer() != nil {
+		t.Fatal("disabled tracing still built a tracer")
+	}
+	if phases := s.Snapshot().Phases; len(phases) != 0 {
+		t.Fatalf("disabled tracing still reports phases: %+v", phases)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/debug/traces", nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var resp service.DebugTracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Enabled || resp.Count != 0 || resp.Traces == nil || len(resp.Traces) != 0 {
+		t.Fatalf("disabled debug response %+v, want enabled=false and an empty list", resp)
+	}
+}
+
+// TestJobEventTimeline pins the async surface: a journal-backed job
+// reports its lifecycle as an ordered event timeline — submit, queued,
+// running, journaled, done — with non-decreasing timestamps, and the
+// same body (events included) survives a replayed restart, which the
+// byte-identical recovery tests in batch_jobs_test.go then hold to.
+func TestJobEventTimeline(t *testing.T) {
+	jnl, err := journal.Open(t.TempDir(), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jnl.Close() })
+	_, ts := newTestServer(t, service.Config{Workers: 2, Journal: jnl})
+	var sub jobs.Status
+	doJSON(t, ts, http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`, &sub)
+	st := waitJob(t, ts, sub.ID, jobs.StateDone)
+	var phases []string
+	for i, ev := range st.Events {
+		phases = append(phases, ev.Phase)
+		if i > 0 && ev.T.Before(st.Events[i-1].T) {
+			t.Fatalf("event %d (%s) precedes its predecessor: %+v", i, ev.Phase, st.Events)
+		}
+	}
+	want := []string{"submit", "queued", "running", "journaled", "done"}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Fatalf("event phases %v, want %v", phases, want)
+	}
+}
+
+// TestJobEventTimelineInMemory: without a journal there is no
+// journaled event — the timeline must not claim durability it does not
+// have.
+func TestJobEventTimelineInMemory(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Workers: 2})
+	var sub jobs.Status
+	doJSON(t, ts, http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`, &sub)
+	st := waitJob(t, ts, sub.ID, jobs.StateDone)
+	var phases []string
+	for _, ev := range st.Events {
+		phases = append(phases, ev.Phase)
+	}
+	want := []string{"submit", "queued", "running", "done"}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Fatalf("event phases %v, want %v", phases, want)
+	}
+}
