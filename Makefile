@@ -23,7 +23,7 @@ BENCHTIME ?= 200ms
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz bench bench-json bench-delta serve-smoke help
+.PHONY: check fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz bench bench-json bench-delta serve-smoke router-smoke help
 
 check: fmt vet vet-journal lint staticcheck govulncheck build test test-lifecycle fuzz
 
@@ -111,19 +111,22 @@ bench:
 # its median rests on seven interleaved samples.
 bench-json:
 	( $(GO) test -run '^$$' -bench BenchmarkTracedVerify -benchtime $(BENCHTIME) -count 4 -json ./internal/service ; \
+	  $(GO) test -run '^$$' -bench BenchmarkRouterHop -benchtime $(BENCHTIME) -count 4 -json ./internal/router ; \
 	  $(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count 3 -json ./... ) \
-	  | $(GO) run ./cmd/benchjson > BENCH_pr9.json
-	@echo "wrote BENCH_pr9.json"
+	  | $(GO) run ./cmd/benchjson > BENCH_pr10.json
+	@echo "wrote BENCH_pr10.json"
 
 # bench-delta gates the recorded run against the previous PR's file:
 # any engine-pair benchmark (/sequential or /parallel) present in both
-# files may not regress by more than the tolerance, and within the new
+# files may not regress by more than the tolerance; within the new
 # file the traced verify arm may not exceed the untraced one by more
-# than the overhead budget. Not part of `make check` — benchmark
-# wall-clock on shared CI hardware is advisory — but run before
-# recording a new BENCH file.
+# than the overhead budget, and the routed decide arm may not exceed
+# the direct one by more than the router-hop budget (the hop buys
+# affinity and failover; it must never cost more than the game). Not
+# part of `make check` — benchmark wall-clock on shared CI hardware is
+# advisory — but run before recording a new BENCH file.
 bench-delta:
-	$(GO) run ./cmd/benchdelta -old BENCH_pr8.json -new BENCH_pr9.json -tolerance 0.10 -overhead 0.10
+	$(GO) run ./cmd/benchdelta -old BENCH_pr9.json -new BENCH_pr10.json -tolerance 0.10 -overhead 0.10 -hop 2.0
 
 # serve-smoke boots lphd on a random port and walks the documented API
 # end to end: decide, verify, healthz (exact bodies), a two-graph
@@ -281,6 +284,120 @@ serve-smoke:
 	[ "$$rc" = "0" ] || { echo "admin-drained lphd exited $$rc, want 0:"; cat $$tmp/drain2; exit 1; }; \
 	grep -q '^lphd: drained finished=0 interrupted=0 queued=0' $$tmp/drain2 || { echo "idle admin drain summary wrong:"; cat $$tmp/drain2; exit 1; }; \
 	echo "serve-smoke OK (incl. crash recovery + graceful drain)"
+	@$(MAKE) --no-print-directory router-smoke
+
+# router-smoke is the cluster walk behind the front door: three
+# journaled lphd instances behind one lphrouter. It proxies a decide
+# (exact body) and a traceparent echo through the router, submits a
+# sweep job through the router, finds which node owns it by direct
+# query, SIGKILLs that owner mid-sweep, and then issues ten client
+# decides through the router — every one must succeed while the
+# reconciler is still discovering the corpse (transport-failure hops
+# walk to the next ring candidate). The owner restarts on the same
+# address and journal and must log restarted=1 (the interrupted sweep
+# re-runs); the pool must return to 3 active; the job must reach done
+# through the router; and both survivors must still report
+# lphd_journal_restarted_total 0 — the chaos never re-ran their work.
+router-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$(cat $$tmp/pid* 2>/dev/null) $$rpid 2>/dev/null || true; rm -rf $$tmp' EXIT INT TERM; \
+	$(GO) build -o $$tmp/lphd ./cmd/lphd; \
+	$(GO) build -o $$tmp/lphrouter ./cmd/lphrouter; \
+	nodes=""; \
+	for n in 1 2 3; do \
+		$$tmp/lphd -addr 127.0.0.1:0 -workers 2 -job-workers 1 -journal $$tmp/j$$n >$$tmp/n$$n 2>&1 & \
+		echo $$! > $$tmp/pid$$n; \
+		a=""; \
+		for i in $$(seq 1 100); do \
+			a=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/n$$n); \
+			[ -n "$$a" ] && break; sleep 0.1; \
+		done; \
+		[ -n "$$a" ] || { echo "node $$n never came up:"; cat $$tmp/n$$n; exit 1; }; \
+		echo "$$a" > $$tmp/addr$$n; \
+		nodes="$$nodes,$$a"; \
+	done; \
+	nodes=$${nodes#,}; \
+	$$tmp/lphrouter -addr 127.0.0.1:0 -nodes "$$nodes" -probe-interval 50ms -probe-timeout 1s -miss-budget 2 >$$tmp/router 2>&1 & rpid=$$!; \
+	raddr=""; \
+	for i in $$(seq 1 100); do \
+		raddr=$$(sed -n 's#^lphrouter: listening on http://##p' $$tmp/router); \
+		[ -n "$$raddr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$raddr" ] || { echo "lphrouter never came up:"; cat $$tmp/router; exit 1; }; \
+	echo "router on $$raddr over $$nodes"; \
+	hz=""; \
+	for i in $$(seq 1 100); do \
+		hz=$$(curl -s http://$$raddr/v1/router/healthz); \
+		case "$$hz" in *'"active":3'*) break;; esac; sleep 0.1; \
+	done; \
+	case "$$hz" in *'"active":3'*) ;; *) echo "pool never reached 3 active: $$hz"; exit 1;; esac; \
+	printf '{"graph":%s,"property":"all-selected"}' "$$(cat examples/graphs/triangle-selected.json)" >$$tmp/decide.json; \
+	body=$$(curl -sf -X POST --data-binary @$$tmp/decide.json http://$$raddr/v1/decide); \
+	want='{"op":"decide","name":"all-selected","holds":true,"cached":false,"workers":2}'; \
+	[ "$$body" = "$$want" ] || { echo "proxied decide body: $$body"; echo "want:               $$want"; exit 1; }; \
+	tid=4bf92f3577b34da6a3ce929d0e0e4736; \
+	hdr=$$(curl -sf -D - -o /dev/null -X POST -H "traceparent: 00-$$tid-00f067aa0ba902b7-01" \
+		--data-binary @$$tmp/decide.json http://$$raddr/v1/decide | tr -d '\r' | sed -n 's/^X-Lph-Trace: //p'); \
+	[ "$$hdr" = "$$tid" ] || { echo "router X-Lph-Trace: $$hdr, want $$tid"; exit 1; }; \
+	body=$$(curl -sf -X POST -d '{"job":"sweep"}' http://$$raddr/v1/jobs); \
+	jid=$$(printf '%s' "$$body" | sed -n 's#.*"id":"\([^"]*\)".*#\1#p'); \
+	[ -n "$$jid" ] || { echo "job submit through router: $$body"; exit 1; }; \
+	state=""; \
+	for i in $$(seq 1 300); do \
+		state=$$(curl -sf http://$$raddr/v1/jobs/$$jid); \
+		case "$$state" in *'"state":"running"'*) break;; esac; sleep 0.05; \
+	done; \
+	case "$$state" in *'"state":"running"'*) ;; *) echo "$$jid never started: $$state"; exit 1;; esac; \
+	owner=""; \
+	for n in 1 2 3; do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' http://$$(cat $$tmp/addr$$n)/v1/jobs/$$jid); \
+		[ "$$code" = "200" ] && owner=$$n; \
+	done; \
+	[ -n "$$owner" ] || { echo "no node owns $$jid"; exit 1; }; \
+	oaddr=$$(cat $$tmp/addr$$owner); \
+	echo "killing owner node $$owner ($$oaddr) mid-sweep"; \
+	opid=$$(cat $$tmp/pid$$owner); \
+	kill -9 $$opid; wait $$opid 2>/dev/null || true; \
+	for i in $$(seq 1 10); do \
+		curl -sf -X POST --data-binary @$$tmp/decide.json http://$$raddr/v1/decide >/dev/null \
+			|| { echo "client decide $$i failed during failover"; cat $$tmp/router; exit 1; }; \
+	done; \
+	pool=""; \
+	for i in $$(seq 1 100); do \
+		pool=$$(curl -s http://$$raddr/v1/router/pool); \
+		case "$$pool" in *'"state":"down"'*) break;; esac; sleep 0.1; \
+	done; \
+	case "$$pool" in *'"state":"down"'*) ;; *) echo "dead node never evicted: $$pool"; exit 1;; esac; \
+	$$tmp/lphd -addr $$oaddr -workers 2 -job-workers 1 -journal $$tmp/j$$owner >$$tmp/restart 2>&1 & \
+	echo $$! > $$tmp/pid$$owner; \
+	a=""; \
+	for i in $$(seq 1 100); do \
+		a=$$(sed -n 's#^lphd: listening on http://##p' $$tmp/restart); \
+		[ -n "$$a" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$a" ] || { echo "owner never came back:"; cat $$tmp/restart; exit 1; }; \
+	grep -q 'restarted=1' $$tmp/restart || { echo "owner restart must re-admit the interrupted sweep:"; cat $$tmp/restart; exit 1; }; \
+	hz=""; \
+	for i in $$(seq 1 100); do \
+		hz=$$(curl -s http://$$raddr/v1/router/healthz); \
+		case "$$hz" in *'"active":3'*) break;; esac; sleep 0.1; \
+	done; \
+	case "$$hz" in *'"active":3'*) ;; *) echo "pool never recovered to 3 active: $$hz"; exit 1;; esac; \
+	state=""; \
+	for i in $$(seq 1 600); do \
+		state=$$(curl -sf http://$$raddr/v1/jobs/$$jid); \
+		case "$$state" in *'"state":"done"'*) break;; esac; sleep 0.1; \
+	done; \
+	case "$$state" in *'"state":"done"'*) ;; \
+		*) echo "$$jid never re-ran to done through the router: $$state"; cat $$tmp/restart; exit 1;; esac; \
+	for n in 1 2 3; do \
+		[ "$$n" = "$$owner" ] && continue; \
+		m=$$(curl -sf http://$$(cat $$tmp/addr$$n)/metrics); \
+		case "$$m" in *'lphd_journal_restarted_total 0'*) ;; \
+			*) echo "survivor $$n re-ran work it never lost"; exit 1;; esac; \
+	done; \
+	echo "router-smoke OK (failover with zero failed client requests; survivors restarted=0)"
 
 help:
 	@echo "make check       - fmt + vet + lint + static gate + build + race tests + decoder fuzz smokes (the verify entry point)"
@@ -295,6 +412,7 @@ help:
 	@echo "make test-lifecycle - drain/shed/idempotency suite twice under -race (defeats caching, shakes out flakes)"
 	@echo "make fuzz        - 5s fuzz smokes: FuzzReadGraph + FuzzDecodeRequest + FuzzIdempotencyKey + FuzzReplayJournal + FuzzMemoKey + FuzzTraceparent"
 	@echo "make bench       - smoke-run every benchmark once"
-	@echo "make bench-json  - record every benchmark for BENCHTIME (default 200ms) in BENCH_pr9.json"
-	@echo "make bench-delta - fail if BENCH_pr9.json regresses an engine pair >10% vs BENCH_pr8.json, or tracing overhead >10%"
-	@echo "make serve-smoke - boot lphd, walk the API (incl. trace propagation), SIGKILL + recovery, SIGTERM drain + admin drain"
+	@echo "make bench-json  - record every benchmark for BENCHTIME (default 200ms) in BENCH_pr10.json"
+	@echo "make bench-delta - fail if BENCH_pr10.json regresses an engine pair >10% vs BENCH_pr9.json, tracing overhead >10%, or router hop >2x"
+	@echo "make serve-smoke - boot lphd, walk the API (incl. trace propagation), SIGKILL + recovery, SIGTERM drain + admin drain, then router-smoke"
+	@echo "make router-smoke - 3-node pool behind lphrouter: SIGKILL the job owner mid-sweep, zero failed client requests, replay on rejoin"

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	benchdelta -old BENCH_pr7.json -new BENCH_pr8.json [-tolerance 0.10] [-overhead 0.10]
+//	benchdelta -old BENCH_pr7.json -new BENCH_pr8.json [-tolerance 0.10] [-overhead 0.10] [-hop 2.0]
 //
 // Only the engine pairs are gated cross-file: the figure-regeneration
 // benchmarks measure workloads that legitimately grow as the
@@ -22,6 +22,15 @@
 // entry in -new with a /traced sibling under the same benchmark must
 // not be exceeded by it by more than the -overhead fraction (the
 // tracing-overhead budget; see BenchmarkTracedVerify).
+//
+// A third, in-file gate covers the pool front door the same way: every
+// /direct entry with a /routed sibling must not be exceeded by more
+// than the -hop fraction (see BenchmarkRouterHop). A routed request is
+// a full second HTTP round trip plus the affinity hash, so its budget
+// is a multiple of the direct request, not a percentage — the default
+// 2.0 allows routed up to 3x direct, and the gate exists to catch the
+// router becoming accidentally quadratic, not to pretend a proxy hop
+// is free.
 //
 // When a file holds several records for one name (a `-count N` run),
 // the two gates aggregate differently, each matching its noise model.
@@ -120,11 +129,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	newPath := fs.String("new", "", "candidate BENCH_*.json to gate")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional ns/op regression per engine pair")
 	overhead := fs.Float64("overhead", 0.10, "allowed fractional tracing overhead per /untraced-vs-/traced pair in -new")
+	hop := fs.Float64("hop", 2.0, "allowed fractional router-hop overhead per /direct-vs-/routed pair in -new")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 0 || *oldPath == "" || *newPath == "" || *tolerance < 0 || *overhead < 0 {
-		fmt.Fprintln(stderr, "usage: benchdelta -old BENCH_prN.json -new BENCH_prM.json [-tolerance 0.10] [-overhead 0.10]")
+	if fs.NArg() != 0 || *oldPath == "" || *newPath == "" || *tolerance < 0 || *overhead < 0 || *hop < 0 {
+		fmt.Fprintln(stderr, "usage: benchdelta -old BENCH_prN.json -new BENCH_prM.json [-tolerance 0.10] [-overhead 0.10] [-hop 2.0]")
 		return 2
 	}
 	oldRes, err := load(*oldPath)
@@ -169,41 +179,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "benchdelta: %d engine pairs compared, %d regressed beyond %.0f%%\n",
 		compared, failed, 100**tolerance)
 
-	// In-file gate: tracing overhead inside -new. Both arms of each
-	// pair come from the same recorded run, so drift between files
-	// cannot fake or mask a verdict.
-	overheadKeys := make([]string, 0, 1)
-	for k := range newRes {
-		if strings.HasSuffix(k, "/untraced") {
-			overheadKeys = append(overheadKeys, k)
-		}
-	}
-	sort.Strings(overheadKeys)
-	overheadPairs, overheadFailed := 0, 0
-	for _, k := range overheadKeys {
-		base := newRes[k].median()
-		tracedS, ok := newRes[strings.TrimSuffix(k, "/untraced")+"/traced"]
-		if !ok {
-			fmt.Fprintf(stdout, "SKIP %s: no /traced sibling in %s\n", k, *newPath)
-			continue
-		}
-		traced := tracedS.median()
-		overheadPairs++
-		delta := (traced - base) / base
-		switch {
-		case delta > *overhead:
-			overheadFailed++
-			fmt.Fprintf(stdout, "FAIL %s: tracing overhead %.0f -> %.0f ns/op (%+.1f%% > %.0f%% budget)\n",
-				strings.TrimSuffix(k, "/untraced"), base, traced, 100*delta, 100**overhead)
-		default:
-			fmt.Fprintf(stdout, "ok   %s: tracing overhead %.0f -> %.0f ns/op (%+.1f%%)\n",
-				strings.TrimSuffix(k, "/untraced"), base, traced, 100*delta)
-		}
-	}
-	fmt.Fprintf(stdout, "benchdelta: %d tracing pairs compared, %d over the %.0f%% overhead budget\n",
-		overheadPairs, overheadFailed, 100**overhead)
-	if failed > 0 || overheadFailed > 0 {
+	// In-file gates: both arms of each pair come from the same recorded
+	// run, so drift between files cannot fake or mask a verdict.
+	_, overheadFailed := inFileGate(stdout, newRes, *newPath, "untraced", "traced", "tracing", *overhead)
+	_, hopFailed := inFileGate(stdout, newRes, *newPath, "direct", "routed", "router-hop", *hop)
+	if failed > 0 || overheadFailed > 0 || hopFailed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// inFileGate runs one baseline-vs-variant pair gate within the -new
+// file: for every "/<baseSuffix>" entry with a "/<variantSuffix>"
+// sibling under the same benchmark, the variant's median may exceed
+// the baseline's by at most the budget fraction.
+func inFileGate(stdout io.Writer, newRes map[string]samples, newPath,
+	baseSuffix, variantSuffix, label string, budget float64) (pairs, failed int) {
+	keys := make([]string, 0, 1)
+	for k := range newRes {
+		if strings.HasSuffix(k, "/"+baseSuffix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		base := newRes[k].median()
+		name := strings.TrimSuffix(k, "/"+baseSuffix)
+		variantS, ok := newRes[name+"/"+variantSuffix]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %s: no /%s sibling in %s\n", k, variantSuffix, newPath)
+			continue
+		}
+		variant := variantS.median()
+		pairs++
+		delta := (variant - base) / base
+		switch {
+		case delta > budget:
+			failed++
+			fmt.Fprintf(stdout, "FAIL %s: %s overhead %.0f -> %.0f ns/op (%+.1f%% > %.0f%% budget)\n",
+				name, label, base, variant, 100*delta, 100*budget)
+		default:
+			fmt.Fprintf(stdout, "ok   %s: %s overhead %.0f -> %.0f ns/op (%+.1f%%)\n",
+				name, label, base, variant, 100*delta)
+		}
+	}
+	fmt.Fprintf(stdout, "benchdelta: %d %s pairs compared, %d over the %.0f%% overhead budget\n",
+		pairs, label, failed, 100*budget)
+	return pairs, failed
 }

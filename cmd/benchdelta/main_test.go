@@ -112,6 +112,37 @@ func TestOverheadGate(t *testing.T) {
 	}
 }
 
+func TestRouterHopGate(t *testing.T) {
+	// The direct/routed pair is gated within -new with its own budget: a
+	// routed request is a second full HTTP round trip, so the default
+	// allows up to 3x direct (delta 200%) before failing.
+	pair := func(direct, routed float64) string {
+		return `[
+		  {"package":"repro","name":"BenchmarkCoreGameEngines/sequential","procs":1,"iterations":100,"ns_per_op":10000000,"bytes_per_op":-1,"allocs_per_op":-1},
+		  {"package":"repro","name":"BenchmarkCoreGameEngines/parallel","procs":1,"iterations":100,"ns_per_op":9000000,"bytes_per_op":-1,"allocs_per_op":-1},
+		  {"package":"repro","name":"BenchmarkRouterHop/direct","procs":1,"iterations":100,"ns_per_op":` + fmt.Sprint(direct) + `,"bytes_per_op":-1,"allocs_per_op":-1},
+		  {"package":"repro","name":"BenchmarkRouterHop/routed","procs":1,"iterations":100,"ns_per_op":` + fmt.Sprint(routed) + `,"bytes_per_op":-1,"allocs_per_op":-1}
+		]`
+	}
+	if code, out := runWith(t, pair(100000, 250000), ""); code != 0 {
+		t.Fatalf("2.5x routed at 3x budget: exit %d, want 0; output:\n%s", code, out)
+	} else if !strings.Contains(out, "1 router-hop pairs compared, 0 over") {
+		t.Errorf("hop summary missing:\n%s", out)
+	}
+	if code, out := runWith(t, pair(100000, 400000), ""); code != 1 {
+		t.Fatalf("4x routed at 3x budget: exit %d, want 1; output:\n%s", code, out)
+	} else if !strings.Contains(out, "FAIL repro/BenchmarkRouterHop: router-hop overhead") {
+		t.Errorf("hop FAIL line missing:\n%s", out)
+	}
+	// A tighter -hop flag turns the passing pair into a failure.
+	oldPath := writeFile(t, "old2.json", oldJSON)
+	newPath := writeFile(t, "new2.json", pair(100000, 250000))
+	var out, errb bytes.Buffer
+	if code := run([]string{"-old", oldPath, "-new", newPath, "-hop", "1.0"}, &out, &errb); code != 1 {
+		t.Fatalf("2.5x routed at 2x budget: exit %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
 func TestCountRunsAggregatePerGate(t *testing.T) {
 	// A -count N file holds several records per name. The engine gate
 	// compares per-arm minima (one noisy sample of an unchanged engine

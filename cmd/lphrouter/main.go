@@ -1,0 +1,113 @@
+// Command lphrouter is the pool front door: a reverse proxy that
+// consistent-hashes requests across a fleet of lphd instances for
+// Prepared-cache affinity, health-checks the pool, retries shed and
+// drained hops on the next ring candidate, and drives rolling
+// restarts. See internal/router for the routing, membership, retry,
+// and tracing contracts.
+//
+//	lphrouter -addr :8090 -nodes 10.0.0.1:8080,10.0.0.2:8080,10.0.0.3:8080
+//
+// Flags:
+//
+//	-addr           listen address (":0" picks a free port)
+//	-nodes          comma-separated lphd addresses (required)
+//	-probe-interval reconciler cadence (default 500ms)
+//	-probe-timeout  per-probe bound (default 2s)
+//	-miss-budget    consecutive failed probes before a node is evicted (default 3)
+//	-roll-timeout   per-node recovery budget of POST /v1/admin/roll (default 60s)
+//	-trace-ring     completed traces kept in the debug ring (0 = 128, negative disables)
+//	-log-level      minimum slog level of the JSON log on stderr
+//
+// Router-owned routes are GET /v1/router/healthz, GET /v1/router/pool,
+// and POST /v1/admin/roll; every other request proxies to the pool.
+// SIGTERM/SIGINT shut the listener down gracefully (in-flight proxied
+// requests finish) and exit 0 — draining lphd nodes is the nodes' own
+// business, reachable through the router at POST /v1/admin/roll.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("lphrouter", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8090", "listen address (\":0\" picks a free port)")
+	nodes := fs.String("nodes", "", "comma-separated lphd instance addresses (required)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "membership reconciler cadence")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe health-check bound")
+	missBudget := fs.Int("miss-budget", 3, "consecutive failed probes before a node is evicted as a ghost")
+	rollTimeout := fs.Duration("roll-timeout", 60*time.Second, "per-node recovery budget during a rolling restart")
+	traceRing := fs.Int("trace-ring", 0, "completed traces kept for the debug ring (0 = 128, negative disables tracing)")
+	logLevel := fs.String("log-level", "info", "minimum slog level for the JSON log (debug, info, warn, error)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var level slog.Level
+	if fs.NArg() != 0 || *nodes == "" || *probeInterval <= 0 || *probeTimeout <= 0 ||
+		*missBudget <= 0 || *rollTimeout <= 0 || level.UnmarshalText([]byte(*logLevel)) != nil {
+		fmt.Fprintln(os.Stderr,
+			"usage: lphrouter -nodes HOST:PORT,... [-addr :8090] [-probe-interval D] [-probe-timeout D] [-miss-budget N] [-roll-timeout D] [-trace-ring N] [-log-level L]")
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lphrouter:", err)
+		return 1
+	}
+	// The router smoke test and the pool harnesses start us on ":0" and
+	// scrape this line for the resolved port (internal/journaltest's
+	// listen-line regexp matches it); keep its shape stable.
+	fmt.Printf("lphrouter: listening on http://%s\n", ln.Addr())
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	rt := router.New(router.Config{
+		Nodes:         strings.Split(*nodes, ","),
+		Client:        &http.Client{Timeout: 60 * time.Second},
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		MissBudget:    *missBudget,
+		RollTimeout:   *rollTimeout,
+		TraceRing:     *traceRing,
+		Logger:        logger,
+	})
+	defer rt.Close()
+	srv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	//lint:detached the goroutine ends when Serve returns — on listener error or on the Shutdown below — and errc is always drained
+	go func() { errc <- srv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lphrouter:", err)
+			return 1
+		}
+		return 0
+	case <-sigc:
+	}
+	// Graceful exit: stop accepting, let in-flight proxied requests
+	// finish, then stop the reconciler (the deferred Close). The pool
+	// keeps serving — the router holds no state a restart cannot
+	// rebuild from its -nodes list and the nodes' health checks.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	<-errc
+	return 0
+}

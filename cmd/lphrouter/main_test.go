@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/journaltest"
+	"repro/internal/routertest"
+)
+
+// TestMain doubles as the lphrouter binary for the boot test below:
+// re-exec'd with the child marker, the test binary runs the real main
+// loop, so the boot/shutdown cycle runs under -race with no `go build`
+// step (the same trick as cmd/lphd's crash harness). Deferring to
+// routertest.Main makes the same binary answer routertest's own child
+// marker too, so StartNode can boot a real lphd node from here.
+func TestMain(m *testing.M) {
+	if os.Getenv("LPHROUTER_CHILD") == "1" {
+		os.Exit(run(os.Args[1:]))
+	}
+	os.Exit(routertest.Main(m))
+}
+
+// TestRunUsageErrors pins the exit codes: usage errors exit 2 before
+// the listener comes up, an unusable listen address exits 1.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"positional"},
+		{},                                     // -nodes is required
+		{"-nodes", "a:1", "-miss-budget", "0"}, // budgets must be positive
+		{"-nodes", "a:1", "-probe-interval", "-1s"},
+		{"-nodes", "a:1", "-log-level", "nope"},
+	} {
+		if code := run(args); code != 2 {
+			t.Errorf("run(%q): exit %d, want 2", args, code)
+		}
+	}
+	if code := run([]string{"-nodes", "a:1", "-addr", "256.0.0.1:0"}); code != 1 {
+		t.Errorf("bad listen address: exit %d, want 1", code)
+	}
+}
+
+// TestBootAgainstRealNode boots a real lphd and a real lphrouter over
+// it (both re-exec'd from test binaries), walks a proxied request and
+// the router-owned routes through the front door, and shuts the router
+// down with SIGTERM, which must exit 0.
+func TestBootAgainstRealNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real processes; skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := routertest.StartNode(t, "127.0.0.1:0", t.TempDir()+"/journal")
+	rp := journaltest.Start(t, exe, []string{"LPHROUTER_CHILD=1"},
+		"-addr", "127.0.0.1:0", "-nodes", node.Addr, "-probe-interval", "50ms")
+
+	if code, body := rp.Do(http.MethodGet, "/v1/router/healthz", ""); code != http.StatusOK {
+		t.Fatalf("router healthz: %d %s", code, body)
+	} else {
+		var hz struct {
+			OK     bool `json:"ok"`
+			Active int  `json:"active"`
+		}
+		if err := json.Unmarshal(body, &hz); err != nil || !hz.OK || hz.Active != 1 {
+			t.Fatalf("router healthz body %s (%v)", body, err)
+		}
+	}
+	// A node route through the front door: proxied, JSON, 200.
+	if code, body := rp.Do(http.MethodGet, "/v1/healthz", ""); code != http.StatusOK || string(body) != "{\"ok\":true}\n" {
+		t.Fatalf("proxied healthz: %d %q", code, body)
+	}
+	rp.Signal(syscall.SIGTERM)
+	if code := rp.WaitExit(10 * time.Second); code != 0 {
+		t.Fatalf("SIGTERM exit %d, want 0", code)
+	}
+}

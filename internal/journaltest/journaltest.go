@@ -31,8 +31,11 @@ import (
 	"time"
 )
 
-// listenLine matches lphd's startup line; keep in sync with cmd/lphd.
-var listenLine = regexp.MustCompile(`lphd: listening on http://(\S+)`)
+// listenLine matches the startup line of any of the repo's daemons
+// (lphd, lphrouter): "<name>: listening on http://<addr>". Keep in
+// sync with cmd/lphd and cmd/lphrouter — the :0 port discovery of
+// every process harness scrapes this line.
+var listenLine = regexp.MustCompile(`lph\w*: listening on http://(\S+)`)
 
 // Proc is one managed lphd process.
 type Proc struct {

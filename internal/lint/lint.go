@@ -5,9 +5,10 @@
 //   - ctxpoll: enumeration loops in the engine packages must stay
 //     cancellable — poll Ctx.Err()/Ctx.Done(), delegate to a function
 //     that takes the context/engine options, or carry //lint:coarse.
-//   - clockinject: internal/jobs, internal/journal and internal/service
-//     must route all time through the injectable clock; direct
-//     time.Now/Since/Sleep/... uses need //lint:wallclock <reason>.
+//   - clockinject: internal/jobs, internal/journal, internal/service
+//     and internal/router must route all time through the injectable
+//     clock; direct time.Now/Since/Sleep/... uses need
+//     //lint:wallclock <reason>.
 //   - snapshotparity: every exported numeric field reachable from
 //     service.StatsResponse must be rendered by renderMetrics, so
 //     /v1/stats and /metrics cannot drift at compile time.
@@ -58,11 +59,11 @@ type Rule struct {
 func Suite() []Rule {
 	return []Rule{
 		{CtxPoll, []string{"internal/search", "internal/core", "internal/cert", "internal/simulate", "internal/experiments"}},
-		{ClockInject, []string{"internal/jobs", "internal/journal", "internal/service"}},
+		{ClockInject, []string{"internal/jobs", "internal/journal", "internal/service", "internal/router"}},
 		{SnapshotParity, []string{"internal/service"}},
 		{FsyncBeforeRename, []string{"internal/journal"}},
 		{GoroutineCtx, nil},
-		{SpanEnd, []string{"internal/obs", "internal/service", "internal/jobs", "internal/journal"}},
+		{SpanEnd, []string{"internal/obs", "internal/service", "internal/jobs", "internal/journal", "internal/router"}},
 	}
 }
 

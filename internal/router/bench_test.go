@@ -1,0 +1,59 @@
+package router
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// BenchmarkRouterHop measures what the front door costs: the same
+// memo-warm decide request against a node directly and through the
+// router (body buffering, affinity hashing, one extra HTTP round
+// trip). The /direct-vs-/routed pair is gated by cmd/benchdelta's
+// -hop budget, the router-hop analogue of the tracing-overhead gate.
+func BenchmarkRouterHop(b *testing.B) {
+	svc := service.New(service.Config{Workers: 2, CacheSize: 8, MemoSize: 64})
+	defer svc.Close()
+	node := httptest.NewServer(svc.Handler())
+	defer node.Close()
+	rt := New(Config{
+		Nodes:         []string{strings.TrimPrefix(node.URL, "http://")},
+		Client:        &http.Client{Timeout: 10 * time.Second},
+		ProbeInterval: time.Hour,
+	})
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	client := &http.Client{}
+	post := func(url string) {
+		resp, err := client.Post(url+"/v1/decide", "application/json", strings.NewReader(triangleBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("decide: %d", resp.StatusCode)
+		}
+	}
+	post(node.URL) // warm the cache and memo so both arms measure the hop, not the game
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(node.URL)
+		}
+	})
+	b.Run("routed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(front.URL)
+		}
+	})
+}

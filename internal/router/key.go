@@ -1,0 +1,116 @@
+package router
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/graphio"
+)
+
+// affinity computes the routing key and write-ness of a request from
+// its method, path, headers, and (already buffered) body.
+//
+// The key is what Prepared-cache affinity hangs on: every request
+// carrying the same canonical graph must land on the same node, so the
+// key for the graph routes is the graph's canonical hash — extracted
+// with a lenient partial decode that reads only the fields the router
+// needs, never the full strict DecodeRequest (validation is the node's
+// job, and a router that rejected bodies the node would accept could
+// strand valid work). Requests whose body the router cannot make sense
+// of hash the raw bytes instead: still deterministic, still balanced,
+// and the node's own 400 comes back through the usual proxy path.
+//
+// Write-ness mirrors the node's drain contract: the routes a draining
+// lphd sheds with 503 are writes (and skip draining members), while
+// reads — including DELETE /v1/jobs/{id}, which a draining node still
+// honors — may use them.
+func affinity(r *http.Request, body []byte) (key string, write bool) {
+	if r.Method != http.MethodPost {
+		// Reads and DELETEs: no body-derived affinity. Job-id routes are
+		// bound upstream in serveProxy before affinity is consulted.
+		return "", false
+	}
+	switch r.URL.Path {
+	case "/v1/decide", "/v1/verify", "/v1/reduce":
+		return graphKey(body), true
+	case "/v1/batch":
+		return batchKey(body), true
+	case "/v1/game":
+		return gameKey(body), true
+	case "/v1/jobs":
+		// A keyed submission routes by its Idempotency-Key, so a retry —
+		// even one the client re-sends after a shed — reaches the node
+		// holding the original admission and dedups there.
+		if k := r.Header.Get("Idempotency-Key"); k != "" {
+			return "idem/" + k, true
+		}
+		return bodyKey(body), true
+	case "/v1/admin/drain":
+		// Draining through the router is pool-wide ambiguity the roll
+		// endpoint exists to resolve; route it like an unkeyed write.
+		return "", true
+	}
+	return "", true
+}
+
+// probeBody is the lenient partial view of a request body: just the
+// fields that carry routing-relevant identity.
+type probeBody struct {
+	Graph  json.RawMessage   `json:"graph"`
+	Graphs []json.RawMessage `json:"graphs"`
+	Game   string            `json:"game"`
+}
+
+// graphKey keys a single-graph request by the graph's canonical hash —
+// the same value the node's Prepared cache is keyed by, so affinity
+// holds across every serialization of the same graph.
+func graphKey(body []byte) string {
+	var p probeBody
+	if err := json.Unmarshal(body, &p); err != nil || len(p.Graph) == 0 {
+		return bodyKey(body)
+	}
+	g, err := graphio.Decode(bytes.NewReader(p.Graph))
+	if err != nil {
+		return bodyKey(body)
+	}
+	return "graph/" + g.Hash()
+}
+
+// batchKey keys a batch by the hash of its graphs' canonical hashes:
+// the same instance list in the same order lands on the same node and
+// reuses its warm Prepared entries.
+func batchKey(body []byte) string {
+	var p probeBody
+	if err := json.Unmarshal(body, &p); err != nil || len(p.Graphs) == 0 {
+		return bodyKey(body)
+	}
+	h := sha256.New()
+	for _, raw := range p.Graphs {
+		g, err := graphio.Decode(bytes.NewReader(raw))
+		if err != nil {
+			return bodyKey(body)
+		}
+		_, _ = h.Write([]byte(g.Hash()))
+	}
+	return "batch/" + hex.EncodeToString(h.Sum(nil))
+}
+
+// gameKey keys a catalog-game request by the game name: the verdict
+// memo on the node is warm per game, not per body.
+func gameKey(body []byte) string {
+	var p probeBody
+	if err := json.Unmarshal(body, &p); err != nil || p.Game == "" {
+		return bodyKey(body)
+	}
+	return "game/" + p.Game
+}
+
+// bodyKey is the fallback affinity: the raw body bytes. Byte-identical
+// retries still stick to one node (and hit its request-level memo).
+func bodyKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return "body/" + hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// runReconciler is the membership loop: one full-state sync per tick
+// until the router closes. Tests drive Reconcile directly for
+// deterministic single passes; the ticker only paces production.
+func (rt *Router) runReconciler(ctx context.Context) {
+	defer rt.wg.Done()
+	tick := time.NewTicker(rt.probeEvery) //lint:wallclock reconcile cadence is real time; tests call Reconcile directly
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			rt.Reconcile(ctx)
+		}
+	}
+}
+
+// healthz is the partial view of a node's GET /v1/healthz body.
+type healthz struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+}
+
+// Reconcile runs one full-state sync of desired vs live membership:
+// every desired node is probed (concurrently — a hung node must not
+// stall the others' verdicts), probe results drive the member states,
+// and members no longer desired are dropped. The sync is stateless
+// over the desired list, not a diff: a node that was evicted as a
+// ghost is probed every pass and rejoins the instant it answers —
+// which is exactly how a SIGKILLed node returns after its supervisor
+// restarts it and the journal replays.
+func (rt *Router) Reconcile(ctx context.Context) {
+	desired := rt.desiredNodes()
+	want := make(map[string]bool, len(desired))
+	var wg sync.WaitGroup
+	for _, addr := range desired {
+		want[addr] = true
+		wg.Add(1)
+		go func(ctx context.Context, addr string) {
+			defer wg.Done()
+			hz, err := rt.probe(ctx, addr)
+			st := stateActive
+			if hz.Draining {
+				st = stateDraining
+			}
+			old, now := rt.ring.observe(addr, st, err == nil && hz.OK, rt.missBudget)
+			if old != now {
+				if now == stateDown {
+					rt.evictions.Add(1)
+				}
+				rt.logf("member transition", "addr", addr, "from", old.String(), "to", now.String())
+			}
+		}(ctx, addr)
+	}
+	wg.Wait()
+	rt.ring.retain(want)
+}
+
+// probe issues one bounded health check. Probes carry no traceparent:
+// they are the router's own heartbeat, not part of any request's
+// trace.
+func (rt *Router) probe(ctx context.Context, addr string) (healthz, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.probeBound)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/healthz", nil)
+	if err != nil {
+		return healthz{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return healthz{}, err
+	}
+	defer resp.Body.Close()
+	var hz healthz
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&hz); err != nil {
+		return healthz{}, err
+	}
+	return hz, nil
+}
+
+// instance fetches a node's per-process identity from GET /v1/stats —
+// the witness the rolling restart waits on: a changed instance id on
+// the same address proves the process actually restarted rather than
+// merely finishing its drain.
+func (rt *Router) instance(ctx context.Context, addr string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.probeBound)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/stats", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Build struct {
+			Instance string `json:"instance"`
+		} `json:"build"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.Build.Instance, nil
+}

@@ -1,0 +1,173 @@
+package router
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+)
+
+// memberState is where a pool member sits in its lifecycle, as the
+// reconciler last observed it.
+type memberState int
+
+const (
+	// stateActive members take writes and reads.
+	stateActive memberState = iota
+	// stateDraining members are demoted from the write side of the ring
+	// — a draining lphd answers writes with 503 anyway — but still
+	// serve reads (job gets, listings, stats) until the process exits.
+	stateDraining
+	// stateDown members failed their probe miss budget and are evicted
+	// ghosts: never a candidate, retained only so the full-state sync
+	// revives them the moment they answer a probe again.
+	stateDown
+)
+
+func (st memberState) String() string {
+	switch st {
+	case stateActive:
+		return "active"
+	case stateDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// member is one pool instance as tracked by the ring.
+type member struct {
+	addr   string
+	state  memberState
+	misses int // consecutive failed probes; stateDown at the budget
+}
+
+// MemberStatus is the JSON view of one member (GET /v1/router/pool).
+type MemberStatus struct {
+	Addr   string `json:"addr"`
+	State  string `json:"state"`
+	Misses int    `json:"misses,omitempty"`
+}
+
+// ring is a rendezvous (highest-random-weight) hash ring: each request
+// key is scored against every member and candidates are tried in
+// descending score order. Rendezvous hashing gives the bounded-remap
+// property the router needs with no virtual-node bookkeeping: when one
+// of N members leaves, only the keys whose top candidate was that
+// member move (≈ K/N of K keys), and every other key keeps its
+// assignment — the property tests in ring_test.go hold both halves of
+// that claim.
+type ring struct {
+	mu      sync.RWMutex
+	members map[string]*member
+}
+
+func newRing() *ring {
+	return &ring{members: make(map[string]*member)}
+}
+
+// hrwScore is the rendezvous weight of one (member, key) pair: FNV-1a
+// over the member address, a separator that cannot appear in either
+// string, and the key. Deterministic across processes and restarts —
+// the assignment must survive a router restart unchanged.
+func hrwScore(addr, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, addr)
+	_, _ = h.Write([]byte{0xff})
+	_, _ = io.WriteString(h, key)
+	return h.Sum64()
+}
+
+// candidates returns the members eligible for the key in descending
+// rendezvous-score order: the head is the key's home, the tail is the
+// failover sequence. Down members never appear; draining members are
+// excluded for writes (a draining lphd sheds them with 503) but stay
+// eligible for reads. Ties break on address so the order is total.
+func (rg *ring) candidates(key string, write bool) []string {
+	rg.mu.RLock()
+	type scored struct {
+		addr  string
+		score uint64
+	}
+	eligible := make([]scored, 0, len(rg.members))
+	for addr, m := range rg.members {
+		if m.state == stateDown || (write && m.state == stateDraining) {
+			continue
+		}
+		eligible = append(eligible, scored{addr: addr, score: hrwScore(addr, key)})
+	}
+	rg.mu.RUnlock()
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].score != eligible[j].score {
+			return eligible[i].score > eligible[j].score
+		}
+		return eligible[i].addr < eligible[j].addr
+	})
+	out := make([]string, len(eligible))
+	for i, s := range eligible {
+		out[i] = s.addr
+	}
+	return out
+}
+
+// observe records a probe verdict for addr, inserting the member if the
+// full-state sync just learned of it. A success resets the miss count
+// and adopts the probed state; a failure counts toward the miss budget
+// and flips the member to stateDown once it is spent. It returns the
+// state transition (old, new) so the reconciler can log only changes.
+func (rg *ring) observe(addr string, st memberState, ok bool, missBudget int) (old, now memberState) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	m := rg.members[addr]
+	if m == nil {
+		// First sighting: a failed probe starts the member down (it has
+		// never answered), a successful one adopts the probed state.
+		m = &member{addr: addr, state: stateDown}
+		rg.members[addr] = m
+	}
+	old = m.state
+	if ok {
+		m.misses = 0
+		m.state = st
+		return old, m.state
+	}
+	m.misses++
+	if m.misses >= missBudget {
+		m.state = stateDown
+	}
+	return old, m.state
+}
+
+// setState pins a member's state directly — the rolling restart demotes
+// the node it is draining without waiting for the next probe cycle.
+func (rg *ring) setState(addr string, st memberState) {
+	rg.mu.Lock()
+	if m := rg.members[addr]; m != nil {
+		m.state = st
+	}
+	rg.mu.Unlock()
+}
+
+// retain drops every member not in the desired set — the shrink half of
+// the full-state sync.
+func (rg *ring) retain(desired map[string]bool) {
+	rg.mu.Lock()
+	for addr := range rg.members {
+		if !desired[addr] {
+			delete(rg.members, addr)
+		}
+	}
+	rg.mu.Unlock()
+}
+
+// snapshot lists every member sorted by address.
+func (rg *ring) snapshot() []MemberStatus {
+	rg.mu.RLock()
+	out := make([]MemberStatus, 0, len(rg.members))
+	for _, m := range rg.members {
+		out = append(out, MemberStatus{Addr: m.addr, State: m.state.String(), Misses: m.misses})
+	}
+	rg.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,206 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring's contract is the bounded-remap property of rendezvous
+// hashing plus the member-lifecycle eligibility rules. These tests
+// state both as properties over synthetic key populations rather than
+// golden assignments: the hash function may never change silently
+// (stability across no-op reconciles), and membership changes may only
+// move the departed member's keys.
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("127.0.0.1:%d", 9000+i)
+	}
+	return out
+}
+
+func testKeys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("graph/%032x", i*2654435761)
+	}
+	return out
+}
+
+func seedRing(nodes []string) *ring {
+	rg := newRing()
+	for _, n := range nodes {
+		rg.observe(n, stateActive, true, 3)
+	}
+	return rg
+}
+
+// assign maps every key to its top write candidate.
+func assign(rg *ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		c := rg.candidates(k, true)
+		if len(c) == 0 {
+			out[k] = ""
+			continue
+		}
+		out[k] = c[0]
+	}
+	return out
+}
+
+// TestRingStableUnderNoopReconcile: re-observing the same healthy
+// membership any number of times must not move a single key — the
+// assignment is a pure function of (members, key), with no hidden
+// state accumulating across reconcile passes.
+func TestRingStableUnderNoopReconcile(t *testing.T) {
+	t.Parallel()
+	nodes := testNodes(5)
+	keys := testKeys(500)
+	rg := seedRing(nodes)
+	before := assign(rg, keys)
+	for pass := 0; pass < 7; pass++ {
+		for _, n := range nodes {
+			rg.observe(n, stateActive, true, 3)
+		}
+	}
+	after := assign(rg, keys)
+	for k, home := range before {
+		if after[k] != home {
+			t.Fatalf("key %s moved %s -> %s across no-op reconciles", k, home, after[k])
+		}
+	}
+}
+
+// TestRingBoundedRemapOnRemoval: dropping one of N members may remap
+// only the keys that lived on it — ≈ K/N of K keys, and zero keys that
+// lived elsewhere. Rendezvous hashing gives the exact optimum (only
+// the departed member's keys move); the assertion allows slack on the
+// share size because hash balance is statistical, but none on the
+// no-collateral-movement half, which is structural.
+func TestRingBoundedRemapOnRemoval(t *testing.T) {
+	t.Parallel()
+	const n, k = 5, 2000
+	nodes := testNodes(n)
+	keys := testKeys(k)
+	for _, victim := range nodes {
+		rg := seedRing(nodes)
+		before := assign(rg, keys)
+		desired := make(map[string]bool, n)
+		for _, node := range nodes {
+			if node != victim {
+				desired[node] = true
+			}
+		}
+		rg.retain(desired)
+		after := assign(rg, keys)
+
+		moved := 0
+		for _, key := range keys {
+			if before[key] != after[key] {
+				moved++
+				if before[key] != victim {
+					t.Fatalf("key %s moved %s -> %s though %s left — collateral remap",
+						key, before[key], after[key], victim)
+				}
+			} else if before[key] == victim {
+				t.Fatalf("key %s still assigned to the removed %s", key, victim)
+			}
+		}
+		// The victim's share is ≈ K/N; allow 50% slack for hash variance
+		// (a fixed population, so this is deterministic, but the bound
+		// should hold for any population).
+		limit := k/n + k/(2*n)
+		if moved > limit {
+			t.Fatalf("removing %s moved %d of %d keys, want <= %d (K/N + slack)", victim, moved, k, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("removing %s moved no keys — the victim held nothing, which is implausible for %d keys", victim, k)
+		}
+	}
+}
+
+// TestRingRejoinRestoresAssignment: a member that leaves and returns
+// gets exactly its old keys back — the flip side of bounded remap that
+// makes a SIGKILLed node useful again after its journal replays.
+func TestRingRejoinRestoresAssignment(t *testing.T) {
+	t.Parallel()
+	nodes := testNodes(4)
+	keys := testKeys(800)
+	rg := seedRing(nodes)
+	before := assign(rg, keys)
+	// Down via spent miss budget, then a successful probe revives it.
+	for i := 0; i < 3; i++ {
+		rg.observe(nodes[2], stateActive, false, 3)
+	}
+	for _, key := range keys {
+		if got := assign(rg, []string{key})[key]; got == nodes[2] {
+			t.Fatalf("key %s assigned to the evicted ghost %s", key, nodes[2])
+		}
+	}
+	rg.observe(nodes[2], stateActive, true, 3)
+	after := assign(rg, keys)
+	for k, home := range before {
+		if after[k] != home {
+			t.Fatalf("key %s at %s after rejoin, originally %s", k, after[k], home)
+		}
+	}
+}
+
+// TestRingDrainingServesReadsNotWrites: a draining member vanishes
+// from every write candidate list but keeps its place on the read
+// side, in home position.
+func TestRingDrainingServesReadsNotWrites(t *testing.T) {
+	t.Parallel()
+	nodes := testNodes(3)
+	keys := testKeys(300)
+	rg := seedRing(nodes)
+	drained := nodes[1]
+	rg.observe(drained, stateDraining, true, 3)
+	for _, key := range keys {
+		for _, c := range rg.candidates(key, true) {
+			if c == drained {
+				t.Fatalf("draining %s still a write candidate for %s", drained, key)
+			}
+		}
+	}
+	// Reads keep the full membership — and the draining member keeps
+	// its rendezvous position, so read affinity does not churn.
+	sawHome := false
+	for _, key := range keys {
+		reads := rg.candidates(key, false)
+		if len(reads) != len(nodes) {
+			t.Fatalf("read candidates for %s are %v, want all %d members", key, reads, len(nodes))
+		}
+		if reads[0] == drained {
+			sawHome = true
+		}
+	}
+	if !sawHome {
+		t.Fatal("the draining member is never a read home — it lost its ring position")
+	}
+}
+
+// TestRingMissBudget: one or two failed probes keep the member
+// serving (a slow probe must not flap the ring); the budget-th miss
+// evicts, and any success resets the count.
+func TestRingMissBudget(t *testing.T) {
+	t.Parallel()
+	rg := seedRing(testNodes(2))
+	addr := testNodes(2)[0]
+	for i := 0; i < 2; i++ {
+		if _, now := rg.observe(addr, stateActive, false, 3); now == stateDown {
+			t.Fatalf("evicted after %d misses, budget is 3", i+1)
+		}
+	}
+	if _, now := rg.observe(addr, stateActive, true, 3); now != stateActive {
+		t.Fatalf("success did not revive the member: %v", now)
+	}
+	for i := 0; i < 3; i++ {
+		rg.observe(addr, stateActive, false, 3)
+	}
+	if snap := rg.snapshot(); snap[0].State != "down" {
+		t.Fatalf("member %+v after a spent miss budget, want down", snap[0])
+	}
+}

@@ -1,0 +1,155 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// RollStatus is the rolling restart's progress as served by
+// GET /v1/router/pool. One roll at a time; Error carries why the last
+// roll aborted, empty after a clean completion.
+type RollStatus struct {
+	Active  bool     `json:"active"`
+	Current string   `json:"current,omitempty"`
+	Done    []string `json:"done,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// handleRoll starts a rolling restart: every active node, one at a
+// time, is drained and waited back to health under a fresh instance id
+// before the next one is touched. The restart itself belongs to each
+// node's supervisor — lphd exits 0 after its drain and whatever runs
+// it (systemd, the smoke script, the test harness) brings it back on
+// the same address and journal; the router's job is sequencing, so the
+// pool never has more than one node out.
+func (rt *Router) handleRoll(w http.ResponseWriter, r *http.Request) {
+	if !rt.rolling.CompareAndSwap(false, true) {
+		rt.fail(w, r, http.StatusConflict, "a rolling restart is already in progress")
+		return
+	}
+	targets := activeAddrs(rt.ring.snapshot())
+	rt.rollMu.Lock()
+	rt.roll = RollStatus{Active: true}
+	rt.rollMu.Unlock()
+	rt.wg.Add(1)
+	go rt.runRoll(rt.lifeCtx, targets)
+	writeJSON(w, http.StatusAccepted, map[string]any{"rolling": true, "targets": targets})
+}
+
+// activeAddrs filters a membership snapshot to the active addresses
+// (already sorted — snapshot sorts by address, which makes the roll
+// order deterministic).
+func activeAddrs(members []MemberStatus) []string {
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.State == "active" {
+			out = append(out, m.Addr)
+		}
+	}
+	return out
+}
+
+// runRoll drains each target in turn and waits for its recovery.
+func (rt *Router) runRoll(ctx context.Context, targets []string) {
+	defer rt.wg.Done()
+	defer rt.rolling.Store(false)
+	for _, addr := range targets {
+		rt.rollMu.Lock()
+		rt.roll.Current = addr
+		rt.rollMu.Unlock()
+		if err := rt.rollOne(ctx, addr); err != nil {
+			rt.logf("roll aborted", "addr", addr, "err", err.Error())
+			rt.rollMu.Lock()
+			rt.roll.Active = false
+			rt.roll.Current = ""
+			rt.roll.Error = fmt.Sprintf("rolling %s: %v", addr, err)
+			rt.rollMu.Unlock()
+			return
+		}
+		rt.rollMu.Lock()
+		rt.roll.Done = append(rt.roll.Done, addr)
+		rt.rollMu.Unlock()
+		rt.logf("roll advanced", "addr", addr)
+	}
+	rt.rollMu.Lock()
+	rt.roll.Active = false
+	rt.roll.Current = ""
+	rt.rollMu.Unlock()
+}
+
+// rollOne cycles a single node: record its identity, demote it from
+// the write ring, ask it to drain, then poll until the same address
+// answers healthy under a different instance id — the proof a new
+// process is serving — and promote it back.
+func (rt *Router) rollOne(ctx context.Context, addr string) error {
+	oldInstance, err := rt.instance(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("reading pre-roll identity: %w", err)
+	}
+	// Demote before the drain request: no new writes race the 503 flip.
+	rt.ring.setState(addr, stateDraining)
+	if err := rt.requestDrain(ctx, addr); err != nil {
+		rt.ring.setState(addr, stateActive)
+		return fmt.Errorf("requesting drain: %w", err)
+	}
+	deadline := rt.now().Add(rt.rollBound)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hz, err := rt.probe(ctx, addr)
+		if err == nil && hz.OK && !hz.Draining {
+			inst, err := rt.instance(ctx, addr)
+			if err == nil && inst != "" && inst != oldInstance {
+				rt.ring.setState(addr, stateActive)
+				return nil
+			}
+		}
+		if deadline.Before(rt.now()) {
+			return fmt.Errorf("node did not return with a fresh instance id within %s", rt.rollBound)
+		}
+		rt.sleep(ctx, rt.probeEvery)
+	}
+}
+
+// requestDrain posts the node's own drain route. 202 is the only
+// success; a draining or dead node fails the roll step loudly rather
+// than being skipped silently.
+func (rt *Router) requestDrain(ctx context.Context, addr string) error {
+	ctx, cancel := context.WithTimeout(ctx, rt.probeBound)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/admin/drain", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("drain answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// rollStatus snapshots the roll progress.
+func (rt *Router) rollStatus() RollStatus {
+	rt.rollMu.Lock()
+	defer rt.rollMu.Unlock()
+	st := rt.roll
+	st.Done = append([]string(nil), rt.roll.Done...)
+	return st
+}
+
+// sleep waits d or until ctx is done, whichever first.
+func (rt *Router) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d) //lint:wallclock recovery polling paces on real time, bounded by ctx
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

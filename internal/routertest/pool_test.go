@@ -1,0 +1,268 @@
+package routertest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journaltest"
+	"repro/internal/router"
+)
+
+// TestMain doubles as the lphd binary for the pool harness (see Main).
+func TestMain(m *testing.M) { os.Exit(Main(m)) }
+
+const triangleBody = `{"graph":{"n":3,"edges":[[0,1],[1,2],[2,0]],"labels":["1","1","1"]},"property":"all-selected"}`
+
+// cycleBody is the decide request for the n-cycle — each n a distinct
+// affinity key, so a handful of sizes spreads over the pool.
+func cycleBody(n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"graph":{"n":%d,"edges":[`, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", i, (i+1)%n)
+	}
+	sb.WriteString(`],"labels":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`"1"`)
+	}
+	sb.WriteString(`]},"property":"all-selected"}`)
+	return sb.String()
+}
+
+// allActive is the WaitPool predicate for a fully healthy pool.
+func allActive(n int) func(router.PoolResponse) bool {
+	return func(pr router.PoolResponse) bool {
+		if len(pr.Members) != n {
+			return false
+		}
+		for _, m := range pr.Members {
+			if m.State != "active" {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TestPoolAffinity: the same graph posted through the router lands on
+// one real lphd every time, and that node's Prepared-cache counters
+// (scraped off its own /v1/stats) prove the repeats were served warm.
+func TestPoolAffinity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pool harness boots real processes; skipped in -short")
+	}
+	p := StartPool(t, 3, router.Config{})
+	const repeats = 6
+	for i := 0; i < repeats; i++ {
+		if code, body := p.Do(http.MethodPost, "/v1/decide", triangleBody, nil); code != http.StatusOK {
+			t.Fatalf("decide %d: %d %s", i, code, body)
+		}
+	}
+	type cacheView struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	home, others := -1, uint64(0)
+	for i := 0; i < 3; i++ {
+		code, body := p.Node(i).Do(http.MethodGet, "/v1/stats", "")
+		if code != http.StatusOK {
+			t.Fatalf("stats on node %d: %d %s", i, code, body)
+		}
+		var cv cacheView
+		if err := json.Unmarshal(body, &cv); err != nil {
+			t.Fatalf("stats body %s: %v", body, err)
+		}
+		if cv.Cache.Hits > 0 || cv.Cache.Misses > 0 {
+			if home != -1 {
+				t.Fatalf("cache traffic on nodes %d and %d, want affinity to one", home, i)
+			}
+			home = i
+			if cv.Cache.Misses != 1 || cv.Cache.Hits < repeats-1 {
+				t.Fatalf("home cache hits=%d misses=%d, want 1 miss and >= %d hits",
+					cv.Cache.Hits, cv.Cache.Misses, repeats-1)
+			}
+		} else {
+			others += cv.Cache.Hits
+		}
+	}
+	if home == -1 {
+		t.Fatal("no node saw the cache traffic")
+	}
+}
+
+// TestSIGKILLFailoverReplayRejoin is the chaos walk: the node holding
+// a finished journaled job takes SIGKILL; client traffic through the
+// router keeps succeeding; the reconciler evicts the corpse; a restart
+// on the same address and journal replays the job and rejoins the
+// ring, after which the job reads back byte-identically through the
+// router.
+func TestSIGKILLFailoverReplayRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pool harness boots real processes; skipped in -short")
+	}
+	p := StartPool(t, 3, router.Config{})
+
+	code, body := p.Do(http.MethodPost, "/v1/jobs", `{"job":"experiment","name":"figure5"}`, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %s: %v", body, err)
+	}
+	doneBody := p.WaitJob(sub.ID, "done", 2*time.Minute)
+
+	// The job lives on exactly one node; ask them directly.
+	owner := -1
+	for i := 0; i < 3; i++ {
+		if code, _ := p.Node(i).Do(http.MethodGet, "/v1/jobs/"+sub.ID, ""); code == http.StatusOK {
+			if owner != -1 {
+				t.Fatalf("job %s on nodes %d and %d", sub.ID, owner, i)
+			}
+			owner = i
+		}
+	}
+	if owner == -1 {
+		t.Fatalf("no node holds job %s", sub.ID)
+	}
+	ownerAddr := p.Node(owner).Addr
+
+	p.Node(owner).Kill() // SIGKILL: only the journal survives
+
+	// Chaos walk: client writes keep succeeding while a third of the
+	// pool is a corpse — hops onto it burn router retries, never a
+	// client failure.
+	for n := 3; n < 9; n++ {
+		if code, body := p.Do(http.MethodPost, "/v1/decide", cycleBody(n), nil); code != http.StatusOK {
+			t.Fatalf("decide on C_%d with a dead node: %d %s", n, code, body)
+		}
+	}
+
+	// The live reconciler spends the miss budget and evicts the ghost.
+	p.WaitPool(30*time.Second, func(pr router.PoolResponse) bool {
+		for _, m := range pr.Members {
+			if m.Addr == ownerAddr && m.State == "down" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Supervisor move: same address, same journal. The journal replays
+	// the finished job and the node rejoins the ring on its own.
+	np := p.Restart(owner)
+	p.WaitPool(30*time.Second, allActive(3))
+	if !strings.Contains(np.Log(), "replayed=1") {
+		t.Fatalf("restarted node did not replay the journaled job:\n%s", np.Log())
+	}
+
+	code, restored := p.Do(http.MethodGet, "/v1/jobs/"+sub.ID, "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("job read after rejoin: %d %s", code, restored)
+	}
+	if string(restored) != string(doneBody) {
+		t.Fatalf("job not byte-identical across the SIGKILL:\nbefore %s\nafter  %s", doneBody, restored)
+	}
+}
+
+// TestRollingRestartZeroFailures drives POST /v1/admin/roll against a
+// live pool while a client hammers writes through the router: every
+// node restarts under a fresh process (the harness is the supervisor,
+// restarting each drain-exited node on its address and journal), the
+// roll completes cleanly, no client request fails, and every restart
+// was graceful (restarted=0 — a drain re-runs nothing).
+func TestRollingRestartZeroFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pool harness boots real processes; skipped in -short")
+	}
+	p := StartPool(t, 3, router.Config{RollTimeout: 2 * time.Minute})
+
+	// Background client: constant writes through the router for the
+	// whole roll. Any non-200 is a failed in-flight request.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &http.Client{Timeout: 10 * time.Second}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := cycleBody(3 + i%5)
+			resp, err := client.Post(p.Front.URL+"/v1/decide", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				failures = append(failures, err.Error())
+				mu.Unlock()
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("status %d", resp.StatusCode))
+				mu.Unlock()
+			}
+			resp.Body.Close()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	if code, body := p.Do(http.MethodPost, "/v1/admin/roll", "", nil); code != http.StatusAccepted {
+		t.Fatalf("roll: %d %s", code, body)
+	}
+
+	// The roll walks the active members in address order; supervise
+	// each drain-exit in that same order.
+	order := p.Addrs()
+	sort.Strings(order)
+	var restarted []*journaltest.Proc
+	for _, addr := range order {
+		slot := p.Slot(addr)
+		if code := p.Node(slot).WaitExit(time.Minute); code != 0 {
+			t.Fatalf("node %s exited %d after its drain, want 0", addr, code)
+		}
+		restarted = append(restarted, p.Restart(slot))
+	}
+
+	final := p.WaitPool(time.Minute, func(pr router.PoolResponse) bool {
+		return !pr.Roll.Active && len(pr.Roll.Done) == len(order)
+	})
+	if final.Roll.Error != "" {
+		t.Fatalf("roll aborted: %s", final.Roll.Error)
+	}
+	p.WaitPool(30*time.Second, allActive(3))
+
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failures) > 0 {
+		t.Fatalf("%d client requests failed during the rolling restart: %v", len(failures), failures)
+	}
+	for i, np := range restarted {
+		if !strings.Contains(np.Log(), "restarted=0") {
+			t.Fatalf("restart %d replayed interrupted jobs (want restarted=0 after a graceful drain):\n%s", i, np.Log())
+		}
+	}
+}

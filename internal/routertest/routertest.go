@@ -1,0 +1,252 @@
+// Package routertest is the pool-level fault-injection harness: it
+// boots N real lphd processes on :0 ports (re-execing the test binary
+// through internal/lphdmain, exactly like internal/journaltest's
+// single-node driver, so the whole pool runs under -race with no
+// `go build` step), fronts them with an in-process internal/router,
+// and lets tests subject the pool to the failures the router exists to
+// absorb: SIGKILL mid-traffic, journal-replayed rejoins, and rolling
+// restarts that must lose no in-flight request.
+//
+// The harness kills every process at test cleanup; journals live under
+// t.TempDir() and the package guards tmpdir hygiene via
+// journaltest.GuardTempDirs.
+package routertest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journaltest"
+	"repro/internal/lphdmain"
+	"repro/internal/router"
+)
+
+// ChildEnv marks a re-exec of the test binary as an lphd child: when
+// set to "1", Main runs lphdmain.Run instead of the test suite.
+const ChildEnv = "LPH_ROUTERTEST_CHILD"
+
+// Main is the TestMain body for packages using this harness:
+//
+//	func TestMain(m *testing.M) { os.Exit(routertest.Main(m)) }
+//
+// Re-exec'd children become real lphd nodes; the parent run is wrapped
+// in the tmpdir-hygiene guard.
+func Main(m *testing.M) int {
+	if os.Getenv(ChildEnv) == "1" {
+		return lphdmain.Run(os.Args[1:])
+	}
+	return journaltest.GuardTempDirs(m)
+}
+
+// nodeArgs is the per-node lphd configuration shared by every pool:
+// small worker pools, a real Prepared cache (the affinity tests count
+// its hits), no memo (so repeated requests exercise the cache, not the
+// request-level memo), one job worker, and a short drain so rolling
+// restarts finish inside test budgets.
+func nodeArgs(journalDir string) []string {
+	return []string{
+		"-workers", "2", "-cache", "8", "-memo", "0",
+		"-job-workers", "1", "-journal", journalDir,
+		"-drain-timeout", "10s",
+	}
+}
+
+// StartNode boots one lphd child on addr (":0" or "127.0.0.1:0" pick a
+// free port) over the given journal directory. The returned Proc's
+// Addr is normalized to a dialable host (a wildcard listen resolves to
+// 127.0.0.1), which is what the port-discovery line exists for.
+func StartNode(tb testing.TB, addr, journalDir string) *journaltest.Proc {
+	tb.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	args := append([]string{"-addr", addr}, nodeArgs(journalDir)...)
+	p := journaltest.Start(tb, exe, []string{ChildEnv + "=1"}, args...)
+	p.Addr = normalizeAddr(tb, p.Addr)
+	return p
+}
+
+// normalizeAddr rewrites wildcard listen hosts ("[::]", "0.0.0.0", "")
+// to 127.0.0.1 so the scraped address is dialable as printed.
+func normalizeAddr(tb testing.TB, addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		tb.Fatalf("routertest: unparseable listen address %q: %v", addr, err)
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// Pool is N managed lphd processes fronted by one router.
+type Pool struct {
+	tb     testing.TB
+	mu     sync.Mutex
+	nodes  []*journaltest.Proc
+	dirs   []string
+	Router *router.Router
+	// Front serves Router.Handler(); clients talk to Front.URL.
+	Front *httptest.Server
+}
+
+// StartPool boots n lphd children on random ports, each with its own
+// journal directory, and a router over them. Zero-value fields of rcfg
+// get e2e-suitable defaults: a 50ms probe cadence, a 1s probe bound,
+// and a miss budget of 3, so the reconciler runs for real (tests
+// observe membership through /v1/router/pool rather than driving
+// Reconcile by hand — this harness is the live-loop counterpart to the
+// in-process router tests).
+func StartPool(tb testing.TB, n int, rcfg router.Config) *Pool {
+	tb.Helper()
+	p := &Pool{tb: tb}
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(tb.TempDir(), fmt.Sprintf("journal%d", i))
+		p.dirs = append(p.dirs, dir)
+		p.nodes = append(p.nodes, StartNode(tb, "127.0.0.1:0", dir))
+	}
+	rcfg.Nodes = p.Addrs()
+	if rcfg.Client == nil {
+		rcfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if rcfg.ProbeInterval == 0 {
+		rcfg.ProbeInterval = 50 * time.Millisecond
+	}
+	if rcfg.ProbeTimeout == 0 {
+		rcfg.ProbeTimeout = time.Second
+	}
+	if rcfg.MissBudget == 0 {
+		rcfg.MissBudget = 3
+	}
+	p.Router = router.New(rcfg)
+	p.Front = httptest.NewServer(p.Router.Handler())
+	tb.Cleanup(func() {
+		p.Front.Close()
+		p.Router.Close()
+	})
+	return p
+}
+
+// Node returns the current process of slot i (restarts replace it).
+func (p *Pool) Node(i int) *journaltest.Proc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodes[i]
+}
+
+// Addrs lists the pool's node addresses by slot.
+func (p *Pool) Addrs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.nodes))
+	for i, n := range p.nodes {
+		out[i] = n.Addr
+	}
+	return out
+}
+
+// Slot maps a node address back to its slot index.
+func (p *Pool) Slot(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, n := range p.nodes {
+		if n.Addr == addr {
+			return i
+		}
+	}
+	p.tb.Fatalf("routertest: no pool slot for %q", addr)
+	return -1
+}
+
+// Restart boots a fresh lphd in slot i on the same address and journal
+// directory — the supervisor's move after a crash or a drain-exit. The
+// address is pinned so the router's desired list stays valid and the
+// ring assignment is unchanged; the journal replays whatever the old
+// process made durable.
+func (p *Pool) Restart(i int) *journaltest.Proc {
+	p.tb.Helper()
+	p.mu.Lock()
+	addr, dir := p.nodes[i].Addr, p.dirs[i]
+	p.mu.Unlock()
+	np := StartNode(p.tb, addr, dir)
+	p.mu.Lock()
+	p.nodes[i] = np
+	p.mu.Unlock()
+	return np
+}
+
+// Do issues one request through the router front.
+func (p *Pool) Do(method, path, body string, hdr map[string]string) (int, []byte) {
+	p.tb.Helper()
+	req, err := http.NewRequest(method, p.Front.URL+path, strings.NewReader(body))
+	if err != nil {
+		p.tb.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		p.tb.Fatalf("routertest: %s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.tb.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// WaitJob polls GET /v1/jobs/{id} through the router until the body
+// reports the wanted state, returning the matching raw body.
+func (p *Pool) WaitJob(id, want string, timeout time.Duration) []byte {
+	p.tb.Helper()
+	needle := fmt.Sprintf("%q:%q", "state", want)
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body := p.Do(http.MethodGet, "/v1/jobs/"+id, "", nil)
+		if code == http.StatusOK && strings.Contains(string(body), needle) {
+			return body
+		}
+		if time.Now().After(deadline) {
+			p.tb.Fatalf("routertest: job %s never reached %s via the router; last (status %d): %s",
+				id, want, code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// WaitPool polls GET /v1/router/pool until ok accepts the view — how
+// tests wait out the live reconciler instead of driving it by hand.
+func (p *Pool) WaitPool(timeout time.Duration, ok func(router.PoolResponse) bool) router.PoolResponse {
+	p.tb.Helper()
+	deadline := time.Now().Add(timeout)
+	var last router.PoolResponse
+	for {
+		code, body := p.Do(http.MethodGet, "/v1/router/pool", "", nil)
+		if code == http.StatusOK {
+			if err := json.Unmarshal(body, &last); err != nil {
+				p.tb.Fatalf("routertest: pool body %s: %v", body, err)
+			}
+			if ok(last) {
+				return last
+			}
+		}
+		if time.Now().After(deadline) {
+			p.tb.Fatalf("routertest: pool never reached the wanted state; last view %+v", last)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -251,8 +252,13 @@ func TestDrainShedsWritesKeepsReads(t *testing.T) {
 		if w.Code != http.StatusServiceUnavailable {
 			t.Fatalf("%s while draining: %d %s, want 503", wr.path, w.Code, w.Body)
 		}
-		if ra := w.Header().Get("Retry-After"); ra != drainRetryAfter {
-			t.Fatalf("%s Retry-After %q, want %q", wr.path, ra, drainRetryAfter)
+		// The hint tracks the remaining drain budget (default 30s here),
+		// so moments after the drain began it must sit just under it —
+		// not at the old static "5".
+		ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+		if err != nil || ra < 1 || ra > 30 {
+			t.Fatalf("%s Retry-After %q, want an integer in [1,30]",
+				wr.path, w.Header().Get("Retry-After"))
 		}
 	}
 	// An idempotent retry of the pre-drain submission still answers with

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -47,6 +48,13 @@ type Config struct {
 	// ShedWait bounds how long a synchronous request waits for worker
 	// budget before being shed with 429 + Retry-After; 0 means 1 second.
 	ShedWait time.Duration
+	// DrainTimeout is the budget a graceful drain gives running jobs
+	// before they are cancelled — cmd/lphd passes its -drain-timeout
+	// here. The drain path's Retry-After hint is derived from what
+	// remains of this budget, so a turned-away client waits roughly
+	// until the restarted instance is back. 0 means 30 seconds (the
+	// lphd flag default).
+	DrainTimeout time.Duration
 	// JobWorkers is the async job engine's worker pool (concurrently
 	// running jobs); 0 means 1, so background sweeps serialize instead
 	// of starving the synchronous path.
@@ -137,6 +145,8 @@ type Server struct {
 
 	draining      atomic.Bool   // set once a drain begins; never unset
 	drainRejected atomic.Uint64 // write requests answered 503 while draining
+	drainTimeout  time.Duration // budget a graceful drain gives running jobs
+	drainDeadline atomic.Int64  // unix nanos when the drain budget lapses; 0 until a drain begins
 	drainOnce     sync.Once
 	drainCh       chan struct{} // closed when a drain is requested
 }
@@ -159,22 +169,27 @@ func New(cfg Config) *Server {
 	if shedWait <= 0 {
 		shedWait = defaultShedWait
 	}
+	drainTimeout := cfg.DrainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = defaultDrainTimeout
+	}
 	var memo *core.Memo // nil when disabled; every call site is nil-safe
 	if cfg.MemoSize > 0 {
 		memo = core.NewMemo(cfg.MemoSize)
 	}
 	s := &Server{
-		budget:   budget,
-		timeout:  cfg.Timeout,
-		shedWait: shedWait,
-		shed:     newShedder(budget),
-		cache:    NewCache(cfg.CacheSize),
-		memo:     memo,
-		lat:      newLatencies(),
-		mux:      http.NewServeMux(),
-		now:      now,
-		build:    buildStats(now),
-		drainCh:  make(chan struct{}),
+		budget:       budget,
+		timeout:      cfg.Timeout,
+		shedWait:     shedWait,
+		drainTimeout: drainTimeout,
+		shed:         newShedder(budget),
+		cache:        NewCache(cfg.CacheSize),
+		memo:         memo,
+		lat:          newLatencies(),
+		mux:          http.NewServeMux(),
+		now:          now,
+		build:        buildStats(now),
+		drainCh:      make(chan struct{}),
 	}
 	if cfg.TraceRing >= 0 {
 		s.tracer = obs.NewTracer(obs.TracerConfig{
@@ -233,6 +248,10 @@ func buildStats(now func() time.Time) BuildStats {
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
 		b.Module = bi.Main.Path
 	}
+	var id [8]byte
+	if _, err := rand.Read(id[:]); err == nil {
+		b.Instance = hex.EncodeToString(id[:])
+	}
 	return b
 }
 
@@ -249,6 +268,9 @@ func (s *Server) Close() { s.jobs.Close() }
 // Idempotent; there is no way back short of a restart.
 func (s *Server) BeginDrain() {
 	s.drainOnce.Do(func() {
+		// The deadline is stamped before the flag flips: any request that
+		// observes draining==true can derive an honest Retry-After from it.
+		s.drainDeadline.Store(s.now().Add(s.drainTimeout).UnixNano())
 		s.draining.Store(true)
 		s.jobs.BeginDrain()
 		close(s.drainCh)
@@ -290,13 +312,57 @@ func (s *Server) Handler() http.Handler {
 			r = r.WithContext(obs.NewContext(r.Context(), tr))
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		s.mux.ServeHTTP(sw, r)
+		// Handler reports an empty pattern exactly when the mux would
+		// fall back to its plain-text defaults (unknown path → 404,
+		// known path with the wrong method → 405); those responses must
+		// still honor the JSON error contract, so they detour through
+		// the fallback. Everything else — including the mux's canonical-
+		// path redirects, which carry the target's pattern — serves as
+		// registered.
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			s.muxFallback(sw, r)
+		} else {
+			s.mux.ServeHTTP(sw, r)
+		}
 		// ServeMux stamps the matched pattern onto the request; an
 		// unmatched request keeps Pattern empty and is labeled as such.
 		s.lat.observe(r.Pattern, s.now().Sub(start))
 		tr.Finish(r.Pattern, sw.status)
 	})
 }
+
+// muxFallback re-shapes the mux's default unknown-route and
+// wrong-method responses into the JSON error contract: every error
+// body carries {"error":…,"trace":…} and the X-Lph-Trace header, and a
+// 405 keeps the Allow header the mux computed. The mux itself renders
+// the verdict into a body-discarding probe — it alone knows whether
+// the path exists under another method — and only the shape of the
+// response is replaced.
+func (s *Server) muxFallback(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.failures.Add(1)
+	probe := &headerProbe{header: make(http.Header), status: http.StatusOK}
+	s.mux.ServeHTTP(probe, r)
+	msg := "not found"
+	if probe.status == http.StatusMethodNotAllowed {
+		msg = "method not allowed"
+		if allow := probe.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+	}
+	writeJSON(w, probe.status, errorBody(r, msg))
+}
+
+// headerProbe is the ResponseWriter muxFallback hands the mux: it
+// keeps the status and headers and drops the plain-text body.
+type headerProbe struct {
+	header http.Header
+	status int
+}
+
+func (p *headerProbe) Header() http.Header         { return p.header }
+func (p *headerProbe) Write(b []byte) (int, error) { return len(b), nil }
+func (p *headerProbe) WriteHeader(code int)        { p.status = code }
 
 // statusWriter captures the response status for the trace record and
 // the request log (the handlers only hand status to WriteHeader).
@@ -416,6 +482,12 @@ type BuildStats struct {
 	GoVersion        string `json:"go_version"`
 	Module           string `json:"module"`
 	StartUnixSeconds int64  `json:"start_unix_seconds"`
+	// Instance is a random per-process identity, fresh on every start.
+	// Two observations of one address that disagree on it prove a
+	// restart happened in between — the router's rolling restart waits
+	// on exactly that before moving to the next node. JSON-only:
+	// /metrics identifies the process by start time instead.
+	Instance string `json:"instance,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -425,14 +497,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone is the only failure; nothing to do
 }
 
-// Retry-After hints, in seconds: a shed request retries as soon as the
-// current evaluations release budget; a drained-away request retries
-// against the restarted instance. The shed value is the fallback for
-// an empty engine histogram — see shedRetryHint.
+// Retry-After fallback hints, in seconds: a shed request retries as
+// soon as the current evaluations release budget; a drained-away
+// request retries against the restarted instance. The shed value
+// covers an empty engine histogram (see shedRetryHint); the drain
+// value covers the never-happens case of a drain rejection before
+// BeginDrain stamped its deadline (see drainRetryHint).
 const (
 	shedRetryAfter  = "1"
 	drainRetryAfter = "5"
 )
+
+// defaultDrainTimeout mirrors cmd/lphd's -drain-timeout default, so an
+// embedded Server without explicit configuration derives the same
+// Retry-After hints the binary would.
+const defaultDrainTimeout = 30 * time.Second
 
 // shedRetryHint derives the shed path's Retry-After from the observed
 // p50 engine-phase latency — a client told to come back should wait
@@ -445,6 +524,29 @@ func (s *Server) shedRetryHint() string {
 		return shedRetryAfter
 	}
 	secs := int(math.Ceil(p50))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}
+
+// drainRetryHint derives the drain path's Retry-After from what
+// remains of the drain budget: by then the running jobs have finished
+// or been cancelled and (under cmd/lphd) the supervisor has restarted
+// the instance, so a turned-away client should come back when the
+// budget lapses — rounded up to whole seconds and clamped to
+// [1s, 60s], the same discipline as shedRetryHint. A static hint here
+// would be dishonest the moment -drain-timeout differs from it, and
+// the router's retry-on-another-shard backoff trusts this value.
+func (s *Server) drainRetryHint() string {
+	dl := s.drainDeadline.Load()
+	if dl == 0 {
+		return drainRetryAfter
+	}
+	secs := int(math.Ceil(time.Unix(0, dl).Sub(s.now()).Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
@@ -490,7 +592,7 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, jobs.ErrDraining):
 		s.drainRejected.Add(1)
-		w.Header().Set("Retry-After", drainRetryAfter)
+		w.Header().Set("Retry-After", s.drainRetryHint())
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
@@ -508,7 +610,7 @@ func (s *Server) shedDraining(w http.ResponseWriter, r *http.Request) bool {
 	}
 	s.drainRejected.Add(1)
 	s.failures.Add(1)
-	w.Header().Set("Retry-After", drainRetryAfter)
+	w.Header().Set("Retry-After", s.drainRetryHint())
 	writeJSON(w, http.StatusServiceUnavailable,
 		errorBody(r, "server draining; retry against the restarted instance"))
 	return true

@@ -37,3 +37,40 @@ func TestShedRetryHint(t *testing.T) {
 		t.Fatalf("tracing off: hint %q, want the static fallback %q", got, shedRetryAfter)
 	}
 }
+
+// TestDrainRetryHint pins the honest drain-path Retry-After under a
+// fake clock: the hint is the remaining drain budget rounded up to
+// whole seconds and clamped to [1, 60] — never the old static "5" —
+// and falls back to the static hint only before a drain has stamped
+// its deadline.
+func TestDrainRetryHint(t *testing.T) {
+	t.Parallel()
+	clock := time.Unix(1754600000, 0)
+	now := func() time.Time { return clock }
+	s := New(Config{Workers: 1, DrainTimeout: 12 * time.Second, Now: now})
+	defer s.Close()
+	if got := s.drainRetryHint(); got != drainRetryAfter {
+		t.Fatalf("no drain yet: hint %q, want the static fallback %q", got, drainRetryAfter)
+	}
+	s.BeginDrain()
+	if got := s.drainRetryHint(); got != "12" {
+		t.Fatalf("at drain start: hint %q, want \"12\" (the full budget)", got)
+	}
+	clock = clock.Add(4500 * time.Millisecond)
+	if got := s.drainRetryHint(); got != "8" {
+		t.Fatalf("7.5s of budget left: hint %q, want \"8\" (rounded up)", got)
+	}
+	clock = clock.Add(time.Hour) // deadline long past: clamp to the 1s floor
+	if got := s.drainRetryHint(); got != "1" {
+		t.Fatalf("deadline passed: hint %q, want the \"1\" floor", got)
+	}
+
+	// A budget beyond the 60s ceiling clamps down: a client should not
+	// be told to disappear for minutes.
+	long := New(Config{Workers: 1, DrainTimeout: 5 * time.Minute, Now: now})
+	defer long.Close()
+	long.BeginDrain()
+	if got := long.drainRetryHint(); got != "60" {
+		t.Fatalf("5m budget: hint %q, want the \"60\" ceiling", got)
+	}
+}

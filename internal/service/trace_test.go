@@ -175,6 +175,65 @@ func TestErrorBodyCarriesTraceID(t *testing.T) {
 	}
 }
 
+// TestMuxFallbackErrorContract pins the JSON 404/405 fallback: routes
+// the mux has no handler for must still honor the error contract —
+// a JSON body carrying {"error":…,"trace":…}, the X-Lph-Trace header
+// agreeing with it, an adopted inbound trace id, and (on 405) the
+// Allow header the mux computed — instead of ServeMux's plain-text
+// defaults. These are exactly the responses a misrouted client or a
+// router retry sees, so they must be greppable like any other error.
+func TestMuxFallbackErrorContract(t *testing.T) {
+	t.Parallel()
+	s := service.New(service.Config{Workers: 1})
+	defer s.Close()
+	h := s.Handler()
+
+	cases := []struct {
+		name, method, path string
+		status             int
+		wantAllow          bool
+	}{
+		{"unknown-route", http.MethodGet, "/v1/nope", http.StatusNotFound, false},
+		{"wrong-method", http.MethodPut, "/v1/decide", http.StatusMethodNotAllowed, true},
+		{"wrong-method-healthz", http.MethodPost, "/v1/healthz", http.StatusMethodNotAllowed, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(""))
+			req.Header.Set("traceparent", fixedTraceparent)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != tc.status {
+				t.Fatalf("status %d, want %d; body %s", rec.Code, tc.status, rec.Body)
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type %q, want JSON (the mux default leaked through)", ct)
+			}
+			var body map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("non-JSON fallback body %q: %v", rec.Body, err)
+			}
+			if body["error"] == "" {
+				t.Fatalf("fallback body %v has no error message", body)
+			}
+			if body["trace"] != fixedTraceID || rec.Header().Get("X-Lph-Trace") != fixedTraceID {
+				t.Fatalf("trace %q / header %q, want the adopted %q",
+					body["trace"], rec.Header().Get("X-Lph-Trace"), fixedTraceID)
+			}
+			if tc.wantAllow && rec.Header().Get("Allow") == "" {
+				t.Fatal("405 without the Allow header the mux computed")
+			}
+		})
+	}
+
+	// A fallback response is still a served request: it lands in the
+	// debug ring and counts as a failure on the snapshot.
+	st := s.Snapshot()
+	if st.Requests.Total < uint64(len(cases)) || st.Requests.Failures < uint64(len(cases)) {
+		t.Fatalf("fallback requests invisible to the snapshot: %+v", st.Requests)
+	}
+}
+
 // TestDebugTracesRoute exercises the ring endpoint: limit and route
 // filters, the JSON shape, and the 400 on a malformed limit.
 func TestDebugTracesRoute(t *testing.T) {
